@@ -1,0 +1,112 @@
+// Command characterize regenerates the dataset characterization artifacts
+// of the paper: Table 1 (structural statistics of all nine datasets),
+// Figure 1 (in/out degree distributions) and Figure 2 (the CDF of the
+// out-degree/in-degree ratio).
+//
+// Usage:
+//
+//	characterize [-table1] [-fig1] [-fig2] [-dataset name]
+//
+// With no flags all three artifacts are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cutfit/internal/bench"
+	"cutfit/internal/datasets"
+	"cutfit/internal/report"
+	"cutfit/internal/stats"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "print Table 1 (dataset characterization)")
+	fig1 := flag.Bool("fig1", false, "print Figure 1 (degree distributions)")
+	fig2 := flag.Bool("fig2", false, "print Figure 2 (out/in degree ratio CDF)")
+	dataset := flag.String("dataset", "", "restrict to one dataset by name")
+	flag.Parse()
+
+	if !*table1 && !*fig1 && !*fig2 {
+		*table1, *fig1, *fig2 = true, true, true
+	}
+	specs := datasets.Suite()
+	if *dataset != "" {
+		spec, err := datasets.ByName(*dataset)
+		if err != nil {
+			fatal(err)
+		}
+		specs = []datasets.Spec{spec}
+	}
+
+	if *table1 {
+		fmt.Println("=== Table 1: dataset characterization (measured on analogs) ===")
+		rows, err := bench.Characterize(specs)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteCharacterization(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Println("Paper originals for comparison:")
+		for _, spec := range specs {
+			p := spec.Paper
+			diam := fmt.Sprintf("%d", p.Diameter)
+			if p.DiameterInfinite {
+				diam = "inf"
+			}
+			fmt.Printf("  %-16s V=%-10d E=%-11d symm=%.2f%% zeroIn=%.2f%% zeroOut=%.2f%% triangles=%d comps=%d diam=%s\n",
+				spec.Name, p.Vertices, p.Edges, p.SymmetryPct, p.ZeroInPct, p.ZeroOutPct,
+				p.Triangles, p.Components, diam)
+		}
+		fmt.Println()
+	}
+
+	if *fig1 {
+		fmt.Println("=== Figure 1: in/out degree distributions (log-binned) ===")
+		dists, err := bench.Figure1Degrees(specs)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range dists {
+			fmt.Printf("%s in-degree:\n", d.Dataset)
+			printHist(d.In)
+			fmt.Printf("%s out-degree:\n", d.Dataset)
+			printHist(d.Out)
+		}
+		fmt.Println()
+	}
+
+	if *fig2 {
+		fmt.Println("=== Figure 2: CDF of out-degree / in-degree ratio ===")
+		cdfs, err := bench.Figure2RatioCDF(specs)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteRatioCDF(os.Stdout, cdfs); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func printHist(bins []stats.HistBin) {
+	var labels []string
+	var counts []int64
+	for _, b := range bins {
+		if b.Count == 0 {
+			continue
+		}
+		labels = append(labels, fmt.Sprintf("[%d..%d]", b.Lo, b.Hi))
+		counts = append(counts, b.Count)
+	}
+	if err := report.Histogram(os.Stdout, labels, counts, 50); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "characterize:", err)
+	os.Exit(1)
+}

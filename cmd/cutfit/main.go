@@ -1,0 +1,302 @@
+// Command cutfit is the umbrella CLI for the Cut-to-Fit library. It works
+// on edge-list files (SNAP text format) or on the built-in dataset analogs.
+//
+// Subcommands:
+//
+//	cutfit generate -dataset orkut -out orkut.txt
+//	    Write an analog dataset as a text edge list.
+//
+//	cutfit metrics -in graph.txt -strategy 2D -parts 128
+//	    Partition a graph and print the §3.1 metrics.
+//
+//	cutfit run -in graph.txt -alg pagerank -strategy 2D -parts 128
+//	    Execute an algorithm on the partitioned graph and print the
+//	    simulated cluster time breakdown.
+//
+//	cutfit advise -in graph.txt -alg pagerank -parts 128 [-measure]
+//	    Recommend a partitioning strategy for the computation; with
+//	    -measure, empirically rank all strategies by the predictive metric.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cutfit"
+	"cutfit/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "metrics":
+		err = cmdMetrics(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "advise":
+		err = cmdAdvise(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "cutfit: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cutfit:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: cutfit <generate|metrics|run|advise> [flags]
+  generate -dataset <name> -out <file>
+  metrics  -in <file>|-dataset <name> -strategy <name> -parts <n>
+  run      -in <file>|-dataset <name> -alg <name> -strategy <name> -parts <n>
+  advise   -in <file>|-dataset <name> -alg <name> -parts <n> [-measure]`)
+}
+
+// loadGraph reads a graph from -in or builds a named analog dataset.
+func loadGraph(in, dataset string) (*cutfit.Graph, error) {
+	switch {
+	case in != "" && dataset != "":
+		return nil, fmt.Errorf("use either -in or -dataset, not both")
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return cutfit.LoadEdgeList(f)
+	case dataset != "":
+		spec, err := cutfit.DatasetByName(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return spec.BuildCached()
+	default:
+		return nil, fmt.Errorf("one of -in or -dataset is required")
+	}
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	dataset := fs.String("dataset", "", "analog dataset name")
+	out := fs.String("out", "", "output edge-list file")
+	fs.Parse(args)
+	if *dataset == "" || *out == "" {
+		return fmt.Errorf("generate requires -dataset and -out")
+	}
+	spec, err := cutfit.DatasetByName(*dataset)
+	if err != nil {
+		return err
+	}
+	g, err := spec.BuildCached()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := g.WriteEdgeList(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d vertices, %d edges\n", *out, g.NumVertices(), g.NumEdges())
+	return nil
+}
+
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	in := fs.String("in", "", "input edge-list file")
+	dataset := fs.String("dataset", "", "analog dataset name")
+	strategy := fs.String("strategy", "2D", "partitioning strategy")
+	parts := fs.Int("parts", 128, "number of partitions")
+	fs.Parse(args)
+	g, err := loadGraph(*in, *dataset)
+	if err != nil {
+		return err
+	}
+	s, err := cutfit.StrategyByName(*strategy)
+	if err != nil {
+		return err
+	}
+	m, err := cutfit.Measure(g, s, *parts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("strategy=%s parts=%d\n", s.Name(), *parts)
+	fmt.Printf("  Balance    %.4f\n", m.Balance)
+	fmt.Printf("  NonCut     %d\n", m.NonCut)
+	fmt.Printf("  Cut        %d\n", m.Cut)
+	fmt.Printf("  CommCost   %d\n", m.CommCost)
+	fmt.Printf("  PartStDev  %.2f\n", m.PartStDev)
+	fmt.Printf("  Replication factor %.3f\n", m.ReplicationFactor)
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	in := fs.String("in", "", "input edge-list file")
+	dataset := fs.String("dataset", "", "analog dataset name")
+	alg := fs.String("alg", "pagerank", "algorithm: pagerank, cc, triangles, sssp")
+	strategy := fs.String("strategy", "2D", "partitioning strategy")
+	parts := fs.Int("parts", 128, "number of partitions")
+	iters := fs.Int("iters", 10, "iterations for pagerank/cc")
+	fs.Parse(args)
+	g, err := loadGraph(*in, *dataset)
+	if err != nil {
+		return err
+	}
+	s, err := cutfit.StrategyByName(*strategy)
+	if err != nil {
+		return err
+	}
+	pg, err := cutfit.Partition(g, s, *parts)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	var stats *cutfit.RunStats
+	switch *alg {
+	case "pagerank":
+		ranks, st, err := cutfit.RunPageRank(ctx, pg, *iters)
+		if err != nil {
+			return err
+		}
+		stats = st
+		printTopRanks(g, ranks, 5)
+	case "cc":
+		labels, st, err := cutfit.RunConnectedComponents(ctx, pg, *iters)
+		if err != nil {
+			return err
+		}
+		stats = st
+		set := map[cutfit.VertexID]bool{}
+		for _, l := range labels {
+			set[l] = true
+		}
+		fmt.Printf("components: %d (converged=%v)\n", len(set), st.Converged)
+	case "triangles":
+		counts, st, err := cutfit.RunTriangleCount(ctx, pg)
+		if err != nil {
+			return err
+		}
+		stats = st
+		var total int64
+		for _, c := range counts {
+			total += c
+		}
+		fmt.Printf("triangles: %d\n", total/3)
+	case "sssp":
+		verts := g.Vertices()
+		landmark := verts[0]
+		dists, st, err := cutfit.RunShortestPaths(ctx, pg, []cutfit.VertexID{landmark}, 0)
+		if err != nil {
+			return err
+		}
+		stats = st
+		reached := 0
+		for _, d := range dists {
+			if len(d) > 0 {
+				reached++
+			}
+		}
+		fmt.Printf("sssp: landmark %d reached from %d/%d vertices\n", landmark, reached, len(dists))
+	default:
+		return fmt.Errorf("unknown algorithm %q", *alg)
+	}
+	cfg := cutfit.ConfigI()
+	cfg.NumPartitions = *parts
+	b, err := cfg.Simulate(stats, cutfit.EstimateGraphBytes(g.NumEdges()))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("supersteps=%d broadcastMsgs=%d reduceMsgs=%d\n",
+		stats.NumSupersteps(), stats.TotalBroadcastMsgs(), stats.TotalReduceMsgs())
+	fmt.Println("simulated cluster time:", b)
+	return nil
+}
+
+func printTopRanks(g *cutfit.Graph, ranks []float64, k int) {
+	type vr struct {
+		v cutfit.VertexID
+		r float64
+	}
+	verts := g.Vertices()
+	top := make([]vr, len(ranks))
+	for i, r := range ranks {
+		top[i] = vr{verts[i], r}
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].r > top[j].r })
+	if k > len(top) {
+		k = len(top)
+	}
+	fmt.Print("top ranks:")
+	for _, t := range top[:k] {
+		fmt.Printf(" %d=%.3f", t.v, t.r)
+	}
+	fmt.Println()
+}
+
+func cmdAdvise(args []string) error {
+	fs := flag.NewFlagSet("advise", flag.ExitOnError)
+	in := fs.String("in", "", "input edge-list file")
+	dataset := fs.String("dataset", "", "analog dataset name")
+	alg := fs.String("alg", "pagerank", "algorithm: pagerank, cc, triangles, sssp")
+	parts := fs.Int("parts", 128, "number of partitions")
+	measure := fs.Bool("measure", false, "empirically measure and rank all strategies")
+	fs.Parse(args)
+	g, err := loadGraph(*in, *dataset)
+	if err != nil {
+		return err
+	}
+	profile, err := cutfit.ProfileFor(*alg)
+	if err != nil {
+		return err
+	}
+	facts := cutfit.Facts(g)
+	facts.IDLocality = core.DetectIDLocality(g, 256, 0.5)
+	rec := cutfit.Advise(profile, facts, *parts)
+	fmt.Printf("recommended strategy: %s (optimize %s)\n", rec.Strategy.Name(), rec.Metric)
+	fmt.Printf("reason: %s\n", rec.Reason)
+	if !*measure {
+		return nil
+	}
+	best, results, err := cutfit.SelectEmpirically(g, cutfit.Strategies(), *parts, profile)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nempirical ranking by %s at %d partitions:\n", profile.Metric, *parts)
+	type row struct {
+		name string
+		val  float64
+	}
+	rows := make([]row, 0, len(results))
+	for name, m := range results {
+		v, err := m.MetricByName(profile.Metric)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{name, v})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].val < rows[j].val })
+	for _, r := range rows {
+		marker := " "
+		if r.name == best.Name() {
+			marker = "*"
+		}
+		fmt.Printf("  %s %-6s %s = %.0f\n", marker, r.name, profile.Metric, r.val)
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+// Command partmetrics regenerates Tables 2 and 3 of the paper: the full
+// partitioning-metric characterization (Balance, NonCut, Cut, CommCost,
+// PartStDev) for every dataset × strategy at a given partition count.
+//
+// Usage:
+//
+//	partmetrics [-parts 128] [-dataset name] [-extended]
+//
+// -parts 128 reproduces Table 2; -parts 256 reproduces Table 3.
+// -extended adds the streaming Greedy/HDRF partitioners (ablation A1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cutfit/internal/bench"
+	"cutfit/internal/datasets"
+	"cutfit/internal/partition"
+)
+
+func main() {
+	parts := flag.Int("parts", 128, "number of partitions (128 = Table 2, 256 = Table 3)")
+	dataset := flag.String("dataset", "", "restrict to one dataset by name")
+	extended := flag.Bool("extended", false, "include streaming Greedy/HDRF strategies")
+	flag.Parse()
+
+	specs := datasets.Suite()
+	if *dataset != "" {
+		spec, err := datasets.ByName(*dataset)
+		if err != nil {
+			fatal(err)
+		}
+		specs = []datasets.Spec{spec}
+	}
+	strategies := partition.All()
+	if *extended {
+		strategies = partition.Extended()
+	}
+
+	rows, err := bench.MetricsTable(specs, strategies, *parts)
+	if err != nil {
+		fatal(err)
+	}
+	if err := bench.WriteMetricsTable(os.Stdout, rows, *parts); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "partmetrics:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,207 @@
+// Command runexp regenerates the execution-time experiments of the paper's
+// evaluation: Figures 3–6 (correlation between partitioning metrics and
+// execution time for PageRank, Connected Components, Triangle Count and
+// SSSP), the best-strategy winners analysis, the granularity comparison,
+// and the infrastructure-upgrade experiment (configurations iii and iv).
+//
+// Usage:
+//
+//	runexp -alg pagerank|cc|triangles|sssp [-metric CommCost|Cut] [-winners]
+//	runexp -infra
+//	runexp -all
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cutfit/internal/bench"
+	"cutfit/internal/report"
+)
+
+func main() {
+	alg := flag.String("alg", "", "algorithm: pagerank, cc, triangles, sssp")
+	metric := flag.String("metric", "", "partitioning metric to correlate (default: paper's choice per algorithm)")
+	winners := flag.Bool("winners", false, "also print the best-strategy table")
+	plot := flag.Bool("plot", false, "render ASCII scatter plots of the figures")
+	csvOut := flag.String("csv", "", "write figure points as CSV to this file")
+	infra := flag.Bool("infra", false, "run the infrastructure experiment (configs ii/iii/iv)")
+	all := flag.Bool("all", false, "run everything: all four figures, winners, infra")
+	flag.Parse()
+
+	ctx := context.Background()
+	switch {
+	case *all:
+		for _, a := range bench.Algorithms() {
+			if err := runFigure(ctx, a, "", true); err != nil {
+				fatal(err)
+			}
+		}
+		if err := runInfra(ctx); err != nil {
+			fatal(err)
+		}
+	case *infra:
+		if err := runInfra(ctx); err != nil {
+			fatal(err)
+		}
+	case *alg != "":
+		if err := runFigure(ctx, bench.Algorithm(*alg), *metric, *winners); err != nil {
+			fatal(err)
+		}
+		if *plot || *csvOut != "" {
+			if err := renderFigure(ctx, bench.Algorithm(*alg), *metric, *plot, *csvOut); err != nil {
+				fatal(err)
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// paperMetric returns the metric the paper's figure uses for an algorithm.
+func paperMetric(alg bench.Algorithm) string {
+	if alg == bench.Triangles {
+		return "Cut"
+	}
+	return "CommCost"
+}
+
+// figureName maps algorithms to the paper's figure numbers.
+func figureName(alg bench.Algorithm) string {
+	switch alg {
+	case bench.PageRank:
+		return "Figure 3 (PageRank)"
+	case bench.ConnectedComponents:
+		return "Figure 4 (Connected Components)"
+	case bench.Triangles:
+		return "Figure 5 (Triangle Count)"
+	case bench.SSSP:
+		return "Figure 6 (SSSP)"
+	}
+	return string(alg)
+}
+
+func runFigure(ctx context.Context, alg bench.Algorithm, metric string, winners bool) error {
+	if metric == "" {
+		metric = paperMetric(alg)
+	}
+	fmt.Printf("=== %s: execution time vs %s ===\n", figureName(alg), metric)
+	e := bench.DefaultExperiment(alg)
+	res, err := e.Run(ctx)
+	if err != nil {
+		return err
+	}
+	for _, cfg := range []string{"config-i", "config-ii"} {
+		s, err := res.Correlate(metric, cfg)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteCorrelation(os.Stdout, s); err != nil {
+			return err
+		}
+		per, err := res.PerDatasetCorrelation(metric, cfg)
+		if err != nil {
+			return err
+		}
+		names := make([]string, 0, len(per))
+		for ds := range per {
+			names = append(names, ds)
+		}
+		sort.Strings(names)
+		fmt.Printf("Within-dataset correlation (%s):", cfg)
+		for _, ds := range names {
+			fmt.Printf(" %s=%.2f", ds, per[ds])
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+	sp := res.GranularitySpeedup("config-i", "config-ii")
+	names := make([]string, 0, len(sp))
+	for ds := range sp {
+		names = append(names, ds)
+	}
+	sort.Strings(names)
+	fmt.Print("Granularity: best(config-i) / best(config-ii) per dataset:")
+	for _, ds := range names {
+		fmt.Printf(" %s=%.2f", ds, sp[ds])
+	}
+	fmt.Println()
+	if winners {
+		fmt.Println()
+		fmt.Println("Best strategy per (config, dataset):")
+		if err := bench.WriteWinners(os.Stdout, res.Winners()); err != nil {
+			return err
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+// renderFigure plots the figure's scatter (simulated time vs metric, both
+// axes log-scaled like the paper's figures) and/or writes it as CSV.
+func renderFigure(ctx context.Context, alg bench.Algorithm, metric string, plot bool, csvPath string) error {
+	if metric == "" {
+		metric = paperMetric(alg)
+	}
+	e := bench.DefaultExperiment(alg)
+	res, err := e.Run(ctx)
+	if err != nil {
+		return err
+	}
+	for _, cfg := range []string{"config-i", "config-ii"} {
+		s, err := res.Correlate(metric, cfg)
+		if err != nil {
+			return err
+		}
+		points := make([]report.Point, 0, len(s.Points))
+		for _, p := range s.Points {
+			points = append(points, report.Point{X: p.Metric, Y: p.SimSecs, Series: p.Dataset})
+		}
+		if plot {
+			title := fmt.Sprintf("%s: simulated time vs %s (%s, r=%.3f)", figureName(alg), metric, cfg, s.Pearson)
+			err := report.Scatter(os.Stdout, points, report.ScatterConfig{
+				Title: title, XLabel: metric, YLabel: "secs", LogX: true, LogY: true,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		if csvPath != "" {
+			f, err := os.Create(fmt.Sprintf("%s.%s.csv", csvPath, cfg))
+			if err != nil {
+				return err
+			}
+			if err := report.WriteCSV(f, points, metric, "simsecs"); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func runInfra(ctx context.Context) error {
+	fmt.Println("=== Infrastructure experiment (§4): PageRank on follow-dec ===")
+	r, err := bench.InfraExperiment(ctx, 10)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteInfra(os.Stdout, r); err != nil {
+		return err
+	}
+	fmt.Println("Paper: config(iii) ≈ -15%, config(iv) ≈ -20% vs config(ii).")
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "runexp:", err)
+	os.Exit(1)
+}

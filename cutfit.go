@@ -1,0 +1,311 @@
+// Package cutfit is the public API of the Cut-to-Fit graph partitioning
+// library, a from-scratch Go reproduction of "Cut to Fit: Tailoring the
+// Partitioning to the Computation" (Kolokasis & Pratikakis).
+//
+// The library provides:
+//
+//   - an in-memory directed graph with exact structural statistics
+//     (Graph, LoadEdgeList, Stats);
+//   - the six vertex-cut partitioning strategies of the paper — RVC, 1D,
+//     2D, CRVC, SC, DC — plus streaming Greedy/HDRF extensions
+//     (Strategies, StrategyByName);
+//   - the partitioning quality metrics of §3.1 (Measure): Balance,
+//     NonCut, Cut, CommCost, PartStDev;
+//   - a GraphX-style vertex-cut Pregel engine that executes computations
+//     in parallel while counting all cross-partition traffic (Partition,
+//     RunPageRank, RunConnectedComponents, RunTriangleCount,
+//     RunShortestPaths);
+//   - a cluster cost model that converts engine statistics into simulated
+//     execution time for the paper's four cluster configurations
+//     (ConfigI…ConfigIV, Simulate);
+//   - the paper's contribution as a library: an advisor that tailors the
+//     partitioning strategy and granularity to the computation and the
+//     dataset (Advise, AdviseGranularity, SelectEmpirically), plus a
+//     fitted metric→time predictor (TrainPredictor) that ranks
+//     partitionings without running them;
+//   - extension algorithms (RunDynamicPageRank, RunLabelPropagation,
+//     RunKCoreMembership) and extension partitioners (HybridCut,
+//     RangeCut, ExtendedStrategies);
+//   - the generic engine itself (Program, RunProgram) for writing custom
+//     vertex programs, with panic-safe execution and an OnSuperstep
+//     monitoring/halting hook;
+//   - deterministic synthetic analogs of the paper's nine datasets
+//     (Datasets) and generators for custom workloads (the internal/gen
+//     package, surfaced through the datasets specs).
+//
+// Quick start:
+//
+//	g, _ := cutfit.Datasets()[1].BuildCached() // the "youtube" analog
+//	pg, _ := cutfit.Partition(g, cutfit.EdgePartition2D(), 128)
+//	ranks, stats, _ := cutfit.RunPageRank(context.Background(), pg, 10)
+//	breakdown, _ := cutfit.ConfigI().Simulate(stats, 0)
+//	fmt.Println(len(ranks), breakdown.TotalSecs())
+package cutfit
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"cutfit/internal/algorithms"
+	"cutfit/internal/cluster"
+	"cutfit/internal/core"
+	"cutfit/internal/datasets"
+	"cutfit/internal/graph"
+	"cutfit/internal/metrics"
+	"cutfit/internal/partition"
+	"cutfit/internal/pregel"
+)
+
+// Core graph types.
+type (
+	// Graph is a directed multigraph stored as an edge list with lazily
+	// built adjacency views.
+	Graph = graph.Graph
+	// VertexID identifies a vertex (64-bit, GraphX-style).
+	VertexID = graph.VertexID
+	// Edge is a directed edge.
+	Edge = graph.Edge
+	// GraphStats is the Table 1 structural characterization.
+	GraphStats = graph.Stats
+)
+
+// Partitioning types.
+type (
+	// Strategy assigns every edge of a graph to a partition.
+	Strategy = partition.Strategy
+	// PID identifies a partition.
+	PID = partition.PID
+	// Metrics is the §3.1 partitioning metric set.
+	Metrics = metrics.Result
+)
+
+// Engine and simulation types.
+type (
+	// PartitionedGraph is the vertex-cut partitioned topology the engine
+	// executes on.
+	PartitionedGraph = pregel.PartitionedGraph
+	// RunStats is the per-superstep work and traffic accounting.
+	RunStats = pregel.RunStats
+	// ClusterConfig describes a simulated cluster.
+	ClusterConfig = cluster.Config
+	// Breakdown is a simulated execution time split by phase.
+	Breakdown = cluster.Breakdown
+	// DistMap is the ShortestPaths result per vertex: landmark → distance.
+	DistMap = algorithms.DistMap
+)
+
+// Advisor types.
+type (
+	// Profile classifies an algorithm's communication structure.
+	Profile = core.Profile
+	// GraphFacts are dataset properties consulted by the advisor.
+	GraphFacts = core.GraphFacts
+	// Recommendation is the advisor's output.
+	Recommendation = core.Recommendation
+	// DatasetSpec describes one of the paper's analog datasets.
+	DatasetSpec = datasets.Spec
+)
+
+// NewGraph returns an empty graph with capacity for hintEdges edges.
+func NewGraph(hintEdges int) *Graph { return graph.New(hintEdges) }
+
+// FromEdges builds a graph that takes ownership of the slice.
+func FromEdges(edges []Edge) *Graph { return graph.FromEdges(edges) }
+
+// LoadEdgeList parses a SNAP-style whitespace-separated edge list.
+func LoadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// The six partitioning strategies evaluated in the paper.
+var (
+	RandomVertexCut          = partition.RandomVertexCut
+	EdgePartition1D          = partition.EdgePartition1D
+	EdgePartition2D          = partition.EdgePartition2D
+	CanonicalRandomVertexCut = partition.CanonicalRandomVertexCut
+	SourceCut                = partition.SourceCut
+	DestinationCut           = partition.DestinationCut
+)
+
+// Strategies returns the paper's six strategies in table order.
+func Strategies() []Strategy { return partition.All() }
+
+// ExtendedStrategies adds the streaming Greedy and HDRF partitioners.
+func ExtendedStrategies() []Strategy { return partition.Extended() }
+
+// HybridCut returns a PowerLyra-style hybrid-cut strategy: low-in-degree
+// destinations keep their edges together, high-degree hubs are spread by
+// source hash. threshold is the in-degree cutoff.
+func HybridCut(threshold int) Strategy { return partition.Hybrid(threshold) }
+
+// RangeCut returns the contiguous source-ID block partitioner — the
+// blocking counterpart to SC's modulo striping for ID-ordered graphs.
+func RangeCut() Strategy { return partition.Range() }
+
+// StrategyByName resolves "RVC", "1D", "2D", "CRVC", "SC", "DC", "Greedy"
+// or "HDRF".
+func StrategyByName(name string) (Strategy, error) { return partition.ByName(name) }
+
+// Measure partitions g with s into numParts partitions and computes the
+// full §3.1 metric set.
+func Measure(g *Graph, s Strategy, numParts int) (*Metrics, error) {
+	return metrics.ComputeFor(g, s, numParts)
+}
+
+// Partition builds the engine-ready partitioned representation of g under
+// strategy s.
+func Partition(g *Graph, s Strategy, numParts int) (*PartitionedGraph, error) {
+	assign, err := s.Partition(g, numParts)
+	if err != nil {
+		return nil, fmt.Errorf("cutfit: partitioning with %s: %w", s.Name(), err)
+	}
+	return pregel.NewPartitionedGraph(g, assign, numParts)
+}
+
+// RunPageRank executes static PageRank for numIter rounds (GraphX
+// semantics, reset probability 0.15). Ranks are aligned with
+// pg.G.Vertices().
+func RunPageRank(ctx context.Context, pg *PartitionedGraph, numIter int) ([]float64, *RunStats, error) {
+	return algorithms.PageRank(ctx, pg, numIter, algorithms.DefaultResetProb)
+}
+
+// RunConnectedComponents executes label-propagation connected components;
+// maxIter of 0 runs to convergence.
+func RunConnectedComponents(ctx context.Context, pg *PartitionedGraph, maxIter int) ([]VertexID, *RunStats, error) {
+	return algorithms.ConnectedComponents(ctx, pg, maxIter)
+}
+
+// RunTriangleCount counts triangles through every vertex.
+func RunTriangleCount(ctx context.Context, pg *PartitionedGraph) ([]int64, *RunStats, error) {
+	return algorithms.TriangleCount(ctx, pg)
+}
+
+// RunShortestPaths computes hop distances to the landmark vertices;
+// maxIter of 0 runs to convergence.
+func RunShortestPaths(ctx context.Context, pg *PartitionedGraph, landmarks []VertexID, maxIter int) ([]DistMap, *RunStats, error) {
+	return algorithms.ShortestPaths(ctx, pg, landmarks, maxIter)
+}
+
+// RunDynamicPageRank runs PageRank to convergence with per-vertex delta
+// gating (GraphX's runUntilConvergence); the active edge set shrinks as
+// vertices converge. maxIter of 0 means no cap.
+func RunDynamicPageRank(ctx context.Context, pg *PartitionedGraph, tol float64, maxIter int) ([]float64, *RunStats, error) {
+	return algorithms.DynamicPageRank(ctx, pg, tol, algorithms.DefaultResetProb, maxIter)
+}
+
+// RunLabelPropagation runs community detection by synchronous label
+// propagation for numIter rounds.
+func RunLabelPropagation(ctx context.Context, pg *PartitionedGraph, numIter int) ([]VertexID, *RunStats, error) {
+	return algorithms.LabelPropagation(ctx, pg, numIter)
+}
+
+// RunKCoreMembership reports which vertices survive in the k-core.
+func RunKCoreMembership(ctx context.Context, pg *PartitionedGraph, k int32) ([]bool, *RunStats, error) {
+	return algorithms.KCoreMembership(ctx, pg, k)
+}
+
+// KCoreNumbers computes the exact core number of every vertex (sequential
+// peeling; aligned with g.Vertices()).
+func KCoreNumbers(g *Graph) []int32 { return algorithms.KCore(g) }
+
+// The paper's four cluster configurations (§4).
+var (
+	ConfigI   = cluster.ConfigI
+	ConfigII  = cluster.ConfigII
+	ConfigIII = cluster.ConfigIII
+	ConfigIV  = cluster.ConfigIV
+)
+
+// EstimateGraphBytes approximates the on-disk size of an edge list.
+func EstimateGraphBytes(numEdges int) int64 { return cluster.EstimateGraphBytes(numEdges) }
+
+// Built-in algorithm profiles for the advisor.
+var (
+	ProfilePageRank            = core.ProfilePageRank
+	ProfileConnectedComponents = core.ProfileCC
+	ProfileTriangleCount       = core.ProfileTR
+	ProfileShortestPaths       = core.ProfileSSSP
+)
+
+// ProfileFor resolves "pagerank", "cc", "triangles" or "sssp".
+func ProfileFor(alg string) (Profile, error) { return core.ProfileFor(alg) }
+
+// Facts extracts advisor-relevant facts from a graph.
+func Facts(g *Graph) GraphFacts { return core.Facts(g) }
+
+// Advise recommends a strategy for the algorithm profile, dataset facts
+// and partition count, following the paper's §4 heuristics.
+func Advise(p Profile, f GraphFacts, numParts int) Recommendation {
+	return core.Advise(p, f, numParts, core.DefaultAdvisorConfig())
+}
+
+// SelectEmpirically measures every candidate strategy on g and returns the
+// one minimizing the profile's predictive metric, with all measurements.
+func SelectEmpirically(g *Graph, candidates []Strategy, numParts int, p Profile) (Strategy, map[string]*Metrics, error) {
+	return core.SelectEmpirically(g, candidates, numParts, p)
+}
+
+// Predictor is a fitted linear model from a partitioning metric to
+// execution time (the paper's correlation made executable).
+type Predictor = core.Predictor
+
+// GranularityAdvice recommends a partition count.
+type GranularityAdvice = core.GranularityAdvice
+
+// FitPredictor fits time ≈ a + b·metric by least squares.
+func FitPredictor(metricName string, metricValues, timesSecs []float64) (*Predictor, error) {
+	return core.FitPredictor(metricName, metricValues, timesSecs)
+}
+
+// TrainPredictor measures candidate strategies on g and fits a predictor
+// from the provided measured times (strategy name → seconds).
+func TrainPredictor(g *Graph, candidates []Strategy, numParts int, p Profile, timesByStrategy map[string]float64) (*Predictor, map[string]*Metrics, error) {
+	return core.TrainPredictor(g, candidates, numParts, p, timesByStrategy)
+}
+
+// AdviseGranularity recommends a partition count (coarse vs fine) per the
+// paper's §4 granularity findings.
+func AdviseGranularity(p Profile, f GraphFacts, coarse, fine int) GranularityAdvice {
+	return core.AdviseGranularity(p, f, coarse, fine, core.DefaultAdvisorConfig())
+}
+
+// Datasets returns the nine analog datasets of the paper's evaluation in
+// Table 1 order.
+func Datasets() []DatasetSpec { return datasets.Suite() }
+
+// DatasetByName resolves an analog dataset by name (e.g. "orkut").
+func DatasetByName(name string) (DatasetSpec, error) { return datasets.ByName(name) }
+
+// The generic Pregel engine is exported so downstream users can write
+// their own vertex programs against the same partitioned substrate the
+// built-in algorithms use.
+type (
+	// Program defines a custom Pregel computation over vertex values V
+	// and messages M.
+	Program[V, M any] = pregel.Program[V, M]
+	// Triplet presents an edge with its endpoint values to SendMsg.
+	Triplet[V any] = pregel.Triplet[V]
+	// MessageEmitter delivers messages to a triplet's endpoints.
+	MessageEmitter[M any] = pregel.Emitter[M]
+	// EdgeDirection selects which triplets the compute phase scans.
+	EdgeDirection = pregel.EdgeDirection
+	// SuperstepStats is the per-superstep work/traffic accounting.
+	SuperstepStats = pregel.SuperstepStats
+)
+
+// Triplet scan directions (GraphX activeDirection).
+const (
+	DirectionOut    = pregel.Out
+	DirectionIn     = pregel.In
+	DirectionEither = pregel.Either
+	DirectionBoth   = pregel.Both
+	DirectionAll    = pregel.AllEdges
+)
+
+// ErrHalt, returned from Program.OnSuperstep, stops a run gracefully.
+var ErrHalt = pregel.ErrHalt
+
+// RunProgram executes a custom Pregel program on a partitioned graph. The
+// returned values are aligned with pg.G.Vertices().
+func RunProgram[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]) ([]V, *RunStats, error) {
+	return pregel.Run(ctx, pg, prog)
+}

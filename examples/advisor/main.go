@@ -1,0 +1,81 @@
+// Advisor: the paper's contribution as a workflow. For each of the four
+// analytics algorithms, ask the advisor which partitioning strategy fits a
+// given dataset, then verify the recommendation by running the actual
+// computation under every strategy and ranking by simulated time.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	"cutfit"
+)
+
+func main() {
+	ctx := context.Background()
+	const parts = 128
+	cfg := cutfit.ConfigI()
+
+	for _, dsName := range []string{"pocek", "orkut"} {
+		spec, err := cutfit.DatasetByName(dsName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := spec.BuildCached()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s (V=%d, E=%d) ===\n", dsName, g.NumVertices(), g.NumEdges())
+
+		for _, algName := range []string{"pagerank", "triangles"} {
+			profile, err := cutfit.ProfileFor(algName)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rec := cutfit.Advise(profile, cutfit.Facts(g), parts)
+			fmt.Printf("\n%s: advisor recommends %s (optimize %s)\n  %s\n",
+				algName, rec.Strategy.Name(), rec.Metric, rec.Reason)
+
+			// Verify against reality: run under every strategy.
+			type result struct {
+				name string
+				secs float64
+			}
+			var results []result
+			for _, s := range cutfit.Strategies() {
+				pg, err := cutfit.Partition(g, s, parts)
+				if err != nil {
+					log.Fatal(err)
+				}
+				var stats *cutfit.RunStats
+				switch algName {
+				case "pagerank":
+					_, stats, err = cutfit.RunPageRank(ctx, pg, 10)
+				case "triangles":
+					_, stats, err = cutfit.RunTriangleCount(ctx, pg)
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+				b, err := cfg.Simulate(stats, cutfit.EstimateGraphBytes(g.NumEdges()))
+				if err != nil {
+					log.Fatal(err)
+				}
+				results = append(results, result{s.Name(), b.TotalSecs()})
+			}
+			sort.Slice(results, func(i, j int) bool { return results[i].secs < results[j].secs })
+			fmt.Print("  measured ranking:")
+			for _, r := range results {
+				mark := ""
+				if r.name == rec.Strategy.Name() {
+					mark = "*"
+				}
+				fmt.Printf(" %s%s=%.3fs", mark, r.name, r.secs)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}

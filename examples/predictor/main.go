@@ -1,0 +1,95 @@
+// Predictor: turn the paper's correlation result into a working what-if
+// tool. Measure execution time for a few partitionings of one dataset,
+// fit the metric→time model, and use it to rank partitionings of a
+// *different* dataset without running them — then check the prediction.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"cutfit"
+)
+
+// measurePR runs 10 PageRank iterations under strategy s and returns the
+// simulated cluster time.
+func measurePR(ctx context.Context, g *cutfit.Graph, s cutfit.Strategy, cfg cutfit.ClusterConfig) float64 {
+	pg, err := cutfit.Partition(g, s, cfg.NumPartitions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, stats, err := cutfit.RunPageRank(ctx, pg, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := cfg.Simulate(stats, cutfit.EstimateGraphBytes(g.NumEdges()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b.TotalSecs()
+}
+
+func main() {
+	ctx := context.Background()
+	cfg := cutfit.ConfigI()
+
+	// Train on pocek: run PageRank under three strategies only.
+	trainSpec, err := cutfit.DatasetByName("pocek")
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, err := trainSpec.BuildCached()
+	if err != nil {
+		log.Fatal(err)
+	}
+	times := map[string]float64{}
+	for _, name := range []string{"RVC", "2D", "DC"} {
+		s, err := cutfit.StrategyByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		times[name] = measurePR(ctx, train, s, cfg)
+		fmt.Printf("train: %s on pocek -> %.4fs\n", name, times[name])
+	}
+	pred, _, err := cutfit.TrainPredictor(train, cutfit.Strategies(), cfg.NumPartitions,
+		cutfit.ProfilePageRank, times)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfitted model: %s\n\n", pred)
+
+	// Predict on soclivejournal without running anything, then verify.
+	testSpec, err := cutfit.DatasetByName("soclivejournal")
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := testSpec.BuildCached()
+	if err != nil {
+		log.Fatal(err)
+	}
+	results := map[string]*cutfit.Metrics{}
+	for _, s := range cutfit.Strategies() {
+		m, err := cutfit.Measure(test, s, cfg.NumPartitions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[s.Name()] = m
+	}
+	ranked, err := pred.RankByPrediction(results)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("predicted ranking on soclivejournal (no runs needed):", ranked)
+
+	fmt.Println("\nverification (actually running PageRank):")
+	bestMeasured, bestTime := "", 0.0
+	for _, s := range cutfit.Strategies() {
+		t := measurePR(ctx, test, s, cfg)
+		fmt.Printf("  %-6s measured %.4fs\n", s.Name(), t)
+		if bestMeasured == "" || t < bestTime {
+			bestMeasured, bestTime = s.Name(), t
+		}
+	}
+	fmt.Printf("\npredicted best: %s, measured best: %s\n", ranked[0], bestMeasured)
+}

@@ -1,0 +1,199 @@
+// Package cluster models the physical cluster of the paper's evaluation
+// (§4): 1 Spark driver + 4 executors, 32 cores and 220 GB each, connected
+// by 1 Gb/s Ethernet (upgraded to 40 Gb/s in configuration iii), reading
+// input from HDFS on hard disks (local SSDs in configuration iv).
+//
+// The Pregel engine executes computations for real and counts work and
+// traffic (pregel.RunStats); this package converts those counts into
+// simulated wall-clock seconds for a configurable cluster. The simulation
+// is an analytic BSP makespan model:
+//
+//	time = load + Σ_supersteps [ compute + network + barrier ]
+//	compute  = max( max_p cost_p , Σ_p cost_p / totalCores ) · secPerUnit
+//	network  = remoteFraction · bytes / bandwidth + latency
+//	load     = graphBytes / storageThroughput   (once, superstep 0)
+//
+// Absolute seconds are not comparable with the paper's testbed, but the
+// relative structure — who wins, where granularity helps, how partitioning
+// metrics correlate with time — is what the reproduction targets.
+package cluster
+
+import (
+	"fmt"
+
+	"cutfit/internal/pregel"
+)
+
+// Config describes one cluster configuration.
+type Config struct {
+	Name string
+	// NumPartitions is the partitioning granularity: 128 in the paper's
+	// configuration (i), 256 in configurations (ii)–(iv).
+	NumPartitions int
+	// NumExecutors and CoresPerExecutor describe the compute fabric
+	// (paper: 4 executors × 32 cores).
+	NumExecutors     int
+	CoresPerExecutor int
+	// NetworkGbps is the interconnect bandwidth in gigabits per second.
+	NetworkGbps float64
+	// NetworkLatencySecs is the per-superstep synchronization latency
+	// (two barriers plus shuffle setup).
+	NetworkLatencySecs float64
+	// StorageMBps is the input-read throughput (HDFS on HDD ≈ 120 MB/s
+	// per node; local SSD ≈ 500 MB/s).
+	StorageMBps float64
+	// SecsPerComputeUnit converts the engine's abstract per-edge compute
+	// units into seconds (≈ a few ns per edge operation).
+	SecsPerComputeUnit float64
+	// SecsPerApplyUnit converts vertex-apply units into seconds.
+	SecsPerApplyUnit float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.NumPartitions <= 0 {
+		return fmt.Errorf("cluster: NumPartitions must be positive, got %d", c.NumPartitions)
+	}
+	if c.NumExecutors <= 0 || c.CoresPerExecutor <= 0 {
+		return fmt.Errorf("cluster: executors (%d) and cores (%d) must be positive",
+			c.NumExecutors, c.CoresPerExecutor)
+	}
+	if c.NetworkGbps <= 0 {
+		return fmt.Errorf("cluster: NetworkGbps must be positive, got %g", c.NetworkGbps)
+	}
+	if c.StorageMBps <= 0 {
+		return fmt.Errorf("cluster: StorageMBps must be positive, got %g", c.StorageMBps)
+	}
+	if c.SecsPerComputeUnit <= 0 || c.SecsPerApplyUnit <= 0 {
+		return fmt.Errorf("cluster: compute-unit conversions must be positive")
+	}
+	return nil
+}
+
+// TotalCores returns the cluster-wide core count.
+func (c Config) TotalCores() int { return c.NumExecutors * c.CoresPerExecutor }
+
+// RemoteFraction is the fraction of shuffled bytes that crosses machine
+// boundaries under uniform random placement of partitions on executors.
+func (c Config) RemoteFraction() float64 {
+	if c.NumExecutors <= 1 {
+		return 0
+	}
+	return float64(c.NumExecutors-1) / float64(c.NumExecutors)
+}
+
+// base returns the shared hardware description of the paper's cluster.
+// The constants below are calibrated for the ~1/100-scale analog datasets
+// so that the simulated runs reproduce the paper's *relative* results:
+// per-superstep overhead (NetworkLatencySecs) is kept small relative to
+// shuffle volume — as it is at the paper's full data scale, where each
+// superstep moves gigabytes — and the per-unit compute costs reflect
+// JVM-executed triplet processing. EXPERIMENTS.md records the calibration
+// and the sensitivity ablation (BenchmarkAblationCostModel) shows the
+// correlation conclusions are stable under ±50 % perturbation.
+func base() Config {
+	return Config{
+		NumExecutors:       4,
+		CoresPerExecutor:   32,
+		NetworkGbps:        1,
+		NetworkLatencySecs: 0.005,
+		StorageMBps:        120,
+		SecsPerComputeUnit: 40e-9,
+		SecsPerApplyUnit:   80e-9,
+	}
+}
+
+// ConfigI is the paper's configuration (i): 128 partitions, 1 Gb/s, HDD.
+func ConfigI() Config {
+	c := base()
+	c.Name = "config-i"
+	c.NumPartitions = 128
+	return c
+}
+
+// ConfigII is configuration (ii): 256 partitions, 1 Gb/s, HDD.
+func ConfigII() Config {
+	c := base()
+	c.Name = "config-ii"
+	c.NumPartitions = 256
+	return c
+}
+
+// ConfigIII is configuration (iii): as (ii) but with a 40 Gb/s network.
+func ConfigIII() Config {
+	c := ConfigII()
+	c.Name = "config-iii"
+	c.NetworkGbps = 40
+	return c
+}
+
+// ConfigIV is configuration (iv): as (iii) but reading from local SSDs.
+func ConfigIV() Config {
+	c := ConfigIII()
+	c.Name = "config-iv"
+	c.StorageMBps = 500
+	return c
+}
+
+// Breakdown is the simulated execution time of one job, split by phase.
+type Breakdown struct {
+	LoadSecs    float64 // input read from storage
+	ComputeSecs float64 // BSP compute makespan over all supersteps
+	NetworkSecs float64 // shuffle volume over the interconnect
+	BarrierSecs float64 // per-superstep synchronization latency
+}
+
+// TotalSecs returns the simulated end-to-end execution time.
+func (b Breakdown) TotalSecs() float64 {
+	return b.LoadSecs + b.ComputeSecs + b.NetworkSecs + b.BarrierSecs
+}
+
+// String summarizes the breakdown.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("total=%.4fs (load=%.4f compute=%.4f network=%.4f barrier=%.4f)",
+		b.TotalSecs(), b.LoadSecs, b.ComputeSecs, b.NetworkSecs, b.BarrierSecs)
+}
+
+// Simulate converts a run's statistics into simulated execution time on the
+// configured cluster. graphBytes is the on-disk input size (for the load
+// phase); use EstimateGraphBytes when the true size is not known.
+func (c Config) Simulate(stats *pregel.RunStats, graphBytes int64) (Breakdown, error) {
+	if err := c.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if stats == nil {
+		return Breakdown{}, fmt.Errorf("cluster: nil run stats")
+	}
+	var b Breakdown
+	b.LoadSecs = float64(graphBytes) / (c.StorageMBps * 1e6)
+	cores := float64(c.TotalCores())
+	bandwidthBytes := c.NetworkGbps * 1e9 / 8
+	remote := c.RemoteFraction()
+	for i := range stats.Supersteps {
+		ss := &stats.Supersteps[i]
+		// BSP makespan: bounded below by the straggler partition and by
+		// perfect work division over the cores.
+		maxP := ss.MaxCompute()
+		avg := ss.SumCompute() / cores
+		compute := maxP
+		if avg > compute {
+			compute = avg
+		}
+		b.ComputeSecs += compute * c.SecsPerComputeUnit
+		var apply float64
+		for _, a := range ss.ApplyPerShard {
+			apply += a
+		}
+		b.ComputeSecs += apply / cores * c.SecsPerApplyUnit
+		b.NetworkSecs += remote * float64(ss.TotalNetworkBytes()) / bandwidthBytes
+		b.BarrierSecs += c.NetworkLatencySecs
+	}
+	return b, nil
+}
+
+// EstimateGraphBytes approximates the on-disk size of a text edge list with
+// the given edge count (the paper's datasets are stored as SNAP text files,
+// ≈ 16 bytes per edge at these ID widths).
+func EstimateGraphBytes(numEdges int) int64 {
+	return int64(numEdges) * 16
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cutfit/internal/pregel"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{ConfigI(), ConfigII(), ConfigIII(), ConfigIV()}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	bad := ConfigI()
+	bad.NumPartitions = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("NumPartitions=0 should be invalid")
+	}
+	bad = ConfigI()
+	bad.NetworkGbps = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("NetworkGbps=0 should be invalid")
+	}
+	bad = ConfigI()
+	bad.NumExecutors = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative executors should be invalid")
+	}
+	bad = ConfigI()
+	bad.StorageMBps = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("StorageMBps=0 should be invalid")
+	}
+	bad = ConfigI()
+	bad.SecsPerComputeUnit = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero compute conversion should be invalid")
+	}
+}
+
+func TestPaperConfigs(t *testing.T) {
+	i, ii, iii, iv := ConfigI(), ConfigII(), ConfigIII(), ConfigIV()
+	if i.NumPartitions != 128 || ii.NumPartitions != 256 {
+		t.Fatalf("partition counts: %d, %d", i.NumPartitions, ii.NumPartitions)
+	}
+	if iii.NetworkGbps != 40 || ii.NetworkGbps != 1 {
+		t.Fatal("config iii should upgrade the network to 40 Gb/s")
+	}
+	if iv.StorageMBps <= iii.StorageMBps {
+		t.Fatal("config iv should upgrade storage")
+	}
+	if i.TotalCores() != 128 {
+		t.Fatalf("total cores = %d, want 128", i.TotalCores())
+	}
+	if rf := i.RemoteFraction(); rf != 0.75 {
+		t.Fatalf("remote fraction = %g, want 0.75", rf)
+	}
+}
+
+func TestRemoteFractionSingleExecutor(t *testing.T) {
+	c := ConfigI()
+	c.NumExecutors = 1
+	if rf := c.RemoteFraction(); rf != 0 {
+		t.Fatalf("single executor remote fraction = %g", rf)
+	}
+}
+
+// craftedStats builds a RunStats with known numbers for arithmetic checks.
+func craftedStats() *pregel.RunStats {
+	return &pregel.RunStats{
+		Supersteps: []pregel.SuperstepStats{
+			{
+				ComputePerPart: []float64{100, 300, 200},
+				ApplyPerShard:  []float64{64, 64},
+				BroadcastMsgs:  10, BroadcastBytes: 1000,
+				ReduceMsgs: 5, ReduceBytes: 500,
+			},
+		},
+		Converged: true,
+	}
+}
+
+func TestSimulateArithmetic(t *testing.T) {
+	c := Config{
+		Name: "t", NumPartitions: 4, NumExecutors: 2, CoresPerExecutor: 2,
+		NetworkGbps: 8, NetworkLatencySecs: 0.01, StorageMBps: 100,
+		SecsPerComputeUnit: 1e-6, SecsPerApplyUnit: 1e-6,
+	}
+	b, err := c.Simulate(craftedStats(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load: 1 MB at 100 MB/s = 0.01 s.
+	if math.Abs(b.LoadSecs-0.01) > 1e-12 {
+		t.Errorf("LoadSecs = %g", b.LoadSecs)
+	}
+	// Compute: max(maxPart=300, sum=600/4cores=150) = 300 units, plus
+	// apply 128/4 = 32 units => 332 µs.
+	if math.Abs(b.ComputeSecs-332e-6) > 1e-9 {
+		t.Errorf("ComputeSecs = %g", b.ComputeSecs)
+	}
+	// Network: remote 0.5 × 1500 bytes / (1e9 bytes/s) = 7.5e-7.
+	if math.Abs(b.NetworkSecs-7.5e-7) > 1e-12 {
+		t.Errorf("NetworkSecs = %g", b.NetworkSecs)
+	}
+	if math.Abs(b.BarrierSecs-0.01) > 1e-12 {
+		t.Errorf("BarrierSecs = %g", b.BarrierSecs)
+	}
+	if tot := b.TotalSecs(); math.Abs(tot-(b.LoadSecs+b.ComputeSecs+b.NetworkSecs+b.BarrierSecs)) > 1e-15 {
+		t.Errorf("TotalSecs = %g", tot)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	c := ConfigI()
+	if _, err := c.Simulate(nil, 0); err == nil {
+		t.Error("nil stats should error")
+	}
+	bad := c
+	bad.NetworkGbps = -1
+	if _, err := bad.Simulate(craftedStats(), 0); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestFasterNetworkIsFaster(t *testing.T) {
+	st := craftedStats()
+	// Make network the dominant term.
+	st.Supersteps[0].BroadcastBytes = 1 << 30
+	slow, err := ConfigII().Simulate(st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := ConfigIII().Simulate(st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.TotalSecs() >= slow.TotalSecs() {
+		t.Fatalf("40 Gb/s (%g) not faster than 1 Gb/s (%g)", fast.TotalSecs(), slow.TotalSecs())
+	}
+}
+
+func TestSSDFasterThanHDD(t *testing.T) {
+	st := craftedStats()
+	hdd, err := ConfigIII().Simulate(st, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssd, err := ConfigIV().Simulate(st, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssd.TotalSecs() >= hdd.TotalSecs() {
+		t.Fatalf("SSD (%g) not faster than HDD (%g)", ssd.TotalSecs(), hdd.TotalSecs())
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{LoadSecs: 1, ComputeSecs: 2, NetworkSecs: 3, BarrierSecs: 4}
+	s := b.String()
+	if !strings.Contains(s, "total=10.0000s") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestEstimateGraphBytes(t *testing.T) {
+	if EstimateGraphBytes(1000) != 16000 {
+		t.Fatalf("EstimateGraphBytes(1000) = %d", EstimateGraphBytes(1000))
+	}
+}

@@ -1,0 +1,129 @@
+package gen
+
+import (
+	"fmt"
+
+	"cutfit/internal/graph"
+	"cutfit/internal/rng"
+)
+
+// RoadConfig parameterizes the road-network generator: a planar grid whose
+// main component is a random spanning tree plus probabilistic extra grid
+// edges, and a population of small detached fragments. The output matches
+// the structural profile of the SNAP road networks used in the paper:
+// symmetric edges, mean degree ≈ 2.8, very few triangles, thousands of
+// connected components, and effectively unbounded diameter.
+type RoadConfig struct {
+	Rows, Cols int // dimensions of the main grid component
+	// EdgeProb is the probability of each grid edge beyond the spanning
+	// backbone. The backbone contributes mean undirected degree ≈ 2, each
+	// unit of EdgeProb ≈ 1 more; 0.4 matches real road networks (≈ 2.8).
+	EdgeProb float64
+	// DiagProb adds the diagonal of a grid cell with this probability,
+	// creating the occasional triangle found in real road networks.
+	DiagProb float64
+	// Fragments is the number of additional small detached components
+	// (paths of 2–6 vertices), so the total component count is Fragments+1.
+	Fragments int
+	Seed      uint64
+}
+
+// Validate reports whether the configuration is usable.
+func (c RoadConfig) Validate() error {
+	if c.Rows < 2 || c.Cols < 2 {
+		return fmt.Errorf("gen: road grid must be at least 2x2, got %dx%d", c.Rows, c.Cols)
+	}
+	if c.EdgeProb < 0 || c.EdgeProb > 1 {
+		return fmt.Errorf("gen: road edge probability %g out of [0,1]", c.EdgeProb)
+	}
+	if c.DiagProb < 0 || c.DiagProb > 1 {
+		return fmt.Errorf("gen: road diagonal probability %g out of [0,1]", c.DiagProb)
+	}
+	if c.Fragments < 0 {
+		return fmt.Errorf("gen: road fragments %d must be non-negative", c.Fragments)
+	}
+	return nil
+}
+
+// Road generates a road-network-like graph. Vertex IDs are assigned in
+// row-major grid order, so consecutive IDs are geographically adjacent —
+// the locality the paper's SC/DC partitioners are designed to exploit.
+// Both orientations of every edge are stored (SymmetryPct = 100), and the
+// main grid is guaranteed connected by a random spanning tree.
+func Road(cfg RoadConfig) (*graph.Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed)
+	// horiz[row][col] is the edge (row,col)-(row,col+1); vert[row][col] is
+	// (row,col)-(row+1,col).
+	horiz := make([][]bool, cfg.Rows)
+	vert := make([][]bool, cfg.Rows)
+	for row := 0; row < cfg.Rows; row++ {
+		horiz[row] = make([]bool, cfg.Cols)
+		vert[row] = make([]bool, cfg.Cols)
+	}
+	// Spanning tree: every vertex except the origin attaches to its left
+	// or upper neighbor, chosen at random where both exist.
+	for row := 0; row < cfg.Rows; row++ {
+		for col := 0; col < cfg.Cols; col++ {
+			switch {
+			case row == 0 && col == 0:
+			case row == 0:
+				horiz[row][col-1] = true
+			case col == 0:
+				vert[row-1][col] = true
+			default:
+				if r.Float64() < 0.5 {
+					horiz[row][col-1] = true
+				} else {
+					vert[row-1][col] = true
+				}
+			}
+		}
+	}
+	// Extra probabilistic grid edges on top of the tree.
+	for row := 0; row < cfg.Rows; row++ {
+		for col := 0; col < cfg.Cols; col++ {
+			if col+1 < cfg.Cols && !horiz[row][col] && r.Float64() < cfg.EdgeProb {
+				horiz[row][col] = true
+			}
+			if row+1 < cfg.Rows && !vert[row][col] && r.Float64() < cfg.EdgeProb {
+				vert[row][col] = true
+			}
+		}
+	}
+
+	id := func(row, col int) int64 { return int64(row*cfg.Cols + col) }
+	est := cfg.Rows * cfg.Cols * 3
+	edges := make([]graph.Edge, 0, est)
+	add := func(u, v int64) {
+		edges = append(edges,
+			graph.Edge{Src: graph.VertexID(u), Dst: graph.VertexID(v)},
+			graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID(u)},
+		)
+	}
+	for row := 0; row < cfg.Rows; row++ {
+		for col := 0; col < cfg.Cols; col++ {
+			if horiz[row][col] {
+				add(id(row, col), id(row, col+1))
+			}
+			if vert[row][col] {
+				add(id(row, col), id(row+1, col))
+			}
+			if row+1 < cfg.Rows && col+1 < cfg.Cols && r.Float64() < cfg.DiagProb {
+				add(id(row, col), id(row+1, col+1))
+			}
+		}
+	}
+	// Detached fragments: short paths with fresh IDs beyond the grid.
+	next := int64(cfg.Rows * cfg.Cols)
+	for f := 0; f < cfg.Fragments; f++ {
+		length := 2 + r.Intn(5)
+		for i := 0; i < length-1; i++ {
+			add(next+int64(i), next+int64(i)+1)
+		}
+		next += int64(length)
+	}
+	return graph.FromEdges(edges), nil
+}

@@ -1,0 +1,340 @@
+// Package graph provides the in-memory graph representation used by the
+// whole repository: a directed multigraph stored as an edge list, with
+// lazily-built compressed sparse row (CSR) adjacency views and exact
+// structural statistics (symmetry, triangles, components, diameter).
+//
+// The representation mirrors GraphX's: the graph is fundamentally a list of
+// directed edges over 64-bit vertex identifiers; vertex sets, degrees and
+// adjacency are derived views. Vertex identifiers do not need to be dense,
+// but all generators in this module produce dense IDs in [0, NumVertices).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. Like GraphX's VertexId it is a 64-bit
+// integer; it carries no other meaning, although the SC/DC partitioning
+// strategies deliberately exploit any locality encoded in consecutive IDs.
+type VertexID int64
+
+// Edge is a directed edge from Src to Dst.
+type Edge struct {
+	Src VertexID
+	Dst VertexID
+}
+
+// Graph is a directed multigraph stored as an edge list. It is cheap to
+// construct and append to; adjacency views are built lazily and cached.
+// A Graph is safe for concurrent readers once frozen via any accessor that
+// builds a view; it is not safe to mutate concurrently with reads.
+type Graph struct {
+	edges []Edge
+
+	// Cached derived views, built on first use.
+	verts    []VertexID         // sorted unique vertex IDs
+	index    map[VertexID]int32 // vertex ID -> dense index into verts
+	outDeg   []int32            // per dense index
+	inDeg    []int32
+	csrOut   *csr
+	csrIn    *csr
+	csrUndir *csr // undirected, deduplicated, no self loops
+}
+
+// New returns an empty graph with capacity for hintEdges edges.
+func New(hintEdges int) *Graph {
+	if hintEdges < 0 {
+		hintEdges = 0
+	}
+	return &Graph{edges: make([]Edge, 0, hintEdges)}
+}
+
+// FromEdges builds a graph that takes ownership of edges.
+func FromEdges(edges []Edge) *Graph {
+	return &Graph{edges: edges}
+}
+
+// AddEdge appends a directed edge. Any cached views are invalidated.
+func (g *Graph) AddEdge(src, dst VertexID) {
+	g.edges = append(g.edges, Edge{Src: src, Dst: dst})
+	g.invalidate()
+}
+
+// AddEdges appends a batch of directed edges.
+func (g *Graph) AddEdges(edges ...Edge) {
+	g.edges = append(g.edges, edges...)
+	g.invalidate()
+}
+
+func (g *Graph) invalidate() {
+	g.verts = nil
+	g.index = nil
+	g.outDeg = nil
+	g.inDeg = nil
+	g.csrOut = nil
+	g.csrIn = nil
+	g.csrUndir = nil
+}
+
+// NumEdges returns the number of directed edges, including duplicates and
+// self loops.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edges returns the underlying edge slice. Callers must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// buildVertexIndex computes the sorted unique vertex list and the dense
+// index map.
+func (g *Graph) buildVertexIndex() {
+	if g.verts != nil {
+		return
+	}
+	seen := make(map[VertexID]struct{}, len(g.edges))
+	for _, e := range g.edges {
+		seen[e.Src] = struct{}{}
+		seen[e.Dst] = struct{}{}
+	}
+	verts := make([]VertexID, 0, len(seen))
+	for v := range seen {
+		verts = append(verts, v)
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	index := make(map[VertexID]int32, len(verts))
+	for i, v := range verts {
+		index[v] = int32(i)
+	}
+	g.verts = verts
+	g.index = index
+}
+
+// NumVertices returns the number of distinct vertices that appear as an
+// endpoint of at least one edge.
+func (g *Graph) NumVertices() int {
+	g.buildVertexIndex()
+	return len(g.verts)
+}
+
+// Vertices returns the sorted list of distinct vertex IDs. Callers must not
+// modify it.
+func (g *Graph) Vertices() []VertexID {
+	g.buildVertexIndex()
+	return g.verts
+}
+
+// Index returns the dense index of v in Vertices() and whether v exists.
+func (g *Graph) Index(v VertexID) (int32, bool) {
+	g.buildVertexIndex()
+	i, ok := g.index[v]
+	return i, ok
+}
+
+// buildDegrees computes in/out degree per dense vertex index.
+func (g *Graph) buildDegrees() {
+	if g.outDeg != nil {
+		return
+	}
+	g.buildVertexIndex()
+	out := make([]int32, len(g.verts))
+	in := make([]int32, len(g.verts))
+	for _, e := range g.edges {
+		out[g.index[e.Src]]++
+		in[g.index[e.Dst]]++
+	}
+	g.outDeg = out
+	g.inDeg = in
+}
+
+// OutDegree returns the out-degree of v (0 if v is not in the graph).
+func (g *Graph) OutDegree(v VertexID) int {
+	g.buildDegrees()
+	if i, ok := g.index[v]; ok {
+		return int(g.outDeg[i])
+	}
+	return 0
+}
+
+// InDegree returns the in-degree of v (0 if v is not in the graph).
+func (g *Graph) InDegree(v VertexID) int {
+	g.buildDegrees()
+	if i, ok := g.index[v]; ok {
+		return int(g.inDeg[i])
+	}
+	return 0
+}
+
+// OutDegrees returns the out-degree slice aligned with Vertices().
+func (g *Graph) OutDegrees() []int32 {
+	g.buildDegrees()
+	return g.outDeg
+}
+
+// InDegrees returns the in-degree slice aligned with Vertices().
+func (g *Graph) InDegrees() []int32 {
+	g.buildDegrees()
+	return g.inDeg
+}
+
+// Reverse returns a new graph with every edge direction flipped.
+func (g *Graph) Reverse() *Graph {
+	rev := make([]Edge, len(g.edges))
+	for i, e := range g.edges {
+		rev[i] = Edge{Src: e.Dst, Dst: e.Src}
+	}
+	return FromEdges(rev)
+}
+
+// Clone returns a deep copy of the graph's edge list (views are rebuilt
+// lazily on the copy).
+func (g *Graph) Clone() *Graph {
+	edges := make([]Edge, len(g.edges))
+	copy(edges, g.edges)
+	return FromEdges(edges)
+}
+
+// Validate checks internal consistency and returns an error describing the
+// first problem found. A valid graph has no negative vertex IDs (negative
+// IDs are legal for Graph itself but rejected by the generators and the
+// engine, which reserve them for internal sentinels).
+func (g *Graph) Validate() error {
+	for i, e := range g.edges {
+		if e.Src < 0 || e.Dst < 0 {
+			return fmt.Errorf("graph: edge %d (%d -> %d) has negative vertex ID", i, e.Src, e.Dst)
+		}
+	}
+	return nil
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph{V=%d, E=%d}", g.NumVertices(), g.NumEdges())
+}
+
+// csr is a compressed sparse row adjacency structure over dense vertex
+// indices: neighbors of dense vertex i are adj[offsets[i]:offsets[i+1]].
+type csr struct {
+	offsets []int64
+	adj     []int32
+}
+
+func (c *csr) neighbors(i int32) []int32 {
+	return c.adj[c.offsets[i]:c.offsets[i+1]]
+}
+
+// buildCSR constructs a CSR view. direction selects which endpoint indexes
+// the rows: "out" rows are sources, "in" rows are destinations. Neighbor
+// lists are sorted by dense index. If dedup is true, duplicate neighbors and
+// self loops are removed (used for the undirected projection).
+func (g *Graph) buildCSR(direction string, undirected, dedup bool) *csr {
+	g.buildVertexIndex()
+	n := len(g.verts)
+	counts := make([]int64, n+1)
+	add := func(a, b int32) {
+		counts[a+1]++
+	}
+	for _, e := range g.edges {
+		s, d := g.index[e.Src], g.index[e.Dst]
+		if undirected {
+			if s == d {
+				continue
+			}
+			add(s, d)
+			add(d, s)
+			continue
+		}
+		if direction == "out" {
+			add(s, d)
+		} else {
+			add(d, s)
+		}
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	offsets := counts
+	adj := make([]int32, offsets[n])
+	cursor := make([]int64, n)
+	put := func(a, b int32) {
+		adj[offsets[a]+cursor[a]] = b
+		cursor[a]++
+	}
+	for _, e := range g.edges {
+		s, d := g.index[e.Src], g.index[e.Dst]
+		if undirected {
+			if s == d {
+				continue
+			}
+			put(s, d)
+			put(d, s)
+			continue
+		}
+		if direction == "out" {
+			put(s, d)
+		} else {
+			put(d, s)
+		}
+	}
+	c := &csr{offsets: offsets, adj: adj}
+	for i := int32(0); i < int32(n); i++ {
+		nb := c.neighbors(i)
+		sort.Slice(nb, func(a, b int) bool { return nb[a] < nb[b] })
+	}
+	if dedup {
+		c = c.deduplicate(n)
+	}
+	return c
+}
+
+// deduplicate removes repeated entries from each (already sorted) row.
+func (c *csr) deduplicate(n int) *csr {
+	newOffsets := make([]int64, n+1)
+	newAdj := make([]int32, 0, len(c.adj))
+	for i := int32(0); i < int32(n); i++ {
+		row := c.neighbors(i)
+		var prev int32 = -1
+		for _, v := range row {
+			if v != prev {
+				newAdj = append(newAdj, v)
+				prev = v
+			}
+		}
+		newOffsets[i+1] = int64(len(newAdj))
+	}
+	return &csr{offsets: newOffsets, adj: newAdj}
+}
+
+// outCSR returns (building if needed) the out-adjacency CSR.
+func (g *Graph) outCSR() *csr {
+	if g.csrOut == nil {
+		g.csrOut = g.buildCSR("out", false, false)
+	}
+	return g.csrOut
+}
+
+// inCSR returns the in-adjacency CSR.
+func (g *Graph) inCSR() *csr {
+	if g.csrIn == nil {
+		g.csrIn = g.buildCSR("in", false, false)
+	}
+	return g.csrIn
+}
+
+// undirCSR returns the undirected, deduplicated, loop-free adjacency CSR.
+func (g *Graph) undirCSR() *csr {
+	if g.csrUndir == nil {
+		g.csrUndir = g.buildCSR("", true, true)
+	}
+	return g.csrUndir
+}
+
+// OutNeighbors returns the dense indices of out-neighbors of dense vertex i,
+// sorted, possibly with duplicates if the graph has parallel edges. Callers
+// must not modify the returned slice.
+func (g *Graph) OutNeighbors(i int32) []int32 { return g.outCSR().neighbors(i) }
+
+// InNeighbors returns the dense indices of in-neighbors of dense vertex i.
+func (g *Graph) InNeighbors(i int32) []int32 { return g.inCSR().neighbors(i) }
+
+// UndirectedNeighbors returns the sorted, deduplicated, loop-free neighbor
+// set of dense vertex i in the undirected projection of the graph.
+func (g *Graph) UndirectedNeighbors(i int32) []int32 { return g.undirCSR().neighbors(i) }

@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cutfit/internal/rng"
+)
+
+// tri returns a 3-cycle 0->1->2->0.
+func tri() *Graph {
+	return FromEdges([]Edge{{0, 1}, {1, 2}, {2, 0}})
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(0)
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph reports V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("empty graph invalid: %v", err)
+	}
+}
+
+func TestAddEdgeAndCounts(t *testing.T) {
+	g := New(4)
+	g.AddEdge(5, 9)
+	g.AddEdge(9, 5)
+	g.AddEdge(5, 7)
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if g.NumVertices() != 3 {
+		t.Fatalf("NumVertices = %d, want 3", g.NumVertices())
+	}
+}
+
+func TestVerticesSortedUnique(t *testing.T) {
+	g := FromEdges([]Edge{{10, 3}, {3, 10}, {7, 10}, {3, 3}})
+	v := g.Vertices()
+	want := []VertexID{3, 7, 10}
+	if len(v) != len(want) {
+		t.Fatalf("Vertices = %v, want %v", v, want)
+	}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("Vertices = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	g := FromEdges([]Edge{{10, 3}, {7, 10}})
+	if i, ok := g.Index(7); !ok || i != 1 {
+		t.Fatalf("Index(7) = %d,%v want 1,true", i, ok)
+	}
+	if _, ok := g.Index(99); ok {
+		t.Fatal("Index(99) should not exist")
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := FromEdges([]Edge{{0, 1}, {0, 2}, {1, 2}, {2, 2}})
+	if d := g.OutDegree(0); d != 2 {
+		t.Fatalf("OutDegree(0) = %d, want 2", d)
+	}
+	if d := g.InDegree(2); d != 3 {
+		t.Fatalf("InDegree(2) = %d, want 3", d)
+	}
+	if d := g.InDegree(0); d != 0 {
+		t.Fatalf("InDegree(0) = %d, want 0", d)
+	}
+	if d := g.OutDegree(42); d != 0 {
+		t.Fatalf("OutDegree(missing) = %d, want 0", d)
+	}
+}
+
+func TestDegreeSumsEqualEdges(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := randomGraph(seed, 50, 200)
+		var in, out int
+		for _, d := range g.InDegrees() {
+			in += int(d)
+		}
+		for _, d := range g.OutDegrees() {
+			out += int(d)
+		}
+		return in == g.NumEdges() && out == g.NumEdges()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := tri()
+	r := g.Reverse()
+	if r.NumEdges() != 3 {
+		t.Fatalf("reverse edges = %d", r.NumEdges())
+	}
+	if r.Edges()[0] != (Edge{1, 0}) {
+		t.Fatalf("reverse edge[0] = %v", r.Edges()[0])
+	}
+	if g.OutDegree(0) != r.InDegree(0) {
+		t.Fatal("reverse should swap degrees")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := tri()
+	c := g.Clone()
+	c.AddEdge(9, 9)
+	if g.NumEdges() != 3 || c.NumEdges() != 4 {
+		t.Fatalf("clone not independent: g=%d c=%d", g.NumEdges(), c.NumEdges())
+	}
+}
+
+func TestValidateRejectsNegativeIDs(t *testing.T) {
+	g := FromEdges([]Edge{{-1, 2}})
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected error for negative vertex ID")
+	}
+}
+
+func TestInvalidationOnMutation(t *testing.T) {
+	g := tri()
+	if g.NumVertices() != 3 {
+		t.Fatal("setup")
+	}
+	g.AddEdge(10, 11)
+	if g.NumVertices() != 5 {
+		t.Fatalf("NumVertices after mutation = %d, want 5", g.NumVertices())
+	}
+}
+
+func TestOutNeighborsSorted(t *testing.T) {
+	g := FromEdges([]Edge{{0, 3}, {0, 1}, {0, 2}, {1, 0}})
+	i, _ := g.Index(0)
+	nb := g.OutNeighbors(i)
+	for j := 1; j < len(nb); j++ {
+		if nb[j-1] > nb[j] {
+			t.Fatalf("OutNeighbors not sorted: %v", nb)
+		}
+	}
+	if len(nb) != 3 {
+		t.Fatalf("OutNeighbors(0) len = %d, want 3", len(nb))
+	}
+}
+
+func TestUndirectedNeighborsDedupNoLoops(t *testing.T) {
+	g := FromEdges([]Edge{{0, 1}, {1, 0}, {0, 1}, {0, 0}})
+	i, _ := g.Index(0)
+	nb := g.UndirectedNeighbors(i)
+	if len(nb) != 1 {
+		t.Fatalf("UndirectedNeighbors(0) = %v, want exactly [1]", nb)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	if s := tri().String(); s != "Graph{V=3, E=3}" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// randomGraph builds a random directed graph for property tests.
+func randomGraph(seed uint64, maxV, maxE int) *Graph {
+	r := rng.New(seed)
+	nv := 2 + r.Intn(maxV)
+	ne := 1 + r.Intn(maxE)
+	edges := make([]Edge, ne)
+	for i := range edges {
+		edges[i] = Edge{
+			Src: VertexID(r.Intn(nv)),
+			Dst: VertexID(r.Intn(nv)),
+		}
+	}
+	return FromEdges(edges)
+}

@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph in SNAP-style text format: one "src dst"
+// pair per line, tab separated, with a leading comment header.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "# cutfit edge list: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for _, e := range g.edges {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\n", e.Src, e.Dst); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses a SNAP-style text edge list: lines of "src dst"
+// separated by whitespace; lines starting with '#' or '%' are comments.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	g := New(1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected \"src dst\", got %q", lineNo, line)
+		}
+		src, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source vertex %q: %w", lineNo, fields[0], err)
+		}
+		dst, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad destination vertex %q: %w", lineNo, fields[1], err)
+		}
+		g.edges = append(g.edges, Edge{Src: VertexID(src), Dst: VertexID(dst)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scanning edge list: %w", err)
+	}
+	g.invalidate()
+	return g, nil
+}
+
+// Binary format: magic, edge count, then per edge the src delta (zig-zag
+// varint from the previous src) and dst (zig-zag varint from src). Sorting
+// by src before writing makes the deltas small; the format does not require
+// sorted input, it only compresses better with it.
+const binaryMagic = "CFG1"
+
+// WriteBinary writes a compact binary encoding of the edge list.
+func (g *Graph) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(g.edges)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	var prevSrc int64
+	for _, e := range g.edges {
+		n = binary.PutVarint(buf[:], int64(e.Src)-prevSrc)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		n = binary.PutVarint(buf[:], int64(e.Dst)-int64(e.Src))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prevSrc = int64(e.Src)
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads the binary encoding produced by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading binary magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad binary magic %q (want %q)", magic, binaryMagic)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading edge count: %w", err)
+	}
+	const maxEdges = 1 << 34
+	if count > maxEdges {
+		return nil, fmt.Errorf("graph: edge count %d exceeds sanity limit", count)
+	}
+	edges := make([]Edge, 0, count)
+	var prevSrc int64
+	for i := uint64(0); i < count; i++ {
+		ds, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge %d: reading src: %w", i, err)
+		}
+		src := prevSrc + ds
+		dd, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge %d: reading dst: %w", i, err)
+		}
+		dst := src + dd
+		edges = append(edges, Edge{Src: VertexID(src), Dst: VertexID(dst)})
+		prevSrc = src
+	}
+	return FromEdges(edges), nil
+}

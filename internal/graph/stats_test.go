@@ -1,0 +1,224 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSymmetryPct(t *testing.T) {
+	tests := []struct {
+		name  string
+		edges []Edge
+		want  float64
+	}{
+		{"empty", nil, 100},
+		{"fully-symmetric", []Edge{{0, 1}, {1, 0}}, 100},
+		{"asymmetric", []Edge{{0, 1}, {1, 2}}, 0},
+		{"half", []Edge{{0, 1}, {1, 0}, {1, 2}, {2, 3}}, 50},
+		{"self-loop", []Edge{{0, 0}}, 100},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := FromEdges(tc.edges).SymmetryPct(); got != tc.want {
+				t.Fatalf("SymmetryPct = %g, want %g", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestZeroDegreePct(t *testing.T) {
+	// 0 -> 1 -> 2: vertex 0 has zero in, vertex 2 has zero out.
+	g := FromEdges([]Edge{{0, 1}, {1, 2}})
+	zi, zo := g.ZeroDegreePct()
+	if zi < 33.2 || zi > 33.4 {
+		t.Fatalf("zeroIn = %g, want 33.33", zi)
+	}
+	if zo < 33.2 || zo > 33.4 {
+		t.Fatalf("zeroOut = %g, want 33.33", zo)
+	}
+}
+
+func TestTrianglesKnownShapes(t *testing.T) {
+	tests := []struct {
+		name  string
+		edges []Edge
+		total int64
+	}{
+		{"triangle", []Edge{{0, 1}, {1, 2}, {2, 0}}, 1},
+		{"triangle-bidirected", []Edge{{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 0}, {0, 2}}, 1},
+		{"square-no-diag", []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}}, 0},
+		{"k4", []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, 4},
+		{"path", []Edge{{0, 1}, {1, 2}, {2, 3}}, 0},
+		{"two-triangles-shared-edge", []Edge{{0, 1}, {1, 2}, {2, 0}, {1, 3}, {3, 2}}, 2},
+		{"self-loops-ignored", []Edge{{0, 0}, {0, 1}, {1, 2}, {2, 0}}, 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			g := FromEdges(tc.edges)
+			if got := g.TotalTriangles(); got != tc.total {
+				t.Fatalf("TotalTriangles = %d, want %d", got, tc.total)
+			}
+		})
+	}
+}
+
+func TestTrianglesPerVertexK4(t *testing.T) {
+	g := FromEdges([]Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	per := g.TrianglesPerVertex()
+	for i, c := range per {
+		if c != 3 {
+			t.Fatalf("K4 vertex %d: %d triangles, want 3", i, c)
+		}
+	}
+}
+
+// bruteTriangles counts triangles by enumerating all vertex triples over
+// the undirected projection.
+func bruteTriangles(g *Graph) int64 {
+	n := g.NumVertices()
+	adj := make([]map[int32]bool, n)
+	for i := int32(0); i < int32(n); i++ {
+		adj[i] = map[int32]bool{}
+		for _, w := range g.UndirectedNeighbors(i) {
+			adj[i][w] = true
+		}
+	}
+	var total int64
+	for a := int32(0); a < int32(n); a++ {
+		for b := a + 1; b < int32(n); b++ {
+			if !adj[a][b] {
+				continue
+			}
+			for c := b + 1; c < int32(n); c++ {
+				if adj[a][c] && adj[b][c] {
+					total++
+				}
+			}
+		}
+	}
+	return total
+}
+
+func TestTrianglesAgainstBruteForce(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := randomGraph(seed, 25, 80)
+		return g.TotalTriangles() == bruteTriangles(g)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// Two components: {0,1,2} labeled 0 and {10,11} labeled 10.
+	g := FromEdges([]Edge{{0, 1}, {1, 2}, {10, 11}})
+	labels, count := g.ConnectedComponents()
+	if count != 2 {
+		t.Fatalf("components = %d, want 2", count)
+	}
+	idx := func(v VertexID) int32 { i, _ := g.Index(v); return i }
+	for _, v := range []VertexID{0, 1, 2} {
+		if labels[idx(v)] != 0 {
+			t.Fatalf("vertex %d labeled %d, want 0", v, labels[idx(v)])
+		}
+	}
+	for _, v := range []VertexID{10, 11} {
+		if labels[idx(v)] != 10 {
+			t.Fatalf("vertex %d labeled %d, want 10", v, labels[idx(v)])
+		}
+	}
+}
+
+func TestConnectedComponentsDirectionIgnored(t *testing.T) {
+	g := FromEdges([]Edge{{2, 1}, {0, 1}})
+	_, count := g.ConnectedComponents()
+	if count != 1 {
+		t.Fatalf("components = %d, want 1 (weakly connected)", count)
+	}
+}
+
+func TestCountSCCs(t *testing.T) {
+	tests := []struct {
+		name  string
+		edges []Edge
+		want  int
+	}{
+		{"cycle", []Edge{{0, 1}, {1, 2}, {2, 0}}, 1},
+		{"path", []Edge{{0, 1}, {1, 2}}, 3},
+		{"two-cycles", []Edge{{0, 1}, {1, 0}, {2, 3}, {3, 2}, {1, 2}}, 2},
+		{"self-loop", []Edge{{0, 0}, {0, 1}}, 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := FromEdges(tc.edges).CountSCCs(); got != tc.want {
+				t.Fatalf("CountSCCs = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSCCDeepChainNoOverflow(t *testing.T) {
+	// A 100k-long chain would overflow a recursive Tarjan's stack.
+	const n = 100_000
+	edges := make([]Edge, n-1)
+	for i := range edges {
+		edges[i] = Edge{VertexID(i), VertexID(i + 1)}
+	}
+	if got := FromEdges(edges).CountSCCs(); got != n {
+		t.Fatalf("chain SCCs = %d, want %d", got, n)
+	}
+}
+
+func TestBFSAndDiameter(t *testing.T) {
+	// Path 0-1-2-3-4: diameter 4.
+	g := FromEdges([]Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	if d := g.ExactDiameter(); d != 4 {
+		t.Fatalf("ExactDiameter = %d, want 4", d)
+	}
+	// Double sweep is exact on trees.
+	if d := g.ApproxDiameter(4, 1); d != 4 {
+		t.Fatalf("ApproxDiameter = %d, want 4", d)
+	}
+}
+
+func TestExactDiameterDisconnected(t *testing.T) {
+	g := FromEdges([]Edge{{0, 1}, {2, 3}})
+	if d := g.ExactDiameter(); d != -1 {
+		t.Fatalf("ExactDiameter disconnected = %d, want -1", d)
+	}
+}
+
+func TestApproxDiameterLowerBoundsExact(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := randomGraph(seed, 20, 60)
+		if _, count := g.ConnectedComponents(); count != 1 {
+			return true // property only defined for connected graphs
+		}
+		return g.ApproxDiameter(4, seed) <= g.ExactDiameter()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	g := FromEdges([]Edge{{0, 1}, {1, 0}, {1, 2}, {2, 0}, {10, 11}})
+	s := g.Characterize(4, 1)
+	if s.Vertices != 5 || s.Edges != 5 {
+		t.Fatalf("V=%d E=%d", s.Vertices, s.Edges)
+	}
+	if s.Components != 2 || !s.DiameterInfinite {
+		t.Fatalf("components=%d infinite=%v", s.Components, s.DiameterInfinite)
+	}
+	if s.Triangles != 1 {
+		t.Fatalf("triangles=%d, want 1", s.Triangles)
+	}
+}
+
+func TestCharacterizeConnectedDiameter(t *testing.T) {
+	g := FromEdges([]Edge{{0, 1}, {1, 2}, {2, 3}})
+	s := g.Characterize(4, 1)
+	if s.DiameterInfinite || s.Diameter != 3 {
+		t.Fatalf("diameter=%d infinite=%v, want 3,false", s.Diameter, s.DiameterInfinite)
+	}
+}

@@ -1,0 +1,89 @@
+package graph
+
+// InducedSubgraph returns the subgraph induced by keep: every edge whose
+// endpoints both satisfy keep(v). Vertex IDs are preserved.
+func (g *Graph) InducedSubgraph(keep func(v VertexID) bool) *Graph {
+	out := make([]Edge, 0, len(g.edges)/2)
+	for _, e := range g.edges {
+		if keep(e.Src) && keep(e.Dst) {
+			out = append(out, e)
+		}
+	}
+	return FromEdges(out)
+}
+
+// GiantComponent returns the subgraph induced by the largest weakly
+// connected component, along with the fraction of vertices it contains.
+// An empty graph returns an empty graph and fraction 0.
+func (g *Graph) GiantComponent() (*Graph, float64) {
+	labels, count := g.ConnectedComponents()
+	if count == 0 {
+		return New(0), 0
+	}
+	size := make(map[VertexID]int, count)
+	for _, l := range labels {
+		size[l]++
+	}
+	var giant VertexID
+	best := -1
+	for l, n := range size {
+		if n > best || (n == best && l < giant) {
+			giant, best = l, n
+		}
+	}
+	inGiant := make(map[VertexID]bool, best)
+	for i, l := range labels {
+		if l == giant {
+			inGiant[g.verts[i]] = true
+		}
+	}
+	sub := g.InducedSubgraph(func(v VertexID) bool { return inGiant[v] })
+	return sub, float64(best) / float64(len(labels))
+}
+
+// DegreeStats summarizes the degree distribution of the graph.
+type DegreeStats struct {
+	MeanOut, MeanIn   float64
+	MaxOut, MaxIn     int32
+	MedianOut         int32
+	ZeroIn, ZeroOut   int
+	UndirectedDegrees []int32 // per dense vertex, simple undirected degree
+}
+
+// Degrees computes summary degree statistics.
+func (g *Graph) Degrees() DegreeStats {
+	g.buildDegrees()
+	n := len(g.verts)
+	st := DegreeStats{}
+	if n == 0 {
+		return st
+	}
+	var sumOut, sumIn int64
+	outs := make([]int32, n)
+	for i := 0; i < n; i++ {
+		sumOut += int64(g.outDeg[i])
+		sumIn += int64(g.inDeg[i])
+		if g.outDeg[i] > st.MaxOut {
+			st.MaxOut = g.outDeg[i]
+		}
+		if g.inDeg[i] > st.MaxIn {
+			st.MaxIn = g.inDeg[i]
+		}
+		if g.outDeg[i] == 0 {
+			st.ZeroOut++
+		}
+		if g.inDeg[i] == 0 {
+			st.ZeroIn++
+		}
+		outs[i] = g.outDeg[i]
+	}
+	st.MeanOut = float64(sumOut) / float64(n)
+	st.MeanIn = float64(sumIn) / float64(n)
+	sortInt32s(outs, func(a, b int32) bool { return a < b })
+	st.MedianOut = outs[n/2]
+	st.UndirectedDegrees = make([]int32, n)
+	for i := int32(0); i < int32(n); i++ {
+		st.UndirectedDegrees[i] = int32(len(g.UndirectedNeighbors(i)))
+	}
+	return st
+}

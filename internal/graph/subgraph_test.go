@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInducedSubgraph(t *testing.T) {
+	g := FromEdges([]Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	sub := g.InducedSubgraph(func(v VertexID) bool { return v <= 2 })
+	if sub.NumEdges() != 2 { // (0,1) and (1,2)
+		t.Fatalf("edges = %d, want 2", sub.NumEdges())
+	}
+	if sub.NumVertices() != 3 {
+		t.Fatalf("vertices = %d, want 3", sub.NumVertices())
+	}
+}
+
+func TestGiantComponent(t *testing.T) {
+	g := FromEdges([]Edge{
+		{0, 1}, {1, 2}, {2, 0}, // triangle: 3 vertices
+		{10, 11}, // pair
+		{20, 21}, // pair
+	})
+	giant, frac := g.GiantComponent()
+	if giant.NumVertices() != 3 {
+		t.Fatalf("giant vertices = %d, want 3", giant.NumVertices())
+	}
+	if frac != 3.0/7 {
+		t.Fatalf("fraction = %g, want %g", frac, 3.0/7)
+	}
+	if _, count := giant.ConnectedComponents(); count != 1 {
+		t.Fatalf("giant has %d components", count)
+	}
+}
+
+func TestGiantComponentEmpty(t *testing.T) {
+	giant, frac := New(0).GiantComponent()
+	if giant.NumVertices() != 0 || frac != 0 {
+		t.Fatal("empty graph should give empty giant")
+	}
+}
+
+func TestGiantComponentIsSubset(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := randomGraph(seed, 40, 100)
+		giant, frac := g.GiantComponent()
+		if giant.NumVertices() > g.NumVertices() || giant.NumEdges() > g.NumEdges() {
+			return false
+		}
+		return frac > 0 && frac <= 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := FromEdges([]Edge{{0, 1}, {0, 2}, {0, 3}, {1, 0}})
+	st := g.Degrees()
+	if st.MaxOut != 3 || st.MaxIn != 1 {
+		t.Fatalf("max out=%d in=%d", st.MaxOut, st.MaxIn)
+	}
+	if st.MeanOut != 1 || st.MeanIn != 1 {
+		t.Fatalf("mean out=%g in=%g", st.MeanOut, st.MeanIn)
+	}
+	if st.ZeroOut != 2 { // vertices 2 and 3
+		t.Fatalf("zeroOut = %d, want 2", st.ZeroOut)
+	}
+	if st.ZeroIn != 0 {
+		t.Fatalf("zeroIn = %d, want 0", st.ZeroIn)
+	}
+	if len(st.UndirectedDegrees) != 4 {
+		t.Fatalf("undirected degrees = %d entries", len(st.UndirectedDegrees))
+	}
+	i0, _ := g.Index(0)
+	if st.UndirectedDegrees[i0] != 3 {
+		t.Fatalf("undirected degree of 0 = %d, want 3", st.UndirectedDegrees[i0])
+	}
+}
+
+func TestDegreeStatsEmpty(t *testing.T) {
+	st := New(0).Degrees()
+	if st.MeanOut != 0 || st.MaxOut != 0 {
+		t.Fatal("empty graph degree stats should be zero")
+	}
+}

@@ -1,0 +1,171 @@
+// Package metrics computes the partitioning characterization metrics of
+// §3.1 of the paper: Balance, Non-Cut vertices, Cut vertices, Communication
+// Cost and Edge Partition Standard Deviation, plus the replication factor.
+//
+// All metrics are functions of the edge→partition assignment only. Even
+// though vertex-cut partitioning assigns edges, each partition also
+// reconstructs the vertices of its edges (as GraphX does), and the vertex
+// replication implied by that reconstruction is what the Cut/CommCost
+// metrics measure.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"cutfit/internal/graph"
+	"cutfit/internal/partition"
+)
+
+// Result holds the partitioning metrics for one (graph, strategy, numParts)
+// combination. Field names follow the paper's Tables 2 and 3.
+type Result struct {
+	NumParts int
+
+	// Balance is the ratio of the largest edge partition to the mean edge
+	// partition size; 1.0 is perfectly balanced.
+	Balance float64
+	// NonCut is the number of vertices that reside in exactly one
+	// partition (no replicas).
+	NonCut int64
+	// Cut is the number of vertices that exist in more than one partition.
+	Cut int64
+	// CommCost is the total number of copies of Cut vertices — the number
+	// of messages exchanged per BSP superstep to synchronize their state.
+	CommCost int64
+	// PartStDev is the standard deviation of edges per partition.
+	PartStDev float64
+
+	// ReplicationFactor is the mean number of partitions per vertex,
+	// (CommCost + NonCut) / |V|. Not a paper table column, but standard in
+	// the vertex-cut literature and used by the ablation benchmarks.
+	ReplicationFactor float64
+	// MaxEdges and MaxVertices are the largest edge / reconstructed-vertex
+	// partition sizes.
+	MaxEdges    int64
+	MaxVertices int64
+	// EdgesPerPart and VerticesPerPart are the per-partition sizes.
+	EdgesPerPart    []int64
+	VerticesPerPart []int64
+}
+
+// Compute derives the full metric set from an edge assignment. assign must
+// be aligned with g.Edges() and every PID must be in [0, numParts).
+func Compute(g *graph.Graph, assign []partition.PID, numParts int) (*Result, error) {
+	if numParts <= 0 {
+		return nil, fmt.Errorf("metrics: numParts must be positive, got %d", numParts)
+	}
+	edges := g.Edges()
+	if len(assign) != len(edges) {
+		return nil, fmt.Errorf("metrics: assignment has %d entries for %d edges", len(assign), len(edges))
+	}
+	nv := g.NumVertices()
+	words := (numParts + 63) / 64
+	// replicaBits[v*words : (v+1)*words] is the partition bitset of dense
+	// vertex v.
+	replicaBits := make([]uint64, nv*words)
+	edgesPerPart := make([]int64, numParts)
+
+	for i, e := range edges {
+		p := assign[i]
+		if p < 0 || int(p) >= numParts {
+			return nil, fmt.Errorf("metrics: edge %d assigned to out-of-range partition %d", i, p)
+		}
+		edgesPerPart[p]++
+		si, _ := g.Index(e.Src)
+		di, _ := g.Index(e.Dst)
+		w, b := int(p)/64, uint(p)%64
+		replicaBits[int(si)*words+w] |= 1 << b
+		replicaBits[int(di)*words+w] |= 1 << b
+	}
+
+	res := &Result{NumParts: numParts, EdgesPerPart: edgesPerPart}
+	vertsPerPart := make([]int64, numParts)
+	for v := 0; v < nv; v++ {
+		replicas := 0
+		base := v * words
+		for w := 0; w < words; w++ {
+			word := replicaBits[base+w]
+			replicas += bits.OnesCount64(word)
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				vertsPerPart[w*64+b]++
+				word &= word - 1
+			}
+		}
+		switch {
+		case replicas == 1:
+			res.NonCut++
+		case replicas > 1:
+			res.Cut++
+			res.CommCost += int64(replicas)
+		}
+	}
+	res.VerticesPerPart = vertsPerPart
+
+	var sum, max int64
+	for _, c := range edgesPerPart {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	res.MaxEdges = max
+	for _, c := range vertsPerPart {
+		if c > res.MaxVertices {
+			res.MaxVertices = c
+		}
+	}
+	mean := float64(sum) / float64(numParts)
+	if mean > 0 {
+		res.Balance = float64(max) / mean
+	} else {
+		res.Balance = 1
+	}
+	var ss float64
+	for _, c := range edgesPerPart {
+		d := float64(c) - mean
+		ss += d * d
+	}
+	res.PartStDev = math.Sqrt(ss / float64(numParts))
+	if nv > 0 {
+		res.ReplicationFactor = float64(res.CommCost+res.NonCut) / float64(nv)
+	}
+	return res, nil
+}
+
+// ComputeFor partitions g with strategy s and computes the metrics in one
+// call — the common path for tables and tests.
+func ComputeFor(g *graph.Graph, s partition.Strategy, numParts int) (*Result, error) {
+	assign, err := s.Partition(g, numParts)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: partitioning with %s: %w", s.Name(), err)
+	}
+	return Compute(g, assign, numParts)
+}
+
+// MetricByName extracts a metric value from a Result by its table name:
+// "Balance", "NonCut", "Cut", "CommCost", "PartStDev", "ReplicationFactor".
+func (r *Result) MetricByName(name string) (float64, error) {
+	switch name {
+	case "Balance":
+		return r.Balance, nil
+	case "NonCut":
+		return float64(r.NonCut), nil
+	case "Cut":
+		return float64(r.Cut), nil
+	case "CommCost":
+		return float64(r.CommCost), nil
+	case "PartStDev":
+		return r.PartStDev, nil
+	case "ReplicationFactor":
+		return r.ReplicationFactor, nil
+	}
+	return 0, fmt.Errorf("metrics: unknown metric %q", name)
+}
+
+// MetricNames returns the five paper metrics in table order.
+func MetricNames() []string {
+	return []string{"Balance", "NonCut", "Cut", "CommCost", "PartStDev"}
+}

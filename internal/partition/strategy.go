@@ -1,0 +1,189 @@
+// Package partition implements the vertex-cut edge partitioning strategies
+// evaluated in the paper: GraphX's four built-in partitioners (RandomVertexCut,
+// EdgePartition1D, EdgePartition2D, CanonicalRandomVertexCut) and the two
+// strategies the paper proposes (SourceCut, DestinationCut), plus streaming
+// greedy partitioners (Greedy, HDRF) used by the ablation benchmarks.
+//
+// A vertex-cut partitioner assigns *edges* to partitions; vertices are then
+// replicated into every partition that holds at least one of their edges.
+// The metrics package quantifies the quality of the resulting cut.
+package partition
+
+import (
+	"fmt"
+
+	"cutfit/internal/graph"
+	"cutfit/internal/rng"
+)
+
+// PID identifies a partition, in [0, NumParts).
+type PID int32
+
+// Strategy assigns every edge of a graph to one of numParts partitions.
+// Implementations must be deterministic: the same graph and part count must
+// always produce the same assignment.
+type Strategy interface {
+	// Name returns the short identifier used in tables (e.g. "2D").
+	Name() string
+	// Partition returns one PID per edge, aligned with g.Edges().
+	Partition(g *graph.Graph, numParts int) ([]PID, error)
+}
+
+// EdgeHashFunc is a stateless per-edge assignment function, the shape of
+// all GraphX partitioners.
+type EdgeHashFunc func(src, dst graph.VertexID, numParts int) PID
+
+// hashStrategy adapts an EdgeHashFunc into a Strategy.
+type hashStrategy struct {
+	name string
+	fn   EdgeHashFunc
+}
+
+// NewHashStrategy wraps a stateless per-edge hash function as a Strategy.
+func NewHashStrategy(name string, fn EdgeHashFunc) Strategy {
+	return &hashStrategy{name: name, fn: fn}
+}
+
+func (s *hashStrategy) Name() string { return s.name }
+
+func (s *hashStrategy) Partition(g *graph.Graph, numParts int) ([]PID, error) {
+	if err := checkParts(numParts); err != nil {
+		return nil, err
+	}
+	edges := g.Edges()
+	out := make([]PID, len(edges))
+	for i, e := range edges {
+		p := s.fn(e.Src, e.Dst, numParts)
+		if p < 0 || int(p) >= numParts {
+			return nil, fmt.Errorf("partition: strategy %s produced out-of-range partition %d for edge %d", s.name, p, i)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+func checkParts(numParts int) error {
+	if numParts <= 0 {
+		return fmt.Errorf("partition: number of partitions must be positive, got %d", numParts)
+	}
+	if numParts > 1<<20 {
+		return fmt.Errorf("partition: number of partitions %d exceeds sanity limit", numParts)
+	}
+	return nil
+}
+
+// RandomVertexCut (RVC) hashes the source and destination IDs together,
+// collocating all same-direction edges between two vertices.
+func RandomVertexCut() Strategy {
+	return NewHashStrategy("RVC", func(src, dst graph.VertexID, n int) PID {
+		h := rng.Combine2(uint64(src), uint64(dst))
+		return PID(h % uint64(n))
+	})
+}
+
+// CanonicalRandomVertexCut (CRVC) hashes the endpoint IDs in canonical
+// order, collocating all edges between two vertices regardless of
+// direction: (u,v) and (v,u) land in the same partition.
+func CanonicalRandomVertexCut() Strategy {
+	return NewHashStrategy("CRVC", func(src, dst graph.VertexID, n int) PID {
+		a, b := uint64(src), uint64(dst)
+		if a > b {
+			a, b = b, a
+		}
+		h := rng.Combine2(a, b)
+		return PID(h % uint64(n))
+	})
+}
+
+// EdgePartition1D (1D) hashes the source vertex ID, collocating every
+// out-edge of a vertex.
+func EdgePartition1D() Strategy {
+	return NewHashStrategy("1D", func(src, dst graph.VertexID, n int) PID {
+		return PID(rng.Mix64(uint64(src)) % uint64(n))
+	})
+}
+
+// EdgePartition2D (2D) arranges partitions in a ceil(sqrt(N)) square grid
+// and picks the column from the source hash and the row from the
+// destination hash. Every source vertex touches at most one column (√N
+// partitions) and every destination at most one row, guaranteeing a 2√N
+// bound on vertex replication. When N is not a perfect square the grid is
+// folded back with a final modulo, which — as the paper observes — can
+// produce imbalanced partitions.
+func EdgePartition2D() Strategy {
+	return NewHashStrategy("2D", func(src, dst graph.VertexID, n int) PID {
+		side := ceilSqrt(n)
+		col := rng.Mix64(uint64(src)) % uint64(side)
+		row := rng.Mix64(uint64(dst)) % uint64(side)
+		return PID((col*uint64(side) + row) % uint64(n))
+	})
+}
+
+// SourceCut (SC) assigns edges by simple modulo of the source vertex ID —
+// the paper's first proposed strategy. Unlike 1D it does not hash, so any
+// locality captured by consecutive vertex IDs (as in road networks, where
+// IDs follow geography) is preserved, at the cost of balance.
+func SourceCut() Strategy {
+	return NewHashStrategy("SC", func(src, dst graph.VertexID, n int) PID {
+		return PID(uint64(src) % uint64(n))
+	})
+}
+
+// DestinationCut (DC) assigns edges by simple modulo of the destination
+// vertex ID — the paper's second proposed strategy.
+func DestinationCut() Strategy {
+	return NewHashStrategy("DC", func(src, dst graph.VertexID, n int) PID {
+		return PID(uint64(dst) % uint64(n))
+	})
+}
+
+// ceilSqrt returns the smallest s with s*s >= n.
+func ceilSqrt(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+// All returns the six strategies evaluated in the paper, in table order.
+func All() []Strategy {
+	return []Strategy{
+		RandomVertexCut(),
+		EdgePartition1D(),
+		EdgePartition2D(),
+		CanonicalRandomVertexCut(),
+		SourceCut(),
+		DestinationCut(),
+	}
+}
+
+// Extended returns the paper's six strategies plus the streaming greedy
+// partitioners used by the ablation experiments.
+func Extended() []Strategy {
+	return append(All(), Greedy(), HDRF(1.0))
+}
+
+// ByName returns the strategy with the given table name (case sensitive:
+// "RVC", "1D", "2D", "CRVC", "SC", "DC", "Greedy", "HDRF").
+func ByName(name string) (Strategy, error) {
+	for _, s := range Extended() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("partition: unknown strategy %q", name)
+}
+
+// Names returns the names of the paper's six strategies in table order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, s := range all {
+		out[i] = s.Name()
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package partition
+
+import (
+	"cutfit/internal/graph"
+	"cutfit/internal/rng"
+)
+
+// The streaming partitioners below are not part of the paper's evaluated
+// set; they implement the related-work algorithms (§5: Fennel-style greedy
+// streaming partitioning, HDRF) and are used by the ablation benchmarks to
+// show how the paper's hash-based design space compares against stateful
+// streaming assignment.
+
+// greedyStrategy implements PowerGraph's greedy vertex-cut heuristic:
+// prefer a partition that already holds both endpoints, then one that holds
+// either endpoint (breaking ties by load), then the least-loaded partition.
+type greedyStrategy struct{}
+
+// Greedy returns the PowerGraph-style greedy streaming strategy.
+func Greedy() Strategy { return greedyStrategy{} }
+
+func (greedyStrategy) Name() string { return "Greedy" }
+
+func (greedyStrategy) Partition(g *graph.Graph, numParts int) ([]PID, error) {
+	if err := checkParts(numParts); err != nil {
+		return nil, err
+	}
+	st := newStreamState(g, numParts)
+	edges := g.Edges()
+	out := make([]PID, len(edges))
+	for i, e := range edges {
+		out[i] = st.assignGreedy(e)
+	}
+	return out, nil
+}
+
+// hdrfStrategy implements High-Degree Replicated First (Petroni et al.):
+// like greedy, but when only one endpoint is already placed it prefers to
+// cut the higher-degree vertex, plus an explicit load-balance term weighted
+// by lambda.
+type hdrfStrategy struct {
+	lambda float64
+}
+
+// HDRF returns the High-Degree-Replicated-First streaming strategy with
+// balance weight lambda (1.0 is the authors' default).
+func HDRF(lambda float64) Strategy { return hdrfStrategy{lambda: lambda} }
+
+func (hdrfStrategy) Name() string { return "HDRF" }
+
+func (h hdrfStrategy) Partition(g *graph.Graph, numParts int) ([]PID, error) {
+	if err := checkParts(numParts); err != nil {
+		return nil, err
+	}
+	st := newStreamState(g, numParts)
+	edges := g.Edges()
+	out := make([]PID, len(edges))
+	for i, e := range edges {
+		out[i] = st.assignHDRF(e, h.lambda)
+	}
+	return out, nil
+}
+
+// streamState tracks, while streaming edges, which partitions each vertex
+// has been replicated to and the current per-partition load.
+type streamState struct {
+	numParts int
+	load     []int64
+	// replicas[denseIdx] is a bitset of partitions (small part counts) or a
+	// map fallback; we use a map[int32]map[PID] only when parts > 64 would
+	// not fit; for simplicity and because experiments use ≤ 1024 parts, we
+	// store a per-vertex slice of PIDs (replica lists are short in
+	// practice: the whole point of vertex cuts is bounding them).
+	replicas [][]PID
+	g        *graph.Graph
+	maxLoad  int64
+	minLoad  int64
+}
+
+func newStreamState(g *graph.Graph, numParts int) *streamState {
+	g.Vertices() // force index build
+	return &streamState{
+		numParts: numParts,
+		load:     make([]int64, numParts),
+		replicas: make([][]PID, g.NumVertices()),
+		g:        g,
+	}
+}
+
+func (st *streamState) has(v int32, p PID) bool {
+	for _, q := range st.replicas[v] {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *streamState) place(v int32, p PID) {
+	if !st.has(v, p) {
+		st.replicas[v] = append(st.replicas[v], p)
+	}
+}
+
+func (st *streamState) commit(s, d int32, p PID) PID {
+	st.place(s, p)
+	st.place(d, p)
+	st.load[p]++
+	if st.load[p] > st.maxLoad {
+		st.maxLoad = st.load[p]
+	}
+	return p
+}
+
+func (st *streamState) leastLoaded(candidates []PID) PID {
+	best := candidates[0]
+	for _, p := range candidates[1:] {
+		if st.load[p] < st.load[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+func (st *streamState) leastLoadedAll(tiebreak uint64) PID {
+	best := PID(0)
+	for p := 1; p < st.numParts; p++ {
+		if st.load[p] < st.load[best] {
+			best = PID(p)
+		}
+	}
+	// Deterministic tiebreak among equally loaded partitions so the result
+	// does not depend on iteration quirks.
+	var ties []PID
+	for p := 0; p < st.numParts; p++ {
+		if st.load[p] == st.load[best] {
+			ties = append(ties, PID(p))
+		}
+	}
+	if len(ties) > 1 {
+		return ties[tiebreak%uint64(len(ties))]
+	}
+	return best
+}
+
+func intersect(a, b []PID) []PID {
+	var out []PID
+	for _, p := range a {
+		for _, q := range b {
+			if p == q {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (st *streamState) assignGreedy(e graph.Edge) PID {
+	si, _ := st.g.Index(e.Src)
+	di, _ := st.g.Index(e.Dst)
+	rs, rd := st.replicas[si], st.replicas[di]
+	if both := intersect(rs, rd); len(both) > 0 {
+		return st.commit(si, di, st.leastLoaded(both))
+	}
+	if len(rs) > 0 && len(rd) > 0 {
+		// Cut the vertex whose replicas live on more-loaded partitions:
+		// choose least loaded among the union.
+		union := append(append([]PID(nil), rs...), rd...)
+		return st.commit(si, di, st.leastLoaded(union))
+	}
+	if len(rs) > 0 {
+		return st.commit(si, di, st.leastLoaded(rs))
+	}
+	if len(rd) > 0 {
+		return st.commit(si, di, st.leastLoaded(rd))
+	}
+	return st.commit(si, di, st.leastLoadedAll(rng.Combine2(uint64(e.Src), uint64(e.Dst))))
+}
+
+func (st *streamState) assignHDRF(e graph.Edge, lambda float64) PID {
+	si, _ := st.g.Index(e.Src)
+	di, _ := st.g.Index(e.Dst)
+	degS := float64(st.g.OutDegree(e.Src) + st.g.InDegree(e.Src))
+	degD := float64(st.g.OutDegree(e.Dst) + st.g.InDegree(e.Dst))
+	// Normalized "partial degrees" θ: the lower-degree endpoint should be
+	// kept whole; the higher-degree one is cheap to replicate.
+	thetaS := degS / (degS + degD)
+	thetaD := 1 - thetaS
+
+	var bestP PID
+	bestScore := -1.0
+	spread := float64(st.maxLoad - st.minLoadVal())
+	if spread == 0 {
+		spread = 1
+	}
+	for p := 0; p < st.numParts; p++ {
+		pid := PID(p)
+		score := 0.0
+		if st.has(si, pid) {
+			score += 1 + thetaD // g(s): replica present, weighted by other side's θ
+		}
+		if st.has(di, pid) {
+			score += 1 + thetaS
+		}
+		score += lambda * float64(st.maxLoad-st.load[p]) / spread
+		if score > bestScore {
+			bestScore = score
+			bestP = pid
+		}
+	}
+	return st.commit(si, di, bestP)
+}
+
+func (st *streamState) minLoadVal() int64 {
+	m := st.load[0]
+	for _, l := range st.load[1:] {
+		if l < m {
+			m = l
+		}
+	}
+	return m
+}

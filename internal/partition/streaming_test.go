@@ -1,0 +1,89 @@
+package partition
+
+import (
+	"testing"
+
+	"cutfit/internal/graph"
+)
+
+// replicationFactor computes mean replicas per vertex for an assignment.
+func replicationFactor(g *graph.Graph, assign []PID) float64 {
+	reps := replicasOf(g, assign)
+	total := 0
+	for _, parts := range reps {
+		total += len(parts)
+	}
+	return float64(total) / float64(len(reps))
+}
+
+func TestGreedyBeatsRandomOnReplication(t *testing.T) {
+	g := randomGraph(77, 300, 3000)
+	const parts = 16
+	greedy, err := Greedy().Partition(g, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := RandomVertexCut().Partition(g, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rfG, rfR := replicationFactor(g, greedy), replicationFactor(g, random); rfG >= rfR {
+		t.Fatalf("greedy replication %.3f not better than random %.3f", rfG, rfR)
+	}
+}
+
+func TestHDRFBeatsRandomOnReplication(t *testing.T) {
+	g := randomGraph(78, 300, 3000)
+	const parts = 16
+	hdrf, err := HDRF(1.0).Partition(g, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := RandomVertexCut().Partition(g, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rfH, rfR := replicationFactor(g, hdrf), replicationFactor(g, random); rfH >= rfR {
+		t.Fatalf("HDRF replication %.3f not better than random %.3f", rfH, rfR)
+	}
+}
+
+func TestStreamingLoadRoughlyBalanced(t *testing.T) {
+	g := randomGraph(79, 200, 4000)
+	const parts = 8
+	for _, s := range []Strategy{Greedy(), HDRF(1.0)} {
+		assign, err := s.Partition(g, parts)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		var counts [parts]int
+		for _, p := range assign {
+			counts[p]++
+		}
+		mean := g.NumEdges() / parts
+		for p, c := range counts {
+			if c > 3*mean {
+				t.Errorf("%s: partition %d holds %d edges (mean %d)", s.Name(), p, c, mean)
+			}
+		}
+	}
+}
+
+func TestStreamingDeterministic(t *testing.T) {
+	g := randomGraph(80, 100, 1000)
+	for _, s := range []Strategy{Greedy(), HDRF(1.0)} {
+		a, err := s.Partition(g, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Partition(g, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: assignment differs at edge %d", s.Name(), i)
+			}
+		}
+	}
+}

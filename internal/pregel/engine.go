@@ -1,0 +1,411 @@
+package pregel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"cutfit/internal/graph"
+)
+
+// EdgeDirection selects which triplets the compute phase scans, matching
+// GraphX Pregel's activeDirection.
+type EdgeDirection int
+
+const (
+	// Out scans triplets whose source vertex received a message last round.
+	Out EdgeDirection = iota
+	// In scans triplets whose destination vertex received a message.
+	In
+	// Either scans triplets where either endpoint received a message.
+	Either
+	// Both scans triplets where both endpoints received messages.
+	Both
+	// AllEdges scans every triplet every superstep.
+	AllEdges
+)
+
+// String implements fmt.Stringer.
+func (d EdgeDirection) String() string {
+	switch d {
+	case Out:
+		return "Out"
+	case In:
+		return "In"
+	case Either:
+		return "Either"
+	case Both:
+		return "Both"
+	case AllEdges:
+		return "All"
+	}
+	return fmt.Sprintf("EdgeDirection(%d)", int(d))
+}
+
+// Triplet presents one edge together with the current values of its
+// endpoints to the send-message function.
+type Triplet[V any] struct {
+	SrcID, DstID   graph.VertexID
+	SrcVal, DstVal V
+}
+
+// Emitter delivers messages from a triplet to one of its endpoints. GraphX
+// semantics: messages may only target the edge's own source or destination.
+type Emitter[M any] interface {
+	// ToSrc sends a message to the triplet's source vertex.
+	ToSrc(m M)
+	// ToDst sends a message to the triplet's destination vertex.
+	ToDst(m M)
+}
+
+// Program defines a Pregel computation over vertex values V and messages M.
+type Program[V, M any] struct {
+	// Init produces the initial value of each vertex (before the initial
+	// message is applied). Required.
+	Init func(id graph.VertexID) V
+	// VProg merges an incoming (already combined) message into the vertex
+	// value. Required.
+	VProg func(id graph.VertexID, val V, msg M) V
+	// SendMsg inspects one active triplet and emits messages to its
+	// endpoints. Required.
+	SendMsg func(t *Triplet[V], emit Emitter[M])
+	// MergeMsg combines two messages bound for the same vertex. Must be
+	// commutative and associative. Required.
+	MergeMsg func(a, b M) M
+	// InitialMsg is delivered to every vertex on superstep 0.
+	InitialMsg M
+	// MaxIterations caps the number of message rounds; 0 means no cap
+	// (run until convergence).
+	MaxIterations int
+	// ActiveDirection selects which triplets are scanned (default Out).
+	ActiveDirection EdgeDirection
+
+	// StateBytes sizes a vertex value for traffic accounting (default: a
+	// constant 8 bytes).
+	StateBytes func(val V) int
+	// MsgBytes sizes a message for traffic accounting (default 8 bytes).
+	MsgBytes func(m M) int
+	// EdgeCost is the abstract compute cost of scanning one triplet
+	// (default 1). Heavy per-edge algorithms (triangle intersection)
+	// override it.
+	EdgeCost func(t *Triplet[V]) float64
+	// ApplyCost is the abstract compute cost of one vertex-program
+	// application (default 1).
+	ApplyCost float64
+
+	// OnSuperstep, if set, is called after every superstep with its
+	// statistics. Returning ErrHalt stops the computation gracefully
+	// (RunStats.Halted is set); any other non-nil error aborts the run.
+	// Use it for convergence monitoring, logging or step budgets that
+	// depend on runtime behavior rather than a fixed iteration count.
+	OnSuperstep func(ss *SuperstepStats) error
+}
+
+// ErrHalt, returned from Program.OnSuperstep, stops the computation after
+// the current superstep without error.
+var ErrHalt = errors.New("pregel: halt requested")
+
+func (p *Program[V, M]) validate() error {
+	if p.Init == nil || p.VProg == nil || p.SendMsg == nil || p.MergeMsg == nil {
+		return fmt.Errorf("pregel: Program requires Init, VProg, SendMsg and MergeMsg")
+	}
+	if p.MaxIterations < 0 {
+		return fmt.Errorf("pregel: MaxIterations must be non-negative, got %d", p.MaxIterations)
+	}
+	return nil
+}
+
+// Run executes the program on the partitioned graph and returns the final
+// vertex values (indexed by the graph's dense vertex order, i.e. aligned
+// with pg.G.Vertices()) and the per-superstep statistics.
+func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]) ([]V, *RunStats, error) {
+	if err := prog.validate(); err != nil {
+		return nil, nil, err
+	}
+	stateBytes := prog.StateBytes
+	if stateBytes == nil {
+		stateBytes = func(V) int { return 8 }
+	}
+	msgBytes := prog.MsgBytes
+	if msgBytes == nil {
+		msgBytes = func(M) int { return 8 }
+	}
+	edgeCost := prog.EdgeCost
+	if edgeCost == nil {
+		edgeCost = func(*Triplet[V]) float64 { return 1 }
+	}
+	applyCost := prog.ApplyCost
+	if applyCost == 0 {
+		applyCost = 1
+	}
+
+	g := pg.G
+	verts := g.Vertices()
+	nv := len(verts)
+	numParts := pg.NumParts
+
+	masterVals := make([]V, nv)
+	changed := make([]bool, nv)
+	masterMsg := make([]M, nv)
+	masterHas := make([]bool, nv)
+
+	// Per-partition mirror state.
+	vals := make([][]V, numParts)
+	active := make([][]bool, numParts)
+	msgAcc := make([][]M, numParts)
+	msgHas := make([][]bool, numParts)
+	for p := 0; p < numParts; p++ {
+		n := len(pg.Parts[p].LocalVerts)
+		vals[p] = make([]V, n)
+		active[p] = make([]bool, n)
+		msgAcc[p] = make([]M, n)
+		msgHas[p] = make([]bool, n)
+	}
+
+	// Superstep 0: every vertex applies the initial message at the master.
+	if err := pg.forEachShard(nv, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			id := verts[v]
+			masterVals[v] = prog.VProg(id, prog.Init(id), prog.InitialMsg)
+			changed[v] = true
+		}
+	}); err != nil {
+		return nil, nil, err
+	}
+	activeCount := int64(nv)
+
+	stats := &RunStats{}
+	shards := pg.Parallelism
+	if shards < 1 {
+		shards = 1
+	}
+
+	for step := 1; activeCount > 0; step++ {
+		if prog.MaxIterations > 0 && step > prog.MaxIterations {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("pregel: superstep %d: %w", step, err)
+		}
+		ss := SuperstepStats{
+			Superstep:      step,
+			ActiveVertices: activeCount,
+			ComputePerPart: make([]float64, numParts),
+			ApplyPerShard:  make([]float64, shards),
+		}
+
+		// Phase 1: broadcast changed master values to mirrors. Each mirror
+		// slot is written by exactly one vertex, so sharding over vertices
+		// is race-free.
+		bMsgs := make([]int64, shards)
+		bBytes := make([]int64, shards)
+		shardSize := (nv + shards - 1) / shards
+		if err := pg.forEachShard(nv, func(lo, hi int) {
+			sh := lo / shardSize
+			var msgs, bytes int64
+			for v := lo; v < hi; v++ {
+				if !changed[v] {
+					continue
+				}
+				val := masterVals[v]
+				sz := int64(stateBytes(val))
+				for _, ref := range pg.mirrorsOf(int32(v)) {
+					vals[ref.part][ref.local] = val
+					active[ref.part][ref.local] = true
+					msgs++
+					bytes += sz
+				}
+			}
+			bMsgs[sh] += msgs
+			bBytes[sh] += bytes
+		}); err != nil {
+			return nil, nil, fmt.Errorf("pregel: superstep %d broadcast: %w", step, err)
+		}
+		for sh := 0; sh < shards; sh++ {
+			ss.BroadcastMsgs += bMsgs[sh]
+			ss.BroadcastBytes += bBytes[sh]
+		}
+
+		// Phase 2: compute. Each partition scans its active triplets and
+		// combines messages locally.
+		scanned := make([]int64, numParts)
+		emitted := make([]int64, numParts)
+		if err := pg.forEachPart(func(p int) {
+			part := pg.Parts[p]
+			pv := vals[p]
+			pa := active[p]
+			em := &partEmitter[M]{
+				merge: prog.MergeMsg,
+				acc:   msgAcc[p],
+				has:   msgHas[p],
+			}
+			var cost float64
+			var nScan, nEmit int64
+			var t Triplet[V]
+			for _, e := range part.edges {
+				srcA, dstA := pa[e.src], pa[e.dst]
+				var scan bool
+				switch prog.ActiveDirection {
+				case Out:
+					scan = srcA
+				case In:
+					scan = dstA
+				case Either:
+					scan = srcA || dstA
+				case Both:
+					scan = srcA && dstA
+				case AllEdges:
+					scan = true
+				}
+				if !scan {
+					continue
+				}
+				nScan++
+				t.SrcID = verts[part.LocalVerts[e.src]]
+				t.DstID = verts[part.LocalVerts[e.dst]]
+				t.SrcVal = pv[e.src]
+				t.DstVal = pv[e.dst]
+				em.srcLocal = e.src
+				em.dstLocal = e.dst
+				em.emitted = &nEmit
+				prog.SendMsg(&t, em)
+				cost += edgeCost(&t)
+			}
+			scanned[p] = nScan
+			emitted[p] = nEmit
+			ss.ComputePerPart[p] = cost
+		}); err != nil {
+			return nil, nil, fmt.Errorf("pregel: superstep %d compute: %w", step, err)
+		}
+		for p := 0; p < numParts; p++ {
+			ss.EdgesScanned += scanned[p]
+			ss.MsgsEmitted += emitted[p]
+		}
+
+		// Phase 3: reduce. One partial aggregate per (partition, vertex)
+		// ships to the master. Shard by global vertex ranges: LocalVerts
+		// is sorted, so each shard binary-searches its subrange in every
+		// partition; shards own disjoint ranges, so merging is race-free.
+		rMsgs := make([]int64, shards)
+		rBytes := make([]int64, shards)
+		chunk := (nv + shards - 1) / shards
+		if err := pg.forEachShard(shards, func(shLo, shHi int) {
+			for sh := shLo; sh < shHi; sh++ {
+				gLo := int32(sh * chunk)
+				gHi := int32((sh + 1) * chunk)
+				if int(gHi) > nv {
+					gHi = int32(nv)
+				}
+				var msgs, bytes int64
+				for p := 0; p < numParts; p++ {
+					lv := pg.Parts[p].LocalVerts
+					has := msgHas[p]
+					acc := msgAcc[p]
+					start := sort.Search(len(lv), func(i int) bool { return lv[i] >= gLo })
+					for l := start; l < len(lv) && lv[l] < gHi; l++ {
+						if !has[l] {
+							continue
+						}
+						gidx := lv[l]
+						m := acc[l]
+						if masterHas[gidx] {
+							masterMsg[gidx] = prog.MergeMsg(masterMsg[gidx], m)
+						} else {
+							masterMsg[gidx] = m
+							masterHas[gidx] = true
+						}
+						msgs++
+						bytes += int64(msgBytes(m))
+					}
+				}
+				rMsgs[sh] += msgs
+				rBytes[sh] += bytes
+			}
+		}); err != nil {
+			return nil, nil, fmt.Errorf("pregel: superstep %d reduce: %w", step, err)
+		}
+		for sh := 0; sh < shards; sh++ {
+			ss.ReduceMsgs += rMsgs[sh]
+			ss.ReduceBytes += rBytes[sh]
+		}
+
+		// Clear per-partition activity and accumulators for the next round.
+		if err := pg.forEachPart(func(p int) {
+			pa := active[p]
+			for i := range pa {
+				pa[i] = false
+			}
+			ph := msgHas[p]
+			for i := range ph {
+				ph[i] = false
+			}
+		}); err != nil {
+			return nil, nil, fmt.Errorf("pregel: superstep %d: %w", step, err)
+		}
+
+		// Phase 4: apply at the master.
+		counts := make([]int64, shards)
+		if err := pg.forEachShard(nv, func(lo, hi int) {
+			sh := lo / shardSize
+			var n int64
+			for v := lo; v < hi; v++ {
+				if masterHas[v] {
+					masterVals[v] = prog.VProg(verts[v], masterVals[v], masterMsg[v])
+					masterHas[v] = false
+					changed[v] = true
+					n++
+				} else {
+					changed[v] = false
+				}
+			}
+			counts[sh] += n
+			ss.ApplyPerShard[sh] += float64(n) * applyCost
+		}); err != nil {
+			return nil, nil, fmt.Errorf("pregel: superstep %d apply: %w", step, err)
+		}
+		activeCount = 0
+		for _, c := range counts {
+			activeCount += c
+		}
+
+		stats.Supersteps = append(stats.Supersteps, ss)
+		if prog.OnSuperstep != nil {
+			switch err := prog.OnSuperstep(&stats.Supersteps[len(stats.Supersteps)-1]); {
+			case errors.Is(err, ErrHalt):
+				stats.Halted = true
+				stats.Converged = false
+				return masterVals, stats, nil
+			case err != nil:
+				return nil, nil, fmt.Errorf("pregel: superstep %d monitor: %w", step, err)
+			}
+		}
+	}
+	stats.Converged = activeCount == 0
+	return masterVals, stats, nil
+}
+
+// partEmitter delivers messages into the partition-local accumulator.
+type partEmitter[M any] struct {
+	merge              func(a, b M) M
+	acc                []M
+	has                []bool
+	srcLocal, dstLocal int32
+	emitted            *int64
+}
+
+func (em *partEmitter[M]) deliver(l int32, m M) {
+	*em.emitted++
+	if em.has[l] {
+		em.acc[l] = em.merge(em.acc[l], m)
+	} else {
+		em.acc[l] = m
+		em.has[l] = true
+	}
+}
+
+// ToSrc sends a message to the triplet's source vertex.
+func (em *partEmitter[M]) ToSrc(m M) { em.deliver(em.srcLocal, m) }
+
+// ToDst sends a message to the triplet's destination vertex.
+func (em *partEmitter[M]) ToDst(m M) { em.deliver(em.dstLocal, m) }

@@ -1,0 +1,287 @@
+// Package pregel implements a GraphX-style vertex-cut Bulk-Synchronous
+// Parallel engine. Edges are distributed into partitions by a partitioning
+// strategy; each partition reconstructs local copies (mirrors) of the
+// vertices its edges touch; a master copy of every vertex lives outside the
+// edge partitions (GraphX's VertexRDD). Every superstep proceeds in three
+// phases, exactly mirroring GraphX's communication pattern:
+//
+//  1. broadcast: updated master values are shipped to every mirror — this
+//     traffic is what the CommCost metric counts;
+//  2. compute: each partition scans its active triplets in parallel and
+//     combines emitted messages locally per destination vertex;
+//  3. reduce: one partial aggregate per (partition, vertex) is shipped back
+//     to the master and merged, then the vertex program is applied.
+//
+// The engine executes genuinely in parallel (one goroutine per partition,
+// sharded master apply) and simultaneously counts every message and byte
+// crossing a partition boundary; the cluster package converts those counts
+// into simulated wall-clock time for a configurable cluster.
+package pregel
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"cutfit/internal/graph"
+	"cutfit/internal/partition"
+)
+
+// localEdge is an edge expressed in partition-local vertex indices.
+type localEdge struct {
+	src, dst int32 // indices into Partition.LocalVerts
+}
+
+// Partition is one edge partition with its local vertex mirror table.
+type Partition struct {
+	// LocalVerts maps local vertex index -> global dense vertex index,
+	// sorted ascending by global index.
+	LocalVerts []int32
+	edges      []localEdge
+}
+
+// NumEdges returns the number of edges in the partition.
+func (p *Partition) NumEdges() int { return len(p.edges) }
+
+// EdgeAt returns the local vertex indices of the partition's j-th edge.
+func (p *Partition) EdgeAt(j int) (src, dst int32) {
+	e := p.edges[j]
+	return e.src, e.dst
+}
+
+// NumLocalVertices returns the number of distinct vertices reconstructed in
+// the partition.
+func (p *Partition) NumLocalVertices() int { return len(p.LocalVerts) }
+
+// mirrorRef locates one mirror of a vertex: partition p, local slot l.
+type mirrorRef struct {
+	part  int32
+	local int32
+}
+
+// PartitionedGraph is the topology shared by all jobs: the per-partition
+// edge lists, local vertex tables and the mirror routing table.
+type PartitionedGraph struct {
+	G        *graph.Graph
+	NumParts int
+	Parts    []*Partition
+
+	// assign is the original per-edge partition assignment, retained so
+	// jobs can align global edge order with per-partition edge order.
+	assign []partition.PID
+
+	// routingOffsets/routingRefs form a CSR over global dense vertex
+	// indices: mirrors of vertex v are
+	// routingRefs[routingOffsets[v]:routingOffsets[v+1]].
+	routingOffsets []int64
+	routingRefs    []mirrorRef
+
+	// Parallelism is the number of worker goroutines used for partition
+	// phases; defaults to GOMAXPROCS.
+	Parallelism int
+}
+
+// NewPartitionedGraph builds the partitioned representation from an edge
+// assignment (one PID per edge, aligned with g.Edges()).
+func NewPartitionedGraph(g *graph.Graph, assign []partition.PID, numParts int) (*PartitionedGraph, error) {
+	if numParts <= 0 {
+		return nil, fmt.Errorf("pregel: numParts must be positive, got %d", numParts)
+	}
+	edges := g.Edges()
+	if len(assign) != len(edges) {
+		return nil, fmt.Errorf("pregel: assignment has %d entries for %d edges", len(assign), len(edges))
+	}
+	nv := g.NumVertices()
+
+	parts := make([]*Partition, numParts)
+	for p := range parts {
+		parts[p] = &Partition{}
+	}
+	// First pass: count edges per partition and collect local vertex sets.
+	counts := make([]int, numParts)
+	for i := range edges {
+		p := assign[i]
+		if p < 0 || int(p) >= numParts {
+			return nil, fmt.Errorf("pregel: edge %d assigned to out-of-range partition %d", i, p)
+		}
+		counts[p]++
+	}
+	// Build local vertex tables. seen[p] maps global dense -> local index.
+	type vset map[int32]int32
+	seen := make([]vset, numParts)
+	for p := range seen {
+		seen[p] = make(vset)
+	}
+	for i, e := range edges {
+		p := assign[i]
+		si, _ := g.Index(e.Src)
+		di, _ := g.Index(e.Dst)
+		if _, ok := seen[p][si]; !ok {
+			seen[p][si] = 0
+		}
+		if _, ok := seen[p][di]; !ok {
+			seen[p][di] = 0
+		}
+	}
+	for p := 0; p < numParts; p++ {
+		lv := make([]int32, 0, len(seen[p]))
+		for gidx := range seen[p] {
+			lv = append(lv, gidx)
+		}
+		sort.Slice(lv, func(a, b int) bool { return lv[a] < lv[b] })
+		for l, gidx := range lv {
+			seen[p][gidx] = int32(l)
+		}
+		parts[p].LocalVerts = lv
+		parts[p].edges = make([]localEdge, 0, counts[p])
+	}
+	for i, e := range edges {
+		p := assign[i]
+		si, _ := g.Index(e.Src)
+		di, _ := g.Index(e.Dst)
+		parts[p].edges = append(parts[p].edges, localEdge{
+			src: seen[p][si],
+			dst: seen[p][di],
+		})
+	}
+
+	// Routing CSR: mirrors per global vertex.
+	offsets := make([]int64, nv+1)
+	for p := 0; p < numParts; p++ {
+		for _, gidx := range parts[p].LocalVerts {
+			offsets[gidx+1]++
+		}
+	}
+	for i := 0; i < nv; i++ {
+		offsets[i+1] += offsets[i]
+	}
+	refs := make([]mirrorRef, offsets[nv])
+	cursor := make([]int64, nv)
+	for p := 0; p < numParts; p++ {
+		for l, gidx := range parts[p].LocalVerts {
+			refs[offsets[gidx]+cursor[gidx]] = mirrorRef{part: int32(p), local: int32(l)}
+			cursor[gidx]++
+		}
+	}
+	return &PartitionedGraph{
+		G:              g,
+		NumParts:       numParts,
+		Parts:          parts,
+		assign:         assign,
+		routingOffsets: offsets,
+		routingRefs:    refs,
+		Parallelism:    runtime.GOMAXPROCS(0),
+	}, nil
+}
+
+// AssignOrder returns the original per-edge partition assignment, aligned
+// with G.Edges(). Edges were appended to each partition in this order, so
+// a second pass over it reproduces local edge indices. Callers must not
+// modify the returned slice.
+func (pg *PartitionedGraph) AssignOrder() []partition.PID { return pg.assign }
+
+// ForEachPartition runs fn(p) for every partition index on the worker
+// pool, blocking until all complete. fn is called concurrently and must
+// only write state owned by its partition. A panic in fn is returned as
+// an error.
+func (pg *PartitionedGraph) ForEachPartition(fn func(p int)) error { return pg.forEachPart(fn) }
+
+// Mirrors returns the number of partitions vertex v (global dense index) is
+// replicated into.
+func (pg *PartitionedGraph) Mirrors(v int32) int {
+	return int(pg.routingOffsets[v+1] - pg.routingOffsets[v])
+}
+
+// mirrorsOf returns the mirror references of v.
+func (pg *PartitionedGraph) mirrorsOf(v int32) []mirrorRef {
+	return pg.routingRefs[pg.routingOffsets[v]:pg.routingOffsets[v+1]]
+}
+
+// TotalMirrors returns the total number of mirror slots across all
+// partitions (= Σ_v Mirrors(v) = metrics CommCost + NonCut).
+func (pg *PartitionedGraph) TotalMirrors() int64 {
+	return int64(len(pg.routingRefs))
+}
+
+// panicCatcher records the first panic raised by any pool worker so it can
+// be surfaced as an error instead of crashing the process from a goroutine.
+type panicCatcher struct {
+	once sync.Once
+	err  error
+}
+
+func (pc *panicCatcher) capture() {
+	if r := recover(); r != nil {
+		pc.once.Do(func() {
+			pc.err = fmt.Errorf("pregel: user program panicked: %v", r)
+		})
+	}
+}
+
+// forEachPart runs fn(p) for every partition index on the worker pool,
+// blocking until all complete. A panic in fn is captured and returned as
+// an error (remaining work may be skipped or completed).
+func (pg *PartitionedGraph) forEachPart(fn func(p int)) error {
+	par := pg.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	if par > pg.NumParts {
+		par = pg.NumParts
+	}
+	var wg sync.WaitGroup
+	var pc panicCatcher
+	next := make(chan int, pg.NumParts)
+	for p := 0; p < pg.NumParts; p++ {
+		next <- p
+	}
+	close(next)
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for p := range next {
+				func() {
+					defer pc.capture()
+					fn(p)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	return pc.err
+}
+
+// forEachShard splits [0, n) into parallelism contiguous shards and runs
+// fn(lo, hi) for each on the worker pool. Panics in fn are captured and
+// returned as an error.
+func (pg *PartitionedGraph) forEachShard(n int, fn func(lo, hi int)) error {
+	par := pg.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	if par > n {
+		par = n
+	}
+	if n == 0 {
+		return nil
+	}
+	var wg sync.WaitGroup
+	var pc panicCatcher
+	chunk := (n + par - 1) / par
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer pc.capture()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return pc.err
+}

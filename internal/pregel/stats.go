@@ -1,0 +1,108 @@
+package pregel
+
+// SuperstepStats records the work and traffic of one BSP superstep. The
+// cluster cost model consumes these to produce simulated execution times.
+type SuperstepStats struct {
+	Superstep int
+	// ActiveVertices is the number of vertices whose program ran this
+	// superstep (received a message, or all vertices on superstep 0).
+	ActiveVertices int64
+	// BroadcastMsgs counts master→mirror vertex state shipments; for a
+	// fully active superstep this equals Σ_v mirrors(v), whose cut-vertex
+	// portion is exactly the paper's CommCost metric.
+	BroadcastMsgs int64
+	// BroadcastBytes is the byte volume of those shipments.
+	BroadcastBytes int64
+	// ReduceMsgs counts mirror→master partial aggregates (one per
+	// (partition, destination-vertex) pair with at least one message).
+	ReduceMsgs int64
+	// ReduceBytes is the byte volume of the reduce phase.
+	ReduceBytes int64
+	// EdgesScanned is the number of triplets examined across partitions.
+	EdgesScanned int64
+	// MsgsEmitted is the number of sendMsg emissions before local combine.
+	MsgsEmitted int64
+	// ComputePerPart is the abstract compute cost (cost-model units)
+	// accumulated by each partition during the compute phase.
+	ComputePerPart []float64
+	// ApplyPerShard is the abstract compute cost of the master apply phase
+	// per master shard.
+	ApplyPerShard []float64
+}
+
+// TotalNetworkMsgs returns broadcast plus reduce messages.
+func (s *SuperstepStats) TotalNetworkMsgs() int64 { return s.BroadcastMsgs + s.ReduceMsgs }
+
+// TotalNetworkBytes returns broadcast plus reduce bytes.
+func (s *SuperstepStats) TotalNetworkBytes() int64 { return s.BroadcastBytes + s.ReduceBytes }
+
+// MaxCompute returns the largest per-partition compute cost this superstep
+// — the BSP straggler bound.
+func (s *SuperstepStats) MaxCompute() float64 {
+	var m float64
+	for _, c := range s.ComputePerPart {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// SumCompute returns the total compute cost across partitions.
+func (s *SuperstepStats) SumCompute() float64 {
+	var t float64
+	for _, c := range s.ComputePerPart {
+		t += c
+	}
+	return t
+}
+
+// RunStats aggregates the statistics of a whole job run.
+type RunStats struct {
+	Supersteps []SuperstepStats
+	// Converged is true if the job halted because no messages remained
+	// (rather than hitting the iteration cap).
+	Converged bool
+	// Halted is true if the job was stopped early by an OnSuperstep hook
+	// returning ErrHalt.
+	Halted bool
+}
+
+// NumSupersteps returns the number of supersteps executed.
+func (r *RunStats) NumSupersteps() int { return len(r.Supersteps) }
+
+// TotalBroadcastMsgs sums master→mirror shipments over the run.
+func (r *RunStats) TotalBroadcastMsgs() int64 {
+	var t int64
+	for i := range r.Supersteps {
+		t += r.Supersteps[i].BroadcastMsgs
+	}
+	return t
+}
+
+// TotalReduceMsgs sums mirror→master partial aggregates over the run.
+func (r *RunStats) TotalReduceMsgs() int64 {
+	var t int64
+	for i := range r.Supersteps {
+		t += r.Supersteps[i].ReduceMsgs
+	}
+	return t
+}
+
+// TotalNetworkBytes sums all bytes shipped over the run.
+func (r *RunStats) TotalNetworkBytes() int64 {
+	var t int64
+	for i := range r.Supersteps {
+		t += r.Supersteps[i].TotalNetworkBytes()
+	}
+	return t
+}
+
+// TotalEdgesScanned sums triplets examined over the run.
+func (r *RunStats) TotalEdgesScanned() int64 {
+	var t int64
+	for i := range r.Supersteps {
+		t += r.Supersteps[i].EdgesScanned
+	}
+	return t
+}
