@@ -1,0 +1,31 @@
+# Tier-1 verification and benchmark targets. `make check` is the one
+# command a PR must keep green.
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race determinism regression for the parallel partition build and the
+# scratch-reuse engine.
+race:
+	$(GO) test -race ./internal/pregel/... ./internal/testutil/...
+
+# Hot-path benchmarks: partition construction (old vs new, and across
+# dataset analogs × strategies) and per-superstep allocation footprint.
+bench:
+	$(GO) test -run='^$$' -bench=BenchmarkPartitionBuild -benchmem ./internal/pregel/
+	$(GO) test -run='^$$' -bench='BenchmarkPartitionBuild|BenchmarkSuperstepAllocs' -benchmem .
+
+# Short fuzz session on the edge-list ingest path.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=30s ./internal/graph/
+
+check: build test race

@@ -28,6 +28,7 @@ import (
 	"cutfit/internal/datasets"
 	"cutfit/internal/metrics"
 	"cutfit/internal/partition"
+	"cutfit/internal/pregel"
 )
 
 // BenchmarkTable1Characterize regenerates Table 1: the structural
@@ -173,7 +174,7 @@ func BenchmarkFigure6SSSP(b *testing.B) {
 // (paper: −15 % and −20 %).
 func BenchmarkInfraExperiment(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := bench.InfraExperiment(context.Background(), 10)
+		r, err := bench.InfraExperiment(context.Background(), 10, pregel.BuildOptions{ReuseBuffers: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -385,6 +386,82 @@ func BenchmarkAblationHybridCut(b *testing.B) {
 		}
 		b.ReportMetric(float64(hy.CommCost)/float64(d2.CommCost), "hybrid_commcost_vs_2D")
 		b.ReportMetric(hy.Balance, "hybrid_balance")
+	}
+}
+
+// BenchmarkPartitionBuild measures engine-ready partition construction
+// (the cost the advisor's empirical-selection loop pays once per candidate)
+// across three structurally distinct dataset analogs and three strategies
+// at the paper's coarse granularity. Run with -benchmem; allocs/op is as
+// much the point as ns/op. The old-vs-new comparison against the retained
+// hash-map builder lives in internal/pregel's BenchmarkPartitionBuild.
+func BenchmarkPartitionBuild(b *testing.B) {
+	const numParts = 128
+	for _, dsName := range []string{"youtube", "pocek", "roadnet-pa"} {
+		spec, err := datasets.ByName(dsName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := spec.BuildCached()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, strat := range []cutfit.Strategy{
+			cutfit.RandomVertexCut(),
+			cutfit.EdgePartition2D(),
+			cutfit.DestinationCut(),
+		} {
+			b.Run(dsName+"/"+strat.Name(), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := cutfit.PartitionWithOptions(g, strat, numParts, cutfit.PartitionOptions{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.SetBytes(int64(g.NumEdges()) * 16)
+			})
+		}
+	}
+}
+
+// BenchmarkSuperstepAllocs measures the per-superstep allocation footprint
+// of the engine hot path: PageRank on the youtube analog with and without
+// engine scratch reuse across runs. With ReuseBuffers the steady-state
+// superstep allocates only the two stat slices that escape into RunStats.
+func BenchmarkSuperstepAllocs(b *testing.B) {
+	spec, err := datasets.ByName("youtube")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := spec.BuildCached()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const numParts = 128
+	const iters = 10
+	for _, reuse := range []bool{false, true} {
+		name := "fresh"
+		if reuse {
+			name = "reuse"
+		}
+		b.Run(name, func(b *testing.B) {
+			pg, err := cutfit.PartitionWithOptions(g, cutfit.EdgePartition2D(), numParts,
+				cutfit.PartitionOptions{ReuseBuffers: reuse})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Prime: the first run builds the scratch that later runs revive.
+			if _, _, err := cutfit.RunPageRank(context.Background(), pg, iters); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cutfit.RunPageRank(context.Background(), pg, iters); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -19,8 +19,13 @@ import (
 	"sort"
 
 	"cutfit/internal/bench"
+	"cutfit/internal/pregel"
 	"cutfit/internal/report"
 )
+
+// buildOpts is the partition-build/engine tuning shared by all experiment
+// invocations, set from the -parallelism and -reuse-buffers flags.
+var buildOpts pregel.BuildOptions
 
 func main() {
 	alg := flag.String("alg", "", "algorithm: pagerank, cc, triangles, sssp")
@@ -30,7 +35,11 @@ func main() {
 	csvOut := flag.String("csv", "", "write figure points as CSV to this file")
 	infra := flag.Bool("infra", false, "run the infrastructure experiment (configs ii/iii/iv)")
 	all := flag.Bool("all", false, "run everything: all four figures, winners, infra")
+	parallelism := flag.Int("parallelism", 0, "worker goroutines for partition build and engine phases (0 = GOMAXPROCS)")
+	reuse := flag.Bool("reuse-buffers", true, "reuse engine scratch buffers across runs of the same partitioned graph")
 	flag.Parse()
+
+	buildOpts = pregel.BuildOptions{Parallelism: *parallelism, ReuseBuffers: *reuse}
 
 	ctx := context.Background()
 	switch {
@@ -91,6 +100,7 @@ func runFigure(ctx context.Context, alg bench.Algorithm, metric string, winners 
 	}
 	fmt.Printf("=== %s: execution time vs %s ===\n", figureName(alg), metric)
 	e := bench.DefaultExperiment(alg)
+	e.Build = buildOpts
 	res, err := e.Run(ctx)
 	if err != nil {
 		return err
@@ -148,6 +158,7 @@ func renderFigure(ctx context.Context, alg bench.Algorithm, metric string, plot 
 		metric = paperMetric(alg)
 	}
 	e := bench.DefaultExperiment(alg)
+	e.Build = buildOpts
 	res, err := e.Run(ctx)
 	if err != nil {
 		return err
@@ -190,7 +201,7 @@ func renderFigure(ctx context.Context, alg bench.Algorithm, metric string, plot 
 
 func runInfra(ctx context.Context) error {
 	fmt.Println("=== Infrastructure experiment (§4): PageRank on follow-dec ===")
-	r, err := bench.InfraExperiment(ctx, 10)
+	r, err := bench.InfraExperiment(ctx, 10, buildOpts)
 	if err != nil {
 		return err
 	}

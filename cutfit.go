@@ -151,14 +151,37 @@ func Measure(g *Graph, s Strategy, numParts int) (*Metrics, error) {
 	return metrics.ComputeFor(g, s, numParts)
 }
 
+// PartitionOptions tunes how the engine-ready partitioned representation
+// is built and executed. The zero value matches Partition's defaults.
+type PartitionOptions struct {
+	// Parallelism is the number of worker goroutines used for the build
+	// and for every engine phase; values < 1 default to GOMAXPROCS.
+	Parallelism int
+	// ReuseBuffers keeps the engine's run scratch (mirror tables, combine
+	// accumulators, phase counters) parked on the PartitionedGraph between
+	// runs, making repeated runs over the same topology — benchmark loops,
+	// empirical strategy selection — nearly allocation-free. Result slices
+	// are copied out, so returned values stay valid across runs.
+	ReuseBuffers bool
+}
+
 // Partition builds the engine-ready partitioned representation of g under
-// strategy s.
+// strategy s with default options.
 func Partition(g *Graph, s Strategy, numParts int) (*PartitionedGraph, error) {
+	return PartitionWithOptions(g, s, numParts, PartitionOptions{})
+}
+
+// PartitionWithOptions builds the engine-ready partitioned representation
+// of g under strategy s using the sort/scatter parallel builder.
+func PartitionWithOptions(g *Graph, s Strategy, numParts int, opts PartitionOptions) (*PartitionedGraph, error) {
 	assign, err := s.Partition(g, numParts)
 	if err != nil {
 		return nil, fmt.Errorf("cutfit: partitioning with %s: %w", s.Name(), err)
 	}
-	return pregel.NewPartitionedGraph(g, assign, numParts)
+	return pregel.NewPartitionedGraphOpts(g, assign, numParts, pregel.BuildOptions{
+		Parallelism:  opts.Parallelism,
+		ReuseBuffers: opts.ReuseBuffers,
+	})
 }
 
 // RunPageRank executes static PageRank for numIter rounds (GraphX

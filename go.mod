@@ -1,0 +1,3 @@
+module cutfit
+
+go 1.24

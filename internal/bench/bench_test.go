@@ -312,7 +312,7 @@ func TestInfraExperimentShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("infra experiment builds follow-dec")
 	}
-	r, err := InfraExperiment(context.Background(), 3)
+	r, err := InfraExperiment(context.Background(), 3, pregel.BuildOptions{ReuseBuffers: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +338,7 @@ func TestInfraSpreadGrowsWithInfrastructure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("infra experiment builds follow-dec")
 	}
-	r, err := InfraExperiment(context.Background(), 3)
+	r, err := InfraExperiment(context.Background(), 3, pregel.BuildOptions{ReuseBuffers: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -53,6 +53,11 @@ type Experiment struct {
 	SSSPLandmarks int
 	// Seed drives landmark selection.
 	Seed uint64
+
+	// Build tunes partitioned-graph construction and engine execution for
+	// every grid cell (worker parallelism, engine buffer reuse). The zero
+	// value uses the engine defaults.
+	Build pregel.BuildOptions
 }
 
 // DefaultExperiment returns the paper's experimental setup for the given
@@ -162,7 +167,7 @@ func (e *Experiment) runCell(ctx context.Context, g *graph.Graph, dataset string
 	if err != nil {
 		return Run{}, err
 	}
-	pg, err := pregel.NewPartitionedGraph(g, assign, cfg.NumPartitions)
+	pg, err := pregel.NewPartitionedGraphOpts(g, assign, cfg.NumPartitions, e.Build)
 	if err != nil {
 		return Run{}, err
 	}

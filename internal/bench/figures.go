@@ -124,8 +124,9 @@ type InfraResult struct {
 // (iii) and (iv), reproducing the network/storage upgrade experiment at
 // the end of §4: once with the best strategy (2D) for the upgrade
 // reductions, and across all six strategies for the partitioner-impact
-// spread.
-func InfraExperiment(ctx context.Context, iterations int) (*InfraResult, error) {
+// spread. build tunes the partition construction and engine buffers for
+// every run.
+func InfraExperiment(ctx context.Context, iterations int, build pregel.BuildOptions) (*InfraResult, error) {
 	spec, err := datasets.ByName("follow-dec")
 	if err != nil {
 		return nil, err
@@ -148,7 +149,7 @@ func InfraExperiment(ctx context.Context, iterations int) (*InfraResult, error) 
 		if err != nil {
 			return nil, err
 		}
-		pg, err := pregel.NewPartitionedGraph(g, assign, configs[0].NumPartitions)
+		pg, err := pregel.NewPartitionedGraphOpts(g, assign, configs[0].NumPartitions, build)
 		if err != nil {
 			return nil, err
 		}

@@ -37,6 +37,8 @@ type Graph struct {
 	index    map[VertexID]int32 // vertex ID -> dense index into verts
 	outDeg   []int32            // per dense index
 	inDeg    []int32
+	srcIdx   []int32 // per-edge dense source index, aligned with edges
+	dstIdx   []int32 // per-edge dense destination index
 	csrOut   *csr
 	csrIn    *csr
 	csrUndir *csr // undirected, deduplicated, no self loops
@@ -72,6 +74,8 @@ func (g *Graph) invalidate() {
 	g.index = nil
 	g.outDeg = nil
 	g.inDeg = nil
+	g.srcIdx = nil
+	g.dstIdx = nil
 	g.csrOut = nil
 	g.csrIn = nil
 	g.csrUndir = nil
@@ -127,6 +131,27 @@ func (g *Graph) Index(v VertexID) (int32, bool) {
 	g.buildVertexIndex()
 	i, ok := g.index[v]
 	return i, ok
+}
+
+// EdgeEndpointIndices returns the dense endpoint indices of every edge,
+// aligned with Edges(): edge i goes from dense vertex src[i] to dst[i].
+// The slices are built once and cached, so repeated consumers (the
+// partitioned-graph builder runs once per candidate strategy in the
+// advisor's empirical-selection loop) pay the vertex-index map lookups a
+// single time. Callers must not modify the returned slices.
+func (g *Graph) EdgeEndpointIndices() (src, dst []int32) {
+	if g.srcIdx == nil {
+		g.buildVertexIndex()
+		srcIdx := make([]int32, len(g.edges))
+		dstIdx := make([]int32, len(g.edges))
+		for i, e := range g.edges {
+			srcIdx[i] = g.index[e.Src]
+			dstIdx[i] = g.index[e.Dst]
+		}
+		g.srcIdx = srcIdx
+		g.dstIdx = dstIdx
+	}
+	return g.srcIdx, g.dstIdx
 }
 
 // buildDegrees computes in/out degree per dense vertex index.

@@ -1,0 +1,56 @@
+package pregel
+
+import (
+	"testing"
+
+	"cutfit/internal/datasets"
+	"cutfit/internal/partition"
+)
+
+// BenchmarkPartitionBuild compares the retained hash-map construction
+// (the pre-refactor baseline) against the sort/scatter construction on the
+// youtube analog at the paper's coarse granularity of 128 partitions.
+// Run with -benchmem: the headline is both ns/op and allocs/op.
+func BenchmarkPartitionBuild(b *testing.B) {
+	spec, err := datasets.ByName("youtube")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := spec.BuildCached()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const numParts = 128
+	assign, err := partition.EdgePartition2D().Partition(g, numParts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the graph's cached views so both variants measure construction,
+	// not first-touch index building.
+	g.EdgeEndpointIndices()
+
+	b.Run("maps", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := newPartitionedGraphMaps(g, assign, numParts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sortscatter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := NewPartitionedGraphOpts(g, assign, numParts, BuildOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sortscatter-1worker", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := NewPartitionedGraphOpts(g, assign, numParts, BuildOptions{Parallelism: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,19 @@
+package pregel
+
+import (
+	"testing"
+
+	"cutfit/internal/graph"
+	"cutfit/internal/partition"
+)
+
+func TestBuildEmptyGraph(t *testing.T) {
+	g := graph.FromEdges(nil)
+	pg, err := NewPartitionedGraphOpts(g, []partition.PID{}, 4, BuildOptions{Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.TotalMirrors() != 0 {
+		t.Fatal("expected no mirrors")
+	}
+}

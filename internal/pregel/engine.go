@@ -116,6 +116,114 @@ func (p *Program[V, M]) validate() error {
 	return nil
 }
 
+// engineScratch is the run-scoped buffer set of one Run invocation: master
+// and mirror state, per-partition combine accumulators and the per-phase
+// counter slices. It is allocated once per run and zeroed — never
+// reallocated — between supersteps; with PartitionedGraph.ReuseBuffers it
+// is parked on the graph after a successful run and revived by the next
+// Run with matching V/M types, so steady-state supersteps allocate only
+// the two per-superstep stat slices that escape into RunStats.
+type engineScratch[V, M any] struct {
+	// Master state, indexed by global dense vertex.
+	masterVals []V
+	changed    []bool
+	masterMsg  []M
+	masterHas  []bool
+
+	// Mirror state, indexed by [partition][local vertex].
+	vals   [][]V
+	active [][]bool
+	msgAcc [][]M
+	msgHas [][]bool
+
+	// emitters[p] is partition p's reusable message emitter; its acc/has
+	// point into msgAcc/msgHas. Slots are cache-line padded: workers scan
+	// different partitions concurrently and bump emitted per edge, so
+	// adjacent unpadded emitters would false-share.
+	emitters []emitterSlot[M]
+
+	// Per-shard / per-partition counters, zeroed each superstep.
+	bMsgs, bBytes  []int64 // broadcast, per shard
+	rMsgs, rBytes  []int64 // reduce, per shard
+	applyCounts    []int64 // apply, per shard
+	scanned        []int64 // compute, per partition
+	emitted        []int64
+	computePerPart []float64
+	applyPerShard  []float64
+}
+
+func newEngineScratch[V, M any](pg *PartitionedGraph, shards int) *engineScratch[V, M] {
+	nv := pg.G.NumVertices()
+	numParts := pg.NumParts
+	s := &engineScratch[V, M]{
+		masterVals: make([]V, nv),
+		changed:    make([]bool, nv),
+		masterMsg:  make([]M, nv),
+		masterHas:  make([]bool, nv),
+		vals:       make([][]V, numParts),
+		active:     make([][]bool, numParts),
+		msgAcc:     make([][]M, numParts),
+		msgHas:     make([][]bool, numParts),
+		emitters:   make([]emitterSlot[M], numParts),
+	}
+	for p := 0; p < numParts; p++ {
+		n := len(pg.Parts[p].LocalVerts)
+		s.vals[p] = make([]V, n)
+		s.active[p] = make([]bool, n)
+		s.msgAcc[p] = make([]M, n)
+		s.msgHas[p] = make([]bool, n)
+	}
+	s.sizeCounters(numParts, shards)
+	return s
+}
+
+// sizeCounters (re)allocates the small counter slices if the shard or
+// partition count changed since the scratch was built.
+func (s *engineScratch[V, M]) sizeCounters(numParts, shards int) {
+	if len(s.bMsgs) != shards {
+		s.bMsgs = make([]int64, shards)
+		s.bBytes = make([]int64, shards)
+		s.rMsgs = make([]int64, shards)
+		s.rBytes = make([]int64, shards)
+		s.applyCounts = make([]int64, shards)
+		s.applyPerShard = make([]float64, shards)
+	}
+	if len(s.scanned) != numParts {
+		s.scanned = make([]int64, numParts)
+		s.emitted = make([]int64, numParts)
+		s.computePerPart = make([]float64, numParts)
+	}
+}
+
+// reset clears the flag arrays a revived scratch inherits from its previous
+// run. Value and message buffers need no clearing: every slot is rewritten
+// before it is read (superstep 0 initializes all masters, broadcast
+// populates mirrors, the has-flags gate the accumulators).
+func (s *engineScratch[V, M]) reset(numParts, shards int) {
+	s.sizeCounters(numParts, shards)
+	clear(s.masterHas)
+	for p := range s.active {
+		clear(s.active[p])
+		clear(s.msgHas[p])
+	}
+}
+
+// scratchFor revives the parked scratch of a previous run when buffer reuse
+// is enabled and the types match, else builds a fresh one.
+func scratchFor[V, M any](pg *PartitionedGraph, shards int) *engineScratch[V, M] {
+	if pg.ReuseBuffers {
+		parked := pg.takeScratch(func(s any) bool {
+			_, ok := s.(*engineScratch[V, M])
+			return ok
+		})
+		if s, ok := parked.(*engineScratch[V, M]); ok {
+			s.reset(pg.NumParts, shards)
+			return s
+		}
+	}
+	return newEngineScratch[V, M](pg, shards)
+}
+
 // Run executes the program on the partitioned graph and returns the final
 // vertex values (indexed by the graph's dense vertex order, i.e. aligned
 // with pg.G.Vertices()) and the per-superstep statistics.
@@ -145,22 +253,26 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 	nv := len(verts)
 	numParts := pg.NumParts
 
-	masterVals := make([]V, nv)
-	changed := make([]bool, nv)
-	masterMsg := make([]M, nv)
-	masterHas := make([]bool, nv)
+	shards := pg.Parallelism
+	if shards < 1 {
+		shards = 1
+	}
 
-	// Per-partition mirror state.
-	vals := make([][]V, numParts)
-	active := make([][]bool, numParts)
-	msgAcc := make([][]M, numParts)
-	msgHas := make([][]bool, numParts)
+	sc := scratchFor[V, M](pg, shards)
+	masterVals := sc.masterVals
+	changed := sc.changed
+	masterMsg := sc.masterMsg
+	masterHas := sc.masterHas
+	vals := sc.vals
+	active := sc.active
+	msgAcc := sc.msgAcc
+	msgHas := sc.msgHas
 	for p := 0; p < numParts; p++ {
-		n := len(pg.Parts[p].LocalVerts)
-		vals[p] = make([]V, n)
-		active[p] = make([]bool, n)
-		msgAcc[p] = make([]M, n)
-		msgHas[p] = make([]bool, n)
+		sc.emitters[p].partEmitter = partEmitter[M]{
+			merge: prog.MergeMsg,
+			acc:   msgAcc[p],
+			has:   msgHas[p],
+		}
 	}
 
 	// Superstep 0: every vertex applies the initial message at the master.
@@ -176,10 +288,6 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 	activeCount := int64(nv)
 
 	stats := &RunStats{}
-	shards := pg.Parallelism
-	if shards < 1 {
-		shards = 1
-	}
 
 	for step := 1; activeCount > 0; step++ {
 		if prog.MaxIterations > 0 && step > prog.MaxIterations {
@@ -191,15 +299,16 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 		ss := SuperstepStats{
 			Superstep:      step,
 			ActiveVertices: activeCount,
-			ComputePerPart: make([]float64, numParts),
-			ApplyPerShard:  make([]float64, shards),
 		}
 
 		// Phase 1: broadcast changed master values to mirrors. Each mirror
 		// slot is written by exactly one vertex, so sharding over vertices
 		// is race-free.
-		bMsgs := make([]int64, shards)
-		bBytes := make([]int64, shards)
+		bMsgs := sc.bMsgs
+		bBytes := sc.bBytes
+		for sh := 0; sh < shards; sh++ {
+			bMsgs[sh], bBytes[sh] = 0, 0
+		}
 		shardSize := (nv + shards - 1) / shards
 		if err := pg.forEachShard(nv, func(lo, hi int) {
 			sh := lo / shardSize
@@ -228,20 +337,17 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 		}
 
 		// Phase 2: compute. Each partition scans its active triplets and
-		// combines messages locally.
-		scanned := make([]int64, numParts)
-		emitted := make([]int64, numParts)
+		// combines messages locally through its reusable emitter.
+		scanned := sc.scanned
+		emitted := sc.emitted
 		if err := pg.forEachPart(func(p int) {
 			part := pg.Parts[p]
 			pv := vals[p]
 			pa := active[p]
-			em := &partEmitter[M]{
-				merge: prog.MergeMsg,
-				acc:   msgAcc[p],
-				has:   msgHas[p],
-			}
+			em := &sc.emitters[p].partEmitter
+			em.emitted = 0
 			var cost float64
-			var nScan, nEmit int64
+			var nScan int64
 			var t Triplet[V]
 			for _, e := range part.edges {
 				srcA, dstA := pa[e.src], pa[e.dst]
@@ -268,13 +374,12 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 				t.DstVal = pv[e.dst]
 				em.srcLocal = e.src
 				em.dstLocal = e.dst
-				em.emitted = &nEmit
 				prog.SendMsg(&t, em)
 				cost += edgeCost(&t)
 			}
 			scanned[p] = nScan
-			emitted[p] = nEmit
-			ss.ComputePerPart[p] = cost
+			emitted[p] = em.emitted
+			sc.computePerPart[p] = cost
 		}); err != nil {
 			return nil, nil, fmt.Errorf("pregel: superstep %d compute: %w", step, err)
 		}
@@ -282,13 +387,17 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 			ss.EdgesScanned += scanned[p]
 			ss.MsgsEmitted += emitted[p]
 		}
+		ss.ComputePerPart = append([]float64(nil), sc.computePerPart...)
 
 		// Phase 3: reduce. One partial aggregate per (partition, vertex)
 		// ships to the master. Shard by global vertex ranges: LocalVerts
 		// is sorted, so each shard binary-searches its subrange in every
 		// partition; shards own disjoint ranges, so merging is race-free.
-		rMsgs := make([]int64, shards)
-		rBytes := make([]int64, shards)
+		rMsgs := sc.rMsgs
+		rBytes := sc.rBytes
+		for sh := 0; sh < shards; sh++ {
+			rMsgs[sh], rBytes[sh] = 0, 0
+		}
 		chunk := (nv + shards - 1) / shards
 		if err := pg.forEachShard(shards, func(shLo, shHi int) {
 			for sh := shLo; sh < shHi; sh++ {
@@ -332,20 +441,18 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 
 		// Clear per-partition activity and accumulators for the next round.
 		if err := pg.forEachPart(func(p int) {
-			pa := active[p]
-			for i := range pa {
-				pa[i] = false
-			}
-			ph := msgHas[p]
-			for i := range ph {
-				ph[i] = false
-			}
+			clear(active[p])
+			clear(msgHas[p])
 		}); err != nil {
 			return nil, nil, fmt.Errorf("pregel: superstep %d: %w", step, err)
 		}
 
 		// Phase 4: apply at the master.
-		counts := make([]int64, shards)
+		counts := sc.applyCounts
+		applyPerShard := sc.applyPerShard
+		for sh := 0; sh < shards; sh++ {
+			counts[sh], applyPerShard[sh] = 0, 0
+		}
 		if err := pg.forEachShard(nv, func(lo, hi int) {
 			sh := lo / shardSize
 			var n int64
@@ -360,7 +467,7 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 				}
 			}
 			counts[sh] += n
-			ss.ApplyPerShard[sh] += float64(n) * applyCost
+			applyPerShard[sh] += float64(n) * applyCost
 		}); err != nil {
 			return nil, nil, fmt.Errorf("pregel: superstep %d apply: %w", step, err)
 		}
@@ -368,6 +475,7 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 		for _, c := range counts {
 			activeCount += c
 		}
+		ss.ApplyPerShard = append([]float64(nil), applyPerShard...)
 
 		stats.Supersteps = append(stats.Supersteps, ss)
 		if prog.OnSuperstep != nil {
@@ -375,14 +483,28 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 			case errors.Is(err, ErrHalt):
 				stats.Halted = true
 				stats.Converged = false
-				return masterVals, stats, nil
+				return finishRun(pg, sc, masterVals), stats, nil
 			case err != nil:
 				return nil, nil, fmt.Errorf("pregel: superstep %d monitor: %w", step, err)
 			}
 		}
 	}
 	stats.Converged = activeCount == 0
-	return masterVals, stats, nil
+	return finishRun(pg, sc, masterVals), stats, nil
+}
+
+// finishRun hands the final vertex values to the caller. With buffer reuse
+// the scratch (including masterVals) is parked for the next run, so the
+// caller gets a private copy; otherwise the scratch-owned slice itself is
+// returned and the scratch is dropped.
+func finishRun[V, M any](pg *PartitionedGraph, sc *engineScratch[V, M], masterVals []V) []V {
+	if !pg.ReuseBuffers {
+		return masterVals
+	}
+	out := make([]V, len(masterVals))
+	copy(out, masterVals)
+	pg.putScratch(sc)
+	return out
 }
 
 // partEmitter delivers messages into the partition-local accumulator.
@@ -391,11 +513,19 @@ type partEmitter[M any] struct {
 	acc                []M
 	has                []bool
 	srcLocal, dstLocal int32
-	emitted            *int64
+	emitted            int64
+}
+
+// emitterSlot pads a partEmitter (72 bytes regardless of M: two slice
+// headers, a func value, and the per-edge fields) out to 128 bytes so
+// consecutive slots in engineScratch.emitters never share a cache line.
+type emitterSlot[M any] struct {
+	partEmitter[M]
+	_ [56]byte
 }
 
 func (em *partEmitter[M]) deliver(l int32, m M) {
-	*em.emitted++
+	em.emitted++
 	if em.has[l] {
 		em.acc[l] = em.merge(em.acc[l], m)
 	} else {

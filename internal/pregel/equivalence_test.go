@@ -1,0 +1,93 @@
+package pregel
+
+import (
+	"fmt"
+	"testing"
+
+	"cutfit/internal/graph"
+	"cutfit/internal/partition"
+)
+
+// checkEquivalent compares two partitioned representations structurally:
+// same partitions, same local vertex tables, same local edges in the same
+// order, same mirror routing.
+func checkEquivalent(a, b *PartitionedGraph) error {
+	if a.NumParts != b.NumParts {
+		return fmt.Errorf("NumParts %d != %d", a.NumParts, b.NumParts)
+	}
+	for p := range a.Parts {
+		pa, pb := a.Parts[p], b.Parts[p]
+		if len(pa.LocalVerts) != len(pb.LocalVerts) {
+			return fmt.Errorf("partition %d: %d local verts != %d", p, len(pa.LocalVerts), len(pb.LocalVerts))
+		}
+		for l := range pa.LocalVerts {
+			if pa.LocalVerts[l] != pb.LocalVerts[l] {
+				return fmt.Errorf("partition %d: LocalVerts[%d] %d != %d", p, l, pa.LocalVerts[l], pb.LocalVerts[l])
+			}
+		}
+		if pa.NumEdges() != pb.NumEdges() {
+			return fmt.Errorf("partition %d: %d edges != %d", p, pa.NumEdges(), pb.NumEdges())
+		}
+		for j := range pa.edges {
+			if pa.edges[j] != pb.edges[j] {
+				return fmt.Errorf("partition %d: edge %d %v != %v", p, j, pa.edges[j], pb.edges[j])
+			}
+		}
+	}
+	if len(a.routingRefs) != len(b.routingRefs) {
+		return fmt.Errorf("routing refs %d != %d", len(a.routingRefs), len(b.routingRefs))
+	}
+	for i := range a.routingRefs {
+		if a.routingRefs[i] != b.routingRefs[i] {
+			return fmt.Errorf("routing ref %d: %v != %v", i, a.routingRefs[i], b.routingRefs[i])
+		}
+	}
+	for i := range a.routingOffsets {
+		if a.routingOffsets[i] != b.routingOffsets[i] {
+			return fmt.Errorf("routing offset %d: %d != %d", i, a.routingOffsets[i], b.routingOffsets[i])
+		}
+	}
+	return nil
+}
+
+// TestSortScatterMatchesMapsBuild proves the sort/scatter construction is
+// bit-for-bit equivalent to the original hash-map construction across
+// strategies, partition counts and worker counts.
+func TestSortScatterMatchesMapsBuild(t *testing.T) {
+	for _, seed := range []uint64{3, 17, 99} {
+		g := randomGraph(seed, 80, 600)
+		for _, s := range partition.Extended() {
+			for _, numParts := range []int{1, 5, 32} {
+				assign, err := s.Partition(g, numParts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := newPartitionedGraphMaps(g, assign, numParts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, par := range []int{1, 4} {
+					got, err := NewPartitionedGraphOpts(g, assign, numParts, BuildOptions{Parallelism: par})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := checkEquivalent(want, got); err != nil {
+						t.Fatalf("seed %d strategy %s parts %d par %d: %v", seed, s.Name(), numParts, par, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSortScatterRejectsBadInput mirrors the error contract of the
+// original construction.
+func TestSortScatterRejectsBadInput(t *testing.T) {
+	g := graph.FromEdges([]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	if _, err := NewPartitionedGraphOpts(g, []partition.PID{0, 5}, 2, BuildOptions{}); err == nil {
+		t.Error("out-of-range PID in second shard should error")
+	}
+	if _, err := NewPartitionedGraphOpts(g, []partition.PID{-1, 0}, 2, BuildOptions{Parallelism: 8}); err == nil {
+		t.Error("negative PID should error")
+	}
+}

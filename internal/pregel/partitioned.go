@@ -16,12 +16,37 @@
 // sharded master apply) and simultaneously counts every message and byte
 // crossing a partition boundary; the cluster package converts those counts
 // into simulated wall-clock time for a configurable cluster.
+//
+// # Partition construction
+//
+// NewPartitionedGraph builds the partitioned topology with a dense
+// sort/scatter algorithm rather than per-partition hash maps, because the
+// advisor's empirical-selection loop rebuilds it once per candidate
+// strategy and the build cost dominates that loop:
+//
+//  1. count: one pass over the edge assignment counts edges per partition
+//     (sharded over the worker pool) and validates every PID;
+//  2. scatter: prefix sums over the per-(shard, partition) counts give
+//     every shard a private cursor into one contiguous edge buffer, so all
+//     shards scatter their edges concurrently without locks while
+//     preserving global edge order within each partition (the AssignOrder
+//     alignment contract);
+//  3. localize: each partition — fanned out over the worker pool — copies
+//     its edge endpoints into a per-worker scratch buffer, sorts and
+//     deduplicates it into the LocalVerts mirror table, and rewrites its
+//     edges to local indices by binary search.
+//
+// The only allocations retained per partition are the exact-size LocalVerts
+// table and a subslice of the shared edge buffer; all intermediate state
+// lives in per-worker scratch that is reused across the partitions a worker
+// processes. The reference hash-map construction is kept (unexported) as
+// the equivalence oracle for tests and as the benchmark baseline.
 package pregel
 
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"cutfit/internal/graph"
@@ -60,6 +85,21 @@ type mirrorRef struct {
 	local int32
 }
 
+// BuildOptions tunes partitioned-graph construction and engine execution.
+// The zero value is ready to use.
+type BuildOptions struct {
+	// Parallelism is the number of worker goroutines used for the build
+	// and for all engine phases; values < 1 default to GOMAXPROCS.
+	Parallelism int
+	// ReuseBuffers lets the engine stash its run-scoped scratch (mirror
+	// value/activity tables, combine accumulators, per-phase counters) on
+	// the PartitionedGraph between runs, so repeated runs over the same
+	// topology — benchmark loops, advisor selection — reallocate nothing.
+	// Runs remain safe to execute one at a time; concurrent runs on the
+	// same PartitionedGraph each fall back to fresh scratch.
+	ReuseBuffers bool
+}
+
 // PartitionedGraph is the topology shared by all jobs: the per-partition
 // edge lists, local vertex tables and the mirror routing table.
 type PartitionedGraph struct {
@@ -80,11 +120,255 @@ type PartitionedGraph struct {
 	// Parallelism is the number of worker goroutines used for partition
 	// phases; defaults to GOMAXPROCS.
 	Parallelism int
+
+	// ReuseBuffers enables engine scratch reuse across runs (see
+	// BuildOptions.ReuseBuffers).
+	ReuseBuffers bool
+
+	// scratchMu guards scratchCache, the parked engine scratches of
+	// recently finished runs. A small bound of slots lets different
+	// [V, M]-typed programs (PageRank's float64s, CC's vertex IDs)
+	// alternate on one graph without evicting each other's buffers.
+	scratchMu    sync.Mutex
+	scratchCache []any
 }
 
+// maxParkedScratches bounds how many engine scratches a PartitionedGraph
+// retains with ReuseBuffers; one per distinct (V, M) program type in
+// rotation is enough, and four covers every built-in algorithm mix.
+const maxParkedScratches = 4
+
 // NewPartitionedGraph builds the partitioned representation from an edge
-// assignment (one PID per edge, aligned with g.Edges()).
+// assignment (one PID per edge, aligned with g.Edges()) with default
+// options.
 func NewPartitionedGraph(g *graph.Graph, assign []partition.PID, numParts int) (*PartitionedGraph, error) {
+	return NewPartitionedGraphOpts(g, assign, numParts, BuildOptions{})
+}
+
+// NewPartitionedGraphOpts builds the partitioned representation with the
+// sort/scatter algorithm described in the package comment, fanning
+// per-partition work over opts.Parallelism workers.
+func NewPartitionedGraphOpts(g *graph.Graph, assign []partition.PID, numParts int, opts BuildOptions) (*PartitionedGraph, error) {
+	if numParts <= 0 {
+		return nil, fmt.Errorf("pregel: numParts must be positive, got %d", numParts)
+	}
+	ne := g.NumEdges()
+	if len(assign) != ne {
+		return nil, fmt.Errorf("pregel: assignment has %d entries for %d edges", len(assign), ne)
+	}
+	par := opts.Parallelism
+	if par < 1 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	pg := &PartitionedGraph{
+		G:            g,
+		NumParts:     numParts,
+		assign:       assign,
+		Parallelism:  par,
+		ReuseBuffers: opts.ReuseBuffers,
+	}
+	if err := pg.buildSortScatter(); err != nil {
+		return nil, err
+	}
+	pg.buildRouting()
+	return pg, nil
+}
+
+// buildSortScatter populates Parts from the edge assignment: parallel
+// counting sort of edges into one contiguous buffer, then per-partition
+// local vertex tables by sort + dedup.
+func (pg *PartitionedGraph) buildSortScatter() error {
+	g, assign, numParts := pg.G, pg.assign, pg.NumParts
+	ne := len(assign)
+	srcIdx, dstIdx := g.EdgeEndpointIndices()
+
+	shards := pg.Parallelism
+	if shards > ne {
+		shards = ne
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	chunk := (ne + shards - 1) / shards
+
+	// Pass 1: per-(shard, partition) edge counts, sharded over contiguous
+	// edge ranges. Each shard validates its own PIDs.
+	shardCounts := make([]int64, shards*numParts)
+	var badEdge, badPID int64 = -1, 0
+	var badMu sync.Mutex
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo, hi := s*chunk, (s+1)*chunk
+		if hi > ne {
+			hi = ne
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			counts := shardCounts[s*numParts : (s+1)*numParts]
+			for i := lo; i < hi; i++ {
+				p := assign[i]
+				if p < 0 || int(p) >= numParts {
+					badMu.Lock()
+					if badEdge < 0 || int64(i) < badEdge {
+						badEdge, badPID = int64(i), int64(p)
+					}
+					badMu.Unlock()
+					return
+				}
+				counts[p]++
+			}
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	if badEdge >= 0 {
+		return fmt.Errorf("pregel: edge %d assigned to out-of-range partition %d", badEdge, badPID)
+	}
+
+	// Prefix sums: partStart[p] is the partition's region in the shared
+	// edge buffer; cursors[s*numParts+p] is shard s's write position inside
+	// it. Shards are contiguous ascending edge ranges, so this preserves
+	// global edge order within every partition.
+	partStart := make([]int64, numParts+1)
+	for p := 0; p < numParts; p++ {
+		var total int64
+		for s := 0; s < shards; s++ {
+			total += shardCounts[s*numParts+p]
+		}
+		partStart[p+1] = partStart[p] + total
+	}
+	cursors := shardCounts // reuse: overwrite counts with absolute cursors
+	for p := 0; p < numParts; p++ {
+		pos := partStart[p]
+		for s := 0; s < shards; s++ {
+			c := shardCounts[s*numParts+p]
+			cursors[s*numParts+p] = pos
+			pos += c
+		}
+	}
+
+	// Pass 2: scatter. Edges are staged with their *global* dense endpoint
+	// indices; the localize pass rewrites them in place to local indices.
+	edgeBuf := make([]localEdge, ne)
+	for s := 0; s < shards; s++ {
+		lo, hi := s*chunk, (s+1)*chunk
+		if hi > ne {
+			hi = ne
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			cur := cursors[s*numParts : (s+1)*numParts]
+			for i := lo; i < hi; i++ {
+				p := assign[i]
+				edgeBuf[cur[p]] = localEdge{src: srcIdx[i], dst: dstIdx[i]}
+				cur[p]++
+			}
+		}(s, lo, hi)
+	}
+	wg.Wait()
+
+	// Pass 3: localize each partition on the worker pool. Every worker owns
+	// one growable endpoint scratch reused across the partitions it takes.
+	parts := make([]*Partition, numParts)
+	for p := range parts {
+		parts[p] = &Partition{edges: edgeBuf[partStart[p]:partStart[p+1]:partStart[p+1]]}
+	}
+	pg.Parts = parts
+	workers := pg.Parallelism
+	if workers > numParts {
+		workers = numParts
+	}
+	tasks := make(chan int, numParts)
+	for p := 0; p < numParts; p++ {
+		tasks <- p
+	}
+	close(tasks)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var scratch []int32
+			for p := range tasks {
+				scratch = localizePartition(parts[p], scratch)
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// localizePartition builds part.LocalVerts by sorting and deduplicating the
+// partition's edge endpoints, then rewrites the staged global endpoint
+// indices to local ones by binary search. scratch is the worker's reusable
+// endpoint buffer; the (possibly grown) buffer is returned for reuse.
+func localizePartition(part *Partition, scratch []int32) []int32 {
+	edges := part.edges
+	if len(edges) == 0 {
+		return scratch
+	}
+	need := 2 * len(edges)
+	if cap(scratch) < need {
+		scratch = make([]int32, need)
+	}
+	vbuf := scratch[:need]
+	for j, e := range edges {
+		vbuf[2*j] = e.src
+		vbuf[2*j+1] = e.dst
+	}
+	slices.Sort(vbuf)
+	// Dedup in place, then copy into an exact-size retained table.
+	n := 1
+	for j := 1; j < len(vbuf); j++ {
+		if vbuf[j] != vbuf[n-1] {
+			vbuf[n] = vbuf[j]
+			n++
+		}
+	}
+	lv := make([]int32, n)
+	copy(lv, vbuf[:n])
+	part.LocalVerts = lv
+	// Every endpoint was just fed into lv, so the searches always hit.
+	for j, e := range edges {
+		src, _ := slices.BinarySearch(lv, e.src)
+		dst, _ := slices.BinarySearch(lv, e.dst)
+		edges[j] = localEdge{src: int32(src), dst: int32(dst)}
+	}
+	return scratch
+}
+
+// buildRouting constructs the mirror routing CSR from the per-partition
+// local vertex tables. Mirror refs of a vertex are ordered by ascending
+// partition, matching the reference construction.
+func (pg *PartitionedGraph) buildRouting() {
+	nv := pg.G.NumVertices()
+	offsets := make([]int64, nv+1)
+	for p := 0; p < pg.NumParts; p++ {
+		for _, gidx := range pg.Parts[p].LocalVerts {
+			offsets[gidx+1]++
+		}
+	}
+	for i := 0; i < nv; i++ {
+		offsets[i+1] += offsets[i]
+	}
+	refs := make([]mirrorRef, offsets[nv])
+	cursor := make([]int64, nv)
+	for p := 0; p < pg.NumParts; p++ {
+		for l, gidx := range pg.Parts[p].LocalVerts {
+			refs[offsets[gidx]+cursor[gidx]] = mirrorRef{part: int32(p), local: int32(l)}
+			cursor[gidx]++
+		}
+	}
+	pg.routingOffsets = offsets
+	pg.routingRefs = refs
+}
+
+// newPartitionedGraphMaps is the original hash-map construction, retained
+// as the equivalence oracle for the sort/scatter build and as the baseline
+// for BenchmarkPartitionBuild. Three sequential passes; one map[int32]int32
+// per partition.
+func newPartitionedGraphMaps(g *graph.Graph, assign []partition.PID, numParts int) (*PartitionedGraph, error) {
 	if numParts <= 0 {
 		return nil, fmt.Errorf("pregel: numParts must be positive, got %d", numParts)
 	}
@@ -92,13 +376,11 @@ func NewPartitionedGraph(g *graph.Graph, assign []partition.PID, numParts int) (
 	if len(assign) != len(edges) {
 		return nil, fmt.Errorf("pregel: assignment has %d entries for %d edges", len(assign), len(edges))
 	}
-	nv := g.NumVertices()
 
 	parts := make([]*Partition, numParts)
 	for p := range parts {
 		parts[p] = &Partition{}
 	}
-	// First pass: count edges per partition and collect local vertex sets.
 	counts := make([]int, numParts)
 	for i := range edges {
 		p := assign[i]
@@ -107,7 +389,6 @@ func NewPartitionedGraph(g *graph.Graph, assign []partition.PID, numParts int) (
 		}
 		counts[p]++
 	}
-	// Build local vertex tables. seen[p] maps global dense -> local index.
 	type vset map[int32]int32
 	seen := make([]vset, numParts)
 	for p := range seen {
@@ -129,7 +410,7 @@ func NewPartitionedGraph(g *graph.Graph, assign []partition.PID, numParts int) (
 		for gidx := range seen[p] {
 			lv = append(lv, gidx)
 		}
-		sort.Slice(lv, func(a, b int) bool { return lv[a] < lv[b] })
+		slices.Sort(lv)
 		for l, gidx := range lv {
 			seen[p][gidx] = int32(l)
 		}
@@ -145,34 +426,15 @@ func NewPartitionedGraph(g *graph.Graph, assign []partition.PID, numParts int) (
 			dst: seen[p][di],
 		})
 	}
-
-	// Routing CSR: mirrors per global vertex.
-	offsets := make([]int64, nv+1)
-	for p := 0; p < numParts; p++ {
-		for _, gidx := range parts[p].LocalVerts {
-			offsets[gidx+1]++
-		}
+	pg := &PartitionedGraph{
+		G:           g,
+		NumParts:    numParts,
+		Parts:       parts,
+		assign:      assign,
+		Parallelism: runtime.GOMAXPROCS(0),
 	}
-	for i := 0; i < nv; i++ {
-		offsets[i+1] += offsets[i]
-	}
-	refs := make([]mirrorRef, offsets[nv])
-	cursor := make([]int64, nv)
-	for p := 0; p < numParts; p++ {
-		for l, gidx := range parts[p].LocalVerts {
-			refs[offsets[gidx]+cursor[gidx]] = mirrorRef{part: int32(p), local: int32(l)}
-			cursor[gidx]++
-		}
-	}
-	return &PartitionedGraph{
-		G:              g,
-		NumParts:       numParts,
-		Parts:          parts,
-		assign:         assign,
-		routingOffsets: offsets,
-		routingRefs:    refs,
-		Parallelism:    runtime.GOMAXPROCS(0),
-	}, nil
+	pg.buildRouting()
+	return pg, nil
 }
 
 // AssignOrder returns the original per-edge partition assignment, aligned
@@ -202,6 +464,33 @@ func (pg *PartitionedGraph) mirrorsOf(v int32) []mirrorRef {
 // partitions (= Σ_v Mirrors(v) = metrics CommCost + NonCut).
 func (pg *PartitionedGraph) TotalMirrors() int64 {
 	return int64(len(pg.routingRefs))
+}
+
+// takeScratch checks out the first parked engine scratch accepted by
+// match (the caller's type test), or nil. Non-matching scratches stay
+// parked for runs of their own program type.
+func (pg *PartitionedGraph) takeScratch(match func(any) bool) any {
+	pg.scratchMu.Lock()
+	defer pg.scratchMu.Unlock()
+	for i, s := range pg.scratchCache {
+		if match(s) {
+			last := len(pg.scratchCache) - 1
+			pg.scratchCache[i] = pg.scratchCache[last]
+			pg.scratchCache[last] = nil
+			pg.scratchCache = pg.scratchCache[:last]
+			return s
+		}
+	}
+	return nil
+}
+
+// putScratch parks an engine scratch for the next run; full cache drops it.
+func (pg *PartitionedGraph) putScratch(s any) {
+	pg.scratchMu.Lock()
+	if len(pg.scratchCache) < maxParkedScratches {
+		pg.scratchCache = append(pg.scratchCache, s)
+	}
+	pg.scratchMu.Unlock()
 }
 
 // panicCatcher records the first panic raised by any pool worker so it can

@@ -1,0 +1,70 @@
+package pregel
+
+import (
+	"context"
+	"testing"
+
+	"cutfit/internal/graph"
+	"cutfit/internal/partition"
+)
+
+// runTrivial executes a one-superstep program with the given value type to
+// exercise the scratch cache with distinct [V, M] instantiations.
+func runTrivial[V int64 | float64](t *testing.T, pg *PartitionedGraph) {
+	t.Helper()
+	_, _, err := Run(context.Background(), pg, Program[V, V]{
+		Init:          func(id graph.VertexID) V { return 0 },
+		VProg:         func(id graph.VertexID, val, msg V) V { return val + msg },
+		SendMsg:       func(tr *Triplet[V], emit Emitter[V]) {},
+		MergeMsg:      func(a, b V) V { return a + b },
+		MaxIterations: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScratchCacheKeepsDistinctProgramTypes guards the ReuseBuffers
+// contract under algorithm alternation: scratches of different program
+// types must coexist in the cache, and a matching run must revive its own
+// prior scratch rather than discarding a mismatched one.
+func TestScratchCacheKeepsDistinctProgramTypes(t *testing.T) {
+	g := randomGraph(21, 40, 200)
+	assign, err := partition.RandomVertexCut().Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := NewPartitionedGraphOpts(g, assign, 4, BuildOptions{ReuseBuffers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runTrivial[float64](t, pg)
+	runTrivial[int64](t, pg)
+	if got := len(pg.scratchCache); got != 2 {
+		t.Fatalf("cache holds %d scratches after two program types, want 2", got)
+	}
+	var f64Scratch any
+	for _, s := range pg.scratchCache {
+		if _, ok := s.(*engineScratch[float64, float64]); ok {
+			f64Scratch = s
+		}
+	}
+	if f64Scratch == nil {
+		t.Fatal("no float64 scratch parked")
+	}
+	// A third run of the float64 program must revive that exact scratch
+	// and park it again, leaving the int64 one untouched.
+	runTrivial[float64](t, pg)
+	if got := len(pg.scratchCache); got != 2 {
+		t.Fatalf("cache holds %d scratches after revival, want 2", got)
+	}
+	found := false
+	for _, s := range pg.scratchCache {
+		if s == f64Scratch {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("float64 run allocated a new scratch instead of reviving the parked one")
+	}
+}
