@@ -1,9 +1,20 @@
 # Tier-1 verification and benchmark targets. `make check` is the one
-# command a PR must keep green.
+# command a PR must keep green: build, tests, vet, the race determinism
+# suite and a short fuzz smoke in one run.
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz check
+# bench-compare knobs: the benchmark filter, sample count and output file.
+# Typical use, before and after a change:
+#   make bench-compare BENCH_OUT=old.txt
+#   ...apply change...
+#   make bench-compare BENCH_OUT=new.txt
+#   benchstat old.txt new.txt
+BENCH ?= BenchmarkSelectEmpirically|BenchmarkMeasureThenRun|BenchmarkPartitionBuild
+BENCH_COUNT ?= 10
+BENCH_OUT ?= bench.txt
+
+.PHONY: all build test vet race bench bench-compare fuzz fuzz-smoke check
 
 all: check
 
@@ -13,19 +24,34 @@ build:
 test:
 	$(GO) test ./...
 
-# Race determinism regression for the parallel partition build and the
-# scratch-reuse engine.
+vet:
+	$(GO) vet ./...
+
+# Race determinism regression for the parallel partition build, the
+# parallel hash assignment and the scratch-reuse engine.
 race:
-	$(GO) test -race ./internal/pregel/... ./internal/testutil/...
+	$(GO) test -race ./internal/pregel/... ./internal/testutil/... ./internal/partition/...
 
 # Hot-path benchmarks: partition construction (old vs new, and across
-# dataset analogs × strategies) and per-superstep allocation footprint.
+# dataset analogs × strategies), per-superstep allocation footprint, and
+# the single-pass selection pipeline.
 bench:
 	$(GO) test -run='^$$' -bench=BenchmarkPartitionBuild -benchmem ./internal/pregel/
-	$(GO) test -run='^$$' -bench='BenchmarkPartitionBuild|BenchmarkSuperstepAllocs' -benchmem .
+	$(GO) test -run='^$$' -bench='BenchmarkPartitionBuild|BenchmarkSuperstepAllocs|BenchmarkSelectEmpirically|BenchmarkMeasureThenRun' -benchmem .
+
+# benchstat-friendly sampling: repeat the $(BENCH) benchmarks
+# $(BENCH_COUNT) times into $(BENCH_OUT) so two runs can be compared with
+# `benchstat old.txt new.txt`.
+bench-compare:
+	$(GO) test -run='^$$' -bench='$(BENCH)' -benchmem -count=$(BENCH_COUNT) . | tee $(BENCH_OUT)
 
 # Short fuzz session on the edge-list ingest path.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=30s ./internal/graph/
 
-check: build test race
+# Seconds-long fuzz smoke for make check: long enough to catch parser
+# regressions on the seed corpus, short enough for every PR.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=5s ./internal/graph/
+
+check: build test vet race fuzz-smoke

@@ -7,11 +7,15 @@
 //	    Write an analog dataset as a text edge list.
 //
 //	cutfit metrics -in graph.txt -strategy 2D -parts 128
-//	    Partition a graph and print the §3.1 metrics.
+//	    Partition a graph (one assignment pass) and print the §3.1
+//	    metrics. Strategies include the extension partitioners Range and
+//	    Hybrid[:<threshold>].
 //
 //	cutfit run -in graph.txt -alg pagerank -strategy 2D -parts 128
 //	    Execute an algorithm on the partitioned graph and print the
-//	    simulated cluster time breakdown.
+//	    simulated cluster time breakdown. -strategy auto empirically
+//	    selects the best strategy for -alg and runs the winner from its
+//	    already-computed assignment.
 //
 //	cutfit advise -in graph.txt -alg pagerank -parts 128 [-measure]
 //	    Recommend a partitioning strategy for the computation; with
@@ -116,11 +120,15 @@ func cmdGenerate(args []string) error {
 	return nil
 }
 
+// strategyFlagHelp documents every name StrategyByName resolves, shared by
+// the -strategy flags of the metrics and run subcommands.
+const strategyFlagHelp = "partitioning strategy: RVC, 1D, 2D, CRVC, SC, DC, Greedy, HDRF, Range, Hybrid or Hybrid:<in-degree threshold>"
+
 func cmdMetrics(args []string) error {
 	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
 	in := fs.String("in", "", "input edge-list file")
 	dataset := fs.String("dataset", "", "analog dataset name")
-	strategy := fs.String("strategy", "2D", "partitioning strategy")
+	strategy := fs.String("strategy", "2D", strategyFlagHelp)
 	parts := fs.Int("parts", 128, "number of partitions")
 	fs.Parse(args)
 	g, err := loadGraph(*in, *dataset)
@@ -150,7 +158,7 @@ func cmdRun(args []string) error {
 	in := fs.String("in", "", "input edge-list file")
 	dataset := fs.String("dataset", "", "analog dataset name")
 	alg := fs.String("alg", "pagerank", "algorithm: pagerank, cc, triangles, sssp")
-	strategy := fs.String("strategy", "2D", "partitioning strategy")
+	strategy := fs.String("strategy", "2D", strategyFlagHelp+", or \"auto\" to select empirically for -alg")
 	parts := fs.Int("parts", 128, "number of partitions")
 	iters := fs.Int("iters", 10, "iterations for pagerank/cc")
 	fs.Parse(args)
@@ -158,11 +166,33 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	s, err := cutfit.StrategyByName(*strategy)
-	if err != nil {
-		return err
+	// One assignment pass feeds everything downstream: with an explicit
+	// strategy the graph is assigned once and built from that assignment;
+	// with "auto" every candidate is assigned once, ranked by the
+	// algorithm's predictive metric, and the winner's retained assignment
+	// is built directly — no re-partitioning either way.
+	var a *cutfit.Assignment
+	if *strategy == "auto" {
+		profile, err := cutfit.ProfileFor(*alg)
+		if err != nil {
+			return err
+		}
+		sel, err := cutfit.Select(g, cutfit.Strategies(), *parts, profile)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("auto-selected strategy %s (minimizes %s)\n", sel.Strategy.Name(), profile.Metric)
+		a = sel.Assignment
+	} else {
+		s, err := cutfit.StrategyByName(*strategy)
+		if err != nil {
+			return err
+		}
+		if a, err = cutfit.PartitionAssignment(g, s, *parts); err != nil {
+			return err
+		}
 	}
-	pg, err := cutfit.Partition(g, s, *parts)
+	pg, err := cutfit.PartitionFromAssignment(a, cutfit.PartitionOptions{})
 	if err != nil {
 		return err
 	}
@@ -273,10 +303,11 @@ func cmdAdvise(args []string) error {
 	if !*measure {
 		return nil
 	}
-	best, results, err := cutfit.SelectEmpirically(g, cutfit.Strategies(), *parts, profile)
+	sel, err := cutfit.Select(g, cutfit.Strategies(), *parts, profile)
 	if err != nil {
 		return err
 	}
+	best, results := sel.Strategy, sel.Results
 	fmt.Printf("\nempirical ranking by %s at %d partitions:\n", profile.Metric, *parts)
 	type row struct {
 		name string

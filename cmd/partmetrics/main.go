@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	partmetrics [-parts 128] [-dataset name] [-extended]
+//	partmetrics [-parts 128] [-dataset name] [-extended] [-strategy name]
 //
 // -parts 128 reproduces Table 2; -parts 256 reproduces Table 3.
 // -extended adds the streaming Greedy/HDRF partitioners (ablation A1).
+// -strategy restricts to one partitioner by name — any name the library
+// resolves, including the extension strategies "Range", "Hybrid" and
+// "Hybrid:<in-degree threshold>".
 package main
 
 import (
@@ -24,6 +27,7 @@ func main() {
 	parts := flag.Int("parts", 128, "number of partitions (128 = Table 2, 256 = Table 3)")
 	dataset := flag.String("dataset", "", "restrict to one dataset by name")
 	extended := flag.Bool("extended", false, "include streaming Greedy/HDRF strategies")
+	strategy := flag.String("strategy", "", "restrict to one strategy: RVC, 1D, 2D, CRVC, SC, DC, Greedy, HDRF, Range, Hybrid or Hybrid:<threshold>")
 	flag.Parse()
 
 	specs := datasets.Suite()
@@ -37,6 +41,13 @@ func main() {
 	strategies := partition.All()
 	if *extended {
 		strategies = partition.Extended()
+	}
+	if *strategy != "" {
+		s, err := partition.ByName(*strategy)
+		if err != nil {
+			fatal(err)
+		}
+		strategies = []partition.Strategy{s}
 	}
 
 	rows, err := bench.MetricsTable(specs, strategies, *parts)

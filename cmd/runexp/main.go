@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"cutfit/internal/bench"
+	"cutfit/internal/partition"
 	"cutfit/internal/pregel"
 	"cutfit/internal/report"
 )
@@ -26,6 +28,21 @@ import (
 // buildOpts is the partition-build/engine tuning shared by all experiment
 // invocations, set from the -parallelism and -reuse-buffers flags.
 var buildOpts pregel.BuildOptions
+
+// stratOverride, when non-empty, replaces the paper's six strategies in
+// every figure experiment (the -strategies flag).
+var stratOverride []partition.Strategy
+
+// newExperiment builds the default experiment for alg with the shared
+// build options and any strategy override applied.
+func newExperiment(alg bench.Algorithm) bench.Experiment {
+	e := bench.DefaultExperiment(alg)
+	e.Build = buildOpts
+	if len(stratOverride) > 0 {
+		e.Strategies = stratOverride
+	}
+	return e
+}
 
 func main() {
 	alg := flag.String("alg", "", "algorithm: pagerank, cc, triangles, sssp")
@@ -37,9 +54,19 @@ func main() {
 	all := flag.Bool("all", false, "run everything: all four figures, winners, infra")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for partition build and engine phases (0 = GOMAXPROCS)")
 	reuse := flag.Bool("reuse-buffers", true, "reuse engine scratch buffers across runs of the same partitioned graph")
+	strategies := flag.String("strategies", "", "comma-separated strategy names overriding the paper's six (e.g. 2D,DC,Range,Hybrid:250)")
 	flag.Parse()
 
 	buildOpts = pregel.BuildOptions{Parallelism: *parallelism, ReuseBuffers: *reuse}
+	if *strategies != "" {
+		for _, name := range strings.Split(*strategies, ",") {
+			s, err := partition.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			stratOverride = append(stratOverride, s)
+		}
+	}
 
 	ctx := context.Background()
 	switch {
@@ -99,8 +126,7 @@ func runFigure(ctx context.Context, alg bench.Algorithm, metric string, winners 
 		metric = paperMetric(alg)
 	}
 	fmt.Printf("=== %s: execution time vs %s ===\n", figureName(alg), metric)
-	e := bench.DefaultExperiment(alg)
-	e.Build = buildOpts
+	e := newExperiment(alg)
 	res, err := e.Run(ctx)
 	if err != nil {
 		return err
@@ -157,8 +183,7 @@ func renderFigure(ctx context.Context, alg bench.Algorithm, metric string, plot 
 	if metric == "" {
 		metric = paperMetric(alg)
 	}
-	e := bench.DefaultExperiment(alg)
-	e.Build = buildOpts
+	e := newExperiment(alg)
 	res, err := e.Run(ctx)
 	if err != nil {
 		return err

@@ -2,6 +2,15 @@
 // library, a from-scratch Go reproduction of "Cut to Fit: Tailoring the
 // Partitioning to the Computation" (Kolokasis & Pratikakis).
 //
+// Everything is organized around one artifact: the Assignment, the
+// validated edge→partition mapping a strategy produces in a single pass
+// (PartitionAssignment). The same Assignment feeds the §3.1 quality
+// metrics (MeasureAssignment), the engine topology
+// (PartitionFromAssignment), and empirical strategy selection (Select,
+// which retains the winner's Assignment so running the chosen strategy
+// never re-partitions). A built PartitionedGraph can also report its own
+// metric set directly (PartitionedGraph.Metrics) without any extra scan.
+//
 // The library provides:
 //
 //   - an in-memory directed graph with exact structural statistics
@@ -9,8 +18,9 @@
 //   - the six vertex-cut partitioning strategies of the paper — RVC, 1D,
 //     2D, CRVC, SC, DC — plus streaming Greedy/HDRF extensions
 //     (Strategies, StrategyByName);
-//   - the partitioning quality metrics of §3.1 (Measure): Balance,
-//     NonCut, Cut, CommCost, PartStDev;
+//   - the single-pass partitioning pipeline (PartitionAssignment,
+//     MeasureAssignment, PartitionFromAssignment) with Measure and
+//     Partition kept as thin one-call wrappers;
 //   - a GraphX-style vertex-cut Pregel engine that executes computations
 //     in parallel while counting all cross-partition traffic (Partition,
 //     RunPageRank, RunConnectedComponents, RunTriangleCount,
@@ -20,8 +30,8 @@
 //     (ConfigI…ConfigIV, Simulate);
 //   - the paper's contribution as a library: an advisor that tailors the
 //     partitioning strategy and granularity to the computation and the
-//     dataset (Advise, AdviseGranularity, SelectEmpirically), plus a
-//     fitted metric→time predictor (TrainPredictor) that ranks
+//     dataset (Advise, AdviseGranularity, Select, SelectEmpirically),
+//     plus a fitted metric→time predictor (TrainPredictor) that ranks
 //     partitionings without running them;
 //   - extension algorithms (RunDynamicPageRank, RunLabelPropagation,
 //     RunKCoreMembership) and extension partitioners (HybridCut,
@@ -33,13 +43,22 @@
 //     (Datasets) and generators for custom workloads (the internal/gen
 //     package, surfaced through the datasets specs).
 //
-// Quick start:
+// Quick start — one assignment pass from strategy to metrics to engine:
 //
 //	g, _ := cutfit.Datasets()[1].BuildCached() // the "youtube" analog
-//	pg, _ := cutfit.Partition(g, cutfit.EdgePartition2D(), 128)
+//	a, _ := cutfit.PartitionAssignment(g, cutfit.EdgePartition2D(), 128)
+//	pg, _ := cutfit.PartitionFromAssignment(a, cutfit.PartitionOptions{})
+//	fmt.Println(pg.Metrics().CommCost) // §3.1 metrics, no extra scan
 //	ranks, stats, _ := cutfit.RunPageRank(context.Background(), pg, 10)
 //	breakdown, _ := cutfit.ConfigI().Simulate(stats, 0)
 //	fmt.Println(len(ranks), breakdown.TotalSecs())
+//
+// Or let the advisor choose the strategy empirically — each candidate is
+// assigned exactly once and the winner is built from its retained
+// assignment:
+//
+//	sel, _ := cutfit.Select(g, cutfit.Strategies(), 128, cutfit.ProfilePageRank)
+//	pg, _ := cutfit.PartitionFromAssignment(sel.Assignment, cutfit.PartitionOptions{})
 package cutfit
 
 import (
@@ -78,6 +97,14 @@ type (
 	PID = partition.PID
 	// Metrics is the §3.1 partitioning metric set.
 	Metrics = metrics.Result
+	// Assignment is the validated one-pass edge→partition artifact that
+	// flows through the whole pipeline: produce it once with
+	// PartitionAssignment, then measure (MeasureAssignment) and build the
+	// engine topology (PartitionFromAssignment) from the same pass.
+	Assignment = partition.Assignment
+	// Selection is the outcome of empirical strategy selection: the winner,
+	// its retained Assignment, and every candidate's metric set.
+	Selection = core.Selection
 )
 
 // Engine and simulation types.
@@ -141,21 +168,41 @@ func HybridCut(threshold int) Strategy { return partition.Hybrid(threshold) }
 // blocking counterpart to SC's modulo striping for ID-ordered graphs.
 func RangeCut() Strategy { return partition.Range() }
 
-// StrategyByName resolves "RVC", "1D", "2D", "CRVC", "SC", "DC", "Greedy"
-// or "HDRF".
+// StrategyByName resolves "RVC", "1D", "2D", "CRVC", "SC", "DC", "Greedy",
+// "HDRF", "Range", "Hybrid" or "Hybrid:<in-degree threshold>".
 func StrategyByName(name string) (Strategy, error) { return partition.ByName(name) }
 
+// PartitionAssignment runs strategy s over g exactly once and returns the
+// validated Assignment artifact — the head of the strategy → metrics →
+// engine pipeline. Hash strategies assign in parallel shards.
+func PartitionAssignment(g *Graph, s Strategy, numParts int) (*Assignment, error) {
+	return partition.Assign(g, s, numParts)
+}
+
+// MeasureAssignment computes the full §3.1 metric set from an Assignment,
+// reusing its per-partition edge histogram.
+func MeasureAssignment(a *Assignment) (*Metrics, error) {
+	return metrics.FromAssignment(a)
+}
+
 // Measure partitions g with s into numParts partitions and computes the
-// full §3.1 metric set.
+// full §3.1 metric set — a thin wrapper over PartitionAssignment +
+// MeasureAssignment.
 func Measure(g *Graph, s Strategy, numParts int) (*Metrics, error) {
-	return metrics.ComputeFor(g, s, numParts)
+	a, err := PartitionAssignment(g, s, numParts)
+	if err != nil {
+		return nil, err
+	}
+	return MeasureAssignment(a)
 }
 
 // PartitionOptions tunes how the engine-ready partitioned representation
 // is built and executed. The zero value matches Partition's defaults.
 type PartitionOptions struct {
 	// Parallelism is the number of worker goroutines used for the build
-	// and for every engine phase; values < 1 default to GOMAXPROCS.
+	// and for every engine phase; values < 1 default to GOMAXPROCS. The
+	// strategy's own assignment pass is not governed by this knob: hash
+	// strategies shard over GOMAXPROCS (constrain it to constrain them).
 	Parallelism int
 	// ReuseBuffers keeps the engine's run scratch (mirror tables, combine
 	// accumulators, phase counters) parked on the PartitionedGraph between
@@ -165,6 +212,18 @@ type PartitionOptions struct {
 	ReuseBuffers bool
 }
 
+// PartitionFromAssignment builds the engine-ready partitioned
+// representation straight from an Assignment — the engine end of the
+// pipeline, with zero additional partitioning passes. The same Assignment
+// can feed MeasureAssignment and PartitionFromAssignment, so measuring and
+// then running a strategy costs one edge-assignment pass in total.
+func PartitionFromAssignment(a *Assignment, opts PartitionOptions) (*PartitionedGraph, error) {
+	return pregel.NewPartitionedGraphFromAssignment(a, pregel.BuildOptions{
+		Parallelism:  opts.Parallelism,
+		ReuseBuffers: opts.ReuseBuffers,
+	})
+}
+
 // Partition builds the engine-ready partitioned representation of g under
 // strategy s with default options.
 func Partition(g *Graph, s Strategy, numParts int) (*PartitionedGraph, error) {
@@ -172,16 +231,14 @@ func Partition(g *Graph, s Strategy, numParts int) (*PartitionedGraph, error) {
 }
 
 // PartitionWithOptions builds the engine-ready partitioned representation
-// of g under strategy s using the sort/scatter parallel builder.
+// of g under strategy s using the sort/scatter parallel builder — a thin
+// wrapper over PartitionAssignment + PartitionFromAssignment.
 func PartitionWithOptions(g *Graph, s Strategy, numParts int, opts PartitionOptions) (*PartitionedGraph, error) {
-	assign, err := s.Partition(g, numParts)
+	a, err := PartitionAssignment(g, s, numParts)
 	if err != nil {
-		return nil, fmt.Errorf("cutfit: partitioning with %s: %w", s.Name(), err)
+		return nil, fmt.Errorf("cutfit: %w", err)
 	}
-	return pregel.NewPartitionedGraphOpts(g, assign, numParts, pregel.BuildOptions{
-		Parallelism:  opts.Parallelism,
-		ReuseBuffers: opts.ReuseBuffers,
-	})
+	return PartitionFromAssignment(a, opts)
 }
 
 // RunPageRank executes static PageRank for numIter rounds (GraphX
@@ -261,10 +318,23 @@ func Advise(p Profile, f GraphFacts, numParts int) Recommendation {
 	return core.Advise(p, f, numParts, core.DefaultAdvisorConfig())
 }
 
-// SelectEmpirically measures every candidate strategy on g and returns the
-// one minimizing the profile's predictive metric, with all measurements.
-func SelectEmpirically(g *Graph, candidates []Strategy, numParts int, p Profile) (Strategy, map[string]*Metrics, error) {
+// Select measures every candidate strategy on g — one edge-assignment pass
+// per candidate — and returns the Selection minimizing the profile's
+// predictive metric. The winner's Assignment is retained on the Selection,
+// so building it with PartitionFromAssignment re-partitions nothing.
+func Select(g *Graph, candidates []Strategy, numParts int, p Profile) (*Selection, error) {
 	return core.SelectEmpirically(g, candidates, numParts, p)
+}
+
+// SelectEmpirically measures every candidate strategy on g and returns the
+// one minimizing the profile's predictive metric, with all measurements —
+// a thin wrapper over Select for callers that only need the ranking.
+func SelectEmpirically(g *Graph, candidates []Strategy, numParts int, p Profile) (Strategy, map[string]*Metrics, error) {
+	sel, err := Select(g, candidates, numParts, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sel.Strategy, sel.Results, nil
 }
 
 // Predictor is a fitted linear model from a partitioning metric to

@@ -155,22 +155,22 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 	return res, nil
 }
 
-// runCell executes one grid cell: partition, measure, run, simulate.
+// runCell executes one grid cell through the shared single-pass pipeline:
+// assign once, build the engine topology from the assignment, read the
+// §3.1 metrics off the built topology (no separate replica-bitset scan),
+// run, simulate.
 func (e *Experiment) runCell(ctx context.Context, g *graph.Graph, dataset string,
 	strat partition.Strategy, cfg cluster.Config, landmarks []graph.VertexID) (Run, error) {
 
-	assign, err := strat.Partition(g, cfg.NumPartitions)
+	a, err := partition.Assign(g, strat, cfg.NumPartitions)
 	if err != nil {
 		return Run{}, err
 	}
-	m, err := metrics.Compute(g, assign, cfg.NumPartitions)
+	pg, err := pregel.NewPartitionedGraphFromAssignment(a, e.Build)
 	if err != nil {
 		return Run{}, err
 	}
-	pg, err := pregel.NewPartitionedGraphOpts(g, assign, cfg.NumPartitions, e.Build)
-	if err != nil {
-		return Run{}, err
-	}
+	m := pg.Metrics()
 
 	graphBytes := cluster.EstimateGraphBytes(g.NumEdges())
 	start := time.Now()

@@ -22,6 +22,7 @@ import (
 	"cutfit/internal/graph"
 	"cutfit/internal/metrics"
 	"cutfit/internal/partition"
+	"cutfit/internal/pregel"
 )
 
 // Profile classifies an algorithm by its communication structure, which
@@ -154,34 +155,59 @@ func Advise(p Profile, f GraphFacts, numParts int, cfg AdvisorConfig) Recommenda
 	}
 }
 
-// SelectEmpirically partitions g with every candidate strategy at numParts,
-// measures the profile's predictive metric, and returns the strategy that
-// minimizes it together with all measured results (keyed by strategy name).
-// This is the "measure, then choose" workflow the paper recommends when a
-// pre-computation pass is affordable.
-func SelectEmpirically(g *graph.Graph, candidates []partition.Strategy, numParts int, p Profile) (partition.Strategy, map[string]*metrics.Result, error) {
+// Selection is the outcome of empirical strategy selection: the winning
+// strategy together with the Assignment it was measured from — so running
+// the winner never re-partitions — and the metric sets of every candidate.
+type Selection struct {
+	// Strategy is the candidate minimizing the profile's predictive metric.
+	Strategy partition.Strategy
+	// Assignment is the winner's edge assignment, produced by the single
+	// measurement pass and ready to hand to the pregel builder.
+	Assignment *partition.Assignment
+	// Results holds the §3.1 metric set of every candidate, by name.
+	Results map[string]*metrics.Result
+}
+
+// Build constructs the engine-ready partitioned topology of the winning
+// strategy straight from the retained Assignment — zero additional
+// partitioning passes after selection.
+func (s *Selection) Build(opts pregel.BuildOptions) (*pregel.PartitionedGraph, error) {
+	return pregel.NewPartitionedGraphFromAssignment(s.Assignment, opts)
+}
+
+// SelectEmpirically assigns g with every candidate strategy at numParts —
+// exactly one edge-assignment pass per candidate — measures the profile's
+// predictive metric from each assignment, and returns the minimizing
+// strategy with its Assignment retained, so the subsequent engine build
+// costs no further partitioning. This is the "measure, then choose"
+// workflow the paper recommends when a pre-computation pass is affordable.
+func SelectEmpirically(g *graph.Graph, candidates []partition.Strategy, numParts int, p Profile) (*Selection, error) {
 	if len(candidates) == 0 {
-		return nil, nil, fmt.Errorf("core: no candidate strategies")
+		return nil, fmt.Errorf("core: no candidate strategies")
 	}
-	results := make(map[string]*metrics.Result, len(candidates))
-	var best partition.Strategy
+	sel := &Selection{Results: make(map[string]*metrics.Result, len(candidates))}
 	bestVal := 0.0
 	for _, s := range candidates {
-		m, err := metrics.ComputeFor(g, s, numParts)
+		a, err := partition.Assign(g, s, numParts)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: measuring %s: %w", s.Name(), err)
+			return nil, fmt.Errorf("core: assigning %s: %w", s.Name(), err)
 		}
-		results[s.Name()] = m
+		m, err := metrics.FromAssignment(a)
+		if err != nil {
+			return nil, fmt.Errorf("core: measuring %s: %w", s.Name(), err)
+		}
+		sel.Results[s.Name()] = m
 		v, err := m.MetricByName(p.Metric)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		if best == nil || v < bestVal {
-			best = s
+		if sel.Strategy == nil || v < bestVal {
+			sel.Strategy = s
+			sel.Assignment = a
 			bestVal = v
 		}
 	}
-	return best, results, nil
+	return sel, nil
 }
 
 // DetectIDLocality estimates whether consecutive vertex IDs are correlated

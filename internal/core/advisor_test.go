@@ -6,6 +6,7 @@ import (
 	"cutfit/internal/gen"
 	"cutfit/internal/graph"
 	"cutfit/internal/partition"
+	"cutfit/internal/pregel"
 )
 
 func TestProfileFor(t *testing.T) {
@@ -85,10 +86,11 @@ func TestSelectEmpirically(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best, results, err := SelectEmpirically(g, partition.All(), 16, ProfilePageRank)
+	sel, err := SelectEmpirically(g, partition.All(), 16, ProfilePageRank)
 	if err != nil {
 		t.Fatal(err)
 	}
+	best, results := sel.Strategy, sel.Results
 	if len(results) != 6 {
 		t.Fatalf("results = %d, want 6", len(results))
 	}
@@ -99,11 +101,21 @@ func TestSelectEmpirically(t *testing.T) {
 				name, m.CommCost, best.Name(), bestVal)
 		}
 	}
+	if sel.Assignment == nil || sel.Assignment.Strategy != best.Name() {
+		t.Fatalf("selection should retain the winner's assignment, got %+v", sel.Assignment)
+	}
+	pg, err := sel.Build(pregel.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pg.Metrics().CommCost; got != bestVal {
+		t.Fatalf("built winner CommCost = %d, measured %d", got, bestVal)
+	}
 }
 
 func TestSelectEmpiricallyErrors(t *testing.T) {
 	g := graph.FromEdges([]graph.Edge{{Src: 0, Dst: 1}})
-	if _, _, err := SelectEmpirically(g, nil, 4, ProfilePageRank); err == nil {
+	if _, err := SelectEmpirically(g, nil, 4, ProfilePageRank); err == nil {
 		t.Fatal("no candidates should error")
 	}
 }

@@ -159,11 +159,12 @@ func AdviseGranularity(p Profile, f GraphFacts, coarse, fine int, cfg AdvisorCon
 	}
 }
 
-// TrainPredictor measures every candidate strategy's metrics on g and fits
-// a predictor from the provided (strategy name → measured seconds)
-// samples; strategies without a time sample contribute metrics only. It
-// returns the fitted predictor and the per-strategy metric sets, ready for
-// RankByPrediction.
+// TrainPredictor measures every candidate strategy's metrics on g — one
+// edge-assignment pass per candidate, measured through the Assignment
+// artifact — and fits a predictor from the provided (strategy name →
+// measured seconds) samples; strategies without a time sample contribute
+// metrics only. It returns the fitted predictor and the per-strategy
+// metric sets, ready for RankByPrediction.
 func TrainPredictor(g *graph.Graph, candidates []partition.Strategy, numParts int, p Profile, timesByStrategy map[string]float64) (*Predictor, map[string]*metrics.Result, error) {
 	if len(timesByStrategy) < 2 {
 		return nil, nil, fmt.Errorf("core: need at least 2 timed strategies, got %d", len(timesByStrategy))

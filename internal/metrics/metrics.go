@@ -50,36 +50,40 @@ type Result struct {
 	VerticesPerPart []int64
 }
 
-// Compute derives the full metric set from an edge assignment. assign must
-// be aligned with g.Edges() and every PID must be in [0, numParts).
+// Compute derives the full metric set from a raw edge assignment. assign
+// must be aligned with g.Edges() and every PID must be in [0, numParts).
+// Callers that already hold a validated partition.Assignment should use
+// FromAssignment, which skips re-validation and re-counting.
 func Compute(g *graph.Graph, assign []partition.PID, numParts int) (*Result, error) {
-	if numParts <= 0 {
-		return nil, fmt.Errorf("metrics: numParts must be positive, got %d", numParts)
+	a, err := partition.NewAssignment(g, "", assign, numParts)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
 	}
-	edges := g.Edges()
-	if len(assign) != len(edges) {
-		return nil, fmt.Errorf("metrics: assignment has %d entries for %d edges", len(assign), len(edges))
+	return FromAssignment(a)
+}
+
+// FromAssignment derives the full metric set from a validated Assignment.
+// The per-partition edge histogram is taken from the assignment (copied,
+// not aliased); only the vertex-replication pass remains.
+func FromAssignment(a *partition.Assignment) (*Result, error) {
+	g, numParts := a.G, a.NumParts
+	if len(a.EdgesPerPart) != numParts {
+		return nil, fmt.Errorf("metrics: assignment histogram has %d partitions, want %d", len(a.EdgesPerPart), numParts)
 	}
 	nv := g.NumVertices()
 	words := (numParts + 63) / 64
 	// replicaBits[v*words : (v+1)*words] is the partition bitset of dense
 	// vertex v.
 	replicaBits := make([]uint64, nv*words)
-	edgesPerPart := make([]int64, numParts)
-
-	for i, e := range edges {
-		p := assign[i]
-		if p < 0 || int(p) >= numParts {
-			return nil, fmt.Errorf("metrics: edge %d assigned to out-of-range partition %d", i, p)
-		}
-		edgesPerPart[p]++
-		si, _ := g.Index(e.Src)
-		di, _ := g.Index(e.Dst)
+	srcIdx, dstIdx := g.EdgeEndpointIndices()
+	for i, p := range a.PIDs {
 		w, b := int(p)/64, uint(p)%64
-		replicaBits[int(si)*words+w] |= 1 << b
-		replicaBits[int(di)*words+w] |= 1 << b
+		replicaBits[int(srcIdx[i])*words+w] |= 1 << b
+		replicaBits[int(dstIdx[i])*words+w] |= 1 << b
 	}
 
+	edgesPerPart := make([]int64, numParts)
+	copy(edgesPerPart, a.EdgesPerPart)
 	res := &Result{NumParts: numParts, EdgesPerPart: edgesPerPart}
 	vertsPerPart := make([]int64, numParts)
 	for v := 0; v < nv; v++ {
@@ -103,46 +107,59 @@ func Compute(g *graph.Graph, assign []partition.PID, numParts int) (*Result, err
 		}
 	}
 	res.VerticesPerPart = vertsPerPart
+	res.Finalize(nv)
+	return res, nil
+}
 
+// Finalize computes the derived fields — Balance, PartStDev, MaxEdges,
+// MaxVertices, ReplicationFactor — from the directly-counted fields
+// (EdgesPerPart, VerticesPerPart, NonCut, Cut, CommCost). It is shared by
+// every Result producer (FromAssignment and the pregel topology-derived
+// path) so the derived values are bit-for-bit identical regardless of how
+// the counts were obtained.
+func (r *Result) Finalize(numVertices int) {
 	var sum, max int64
-	for _, c := range edgesPerPart {
+	for _, c := range r.EdgesPerPart {
 		sum += c
 		if c > max {
 			max = c
 		}
 	}
-	res.MaxEdges = max
-	for _, c := range vertsPerPart {
-		if c > res.MaxVertices {
-			res.MaxVertices = c
+	r.MaxEdges = max
+	r.MaxVertices = 0
+	for _, c := range r.VerticesPerPart {
+		if c > r.MaxVertices {
+			r.MaxVertices = c
 		}
 	}
-	mean := float64(sum) / float64(numParts)
+	mean := float64(sum) / float64(r.NumParts)
 	if mean > 0 {
-		res.Balance = float64(max) / mean
+		r.Balance = float64(max) / mean
 	} else {
-		res.Balance = 1
+		r.Balance = 1
 	}
 	var ss float64
-	for _, c := range edgesPerPart {
+	for _, c := range r.EdgesPerPart {
 		d := float64(c) - mean
 		ss += d * d
 	}
-	res.PartStDev = math.Sqrt(ss / float64(numParts))
-	if nv > 0 {
-		res.ReplicationFactor = float64(res.CommCost+res.NonCut) / float64(nv)
+	r.PartStDev = math.Sqrt(ss / float64(r.NumParts))
+	if numVertices > 0 {
+		r.ReplicationFactor = float64(r.CommCost+r.NonCut) / float64(numVertices)
+	} else {
+		r.ReplicationFactor = 0
 	}
-	return res, nil
 }
 
 // ComputeFor partitions g with strategy s and computes the metrics in one
-// call — the common path for tables and tests.
+// call — the common path for tables and tests. The assignment is produced
+// once via partition.Assign.
 func ComputeFor(g *graph.Graph, s partition.Strategy, numParts int) (*Result, error) {
-	assign, err := s.Partition(g, numParts)
+	a, err := partition.Assign(g, s, numParts)
 	if err != nil {
-		return nil, fmt.Errorf("metrics: partitioning with %s: %w", s.Name(), err)
+		return nil, fmt.Errorf("metrics: %w", err)
 	}
-	return Compute(g, assign, numParts)
+	return FromAssignment(a)
 }
 
 // MetricByName extracts a metric value from a Result by its table name:

@@ -1,0 +1,139 @@
+package partition
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cutfit/internal/graph"
+)
+
+// Assignment is the first-class artifact of one partitioning pass: the
+// per-edge partition assignment of a graph, validated on construction,
+// together with the per-partition edge histogram that every downstream
+// consumer (metrics, the partitioned-graph builder, the empirical
+// selector) would otherwise recount.
+//
+// An Assignment is produced exactly once per strategy invocation by Assign
+// and then flows through the whole pipeline: metrics.FromAssignment derives
+// the §3.1 metric set from it, pregel builds the engine topology from it,
+// and the advisor's empirical selection keeps the winning Assignment so the
+// chosen strategy never re-partitions. Treat it as immutable once built.
+type Assignment struct {
+	// G is the graph the assignment was computed for.
+	G *graph.Graph
+	// Strategy is the name of the producing strategy ("" if hand-built).
+	Strategy string
+	// NumParts is the partition count the assignment targets.
+	NumParts int
+	// PIDs holds one partition ID per edge, aligned with G.Edges(). Every
+	// entry is validated to be in [0, NumParts).
+	PIDs []PID
+	// EdgesPerPart is the per-partition edge histogram, counted once during
+	// validation.
+	EdgesPerPart []int64
+}
+
+// NumEdges returns the number of assigned edges.
+func (a *Assignment) NumEdges() int { return len(a.PIDs) }
+
+// NewAssignment validates a raw per-edge assignment against g (length and
+// PID range) and wraps it, counting the per-partition edge histogram in the
+// same pass. The PIDs slice is retained, not copied.
+func NewAssignment(g *graph.Graph, strategy string, pids []PID, numParts int) (*Assignment, error) {
+	if err := checkParts(numParts); err != nil {
+		return nil, err
+	}
+	if ne := g.NumEdges(); len(pids) != ne {
+		return nil, fmt.Errorf("partition: assignment has %d entries for %d edges", len(pids), ne)
+	}
+	counts := make([]int64, numParts)
+	for i, p := range pids {
+		if p < 0 || int(p) >= numParts {
+			return nil, fmt.Errorf("partition: edge %d assigned to out-of-range partition %d", i, p)
+		}
+		counts[p]++
+	}
+	return &Assignment{G: g, Strategy: strategy, NumParts: numParts, PIDs: pids, EdgesPerPart: counts}, nil
+}
+
+// Assign runs strategy s over g exactly once and returns the validated
+// Assignment artifact. This is the single entry point of the
+// strategy → metrics → engine pipeline; callers that need both the metric
+// set and the engine topology share one Assign call instead of
+// re-partitioning per consumer.
+//
+// Hash strategies shard the assignment pass over GOMAXPROCS — the process
+// CPU limit, not any per-call Parallelism option (a Strategy has no
+// options to thread them through).
+func Assign(g *graph.Graph, s Strategy, numParts int) (*Assignment, error) {
+	pids, err := s.Partition(g, numParts)
+	if err != nil {
+		// Strategy errors already carry the package prefix and, for the
+		// built-in strategies, the strategy name.
+		return nil, err
+	}
+	a, err := NewAssignment(g, s.Name(), pids, numParts)
+	if err != nil {
+		return nil, fmt.Errorf("%w (strategy %s)", err, s.Name())
+	}
+	return a, nil
+}
+
+// parallelAssignThreshold is the edge count below which sharded hash
+// assignment falls back to a single-goroutine loop; goroutine fan-out on
+// tiny graphs costs more than it saves.
+const parallelAssignThreshold = 1 << 14
+
+// assignHashParallel evaluates a stateless per-edge hash over contiguous
+// edge shards, one per GOMAXPROCS slot. The output is index-addressed, so
+// the result is identical to the sequential loop regardless of scheduling.
+func assignHashParallel(edges []graph.Edge, fn EdgeHashFunc, numParts int) ([]PID, error) {
+	out := make([]PID, len(edges))
+	shards := runtime.GOMAXPROCS(0)
+	if len(edges) < parallelAssignThreshold || shards < 2 {
+		if err := assignHashRange(edges, out, fn, numParts, 0, len(edges)); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	if shards > len(edges) {
+		shards = len(edges)
+	}
+	chunk := (len(edges) + shards - 1) / shards
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo, hi := s*chunk, (s+1)*chunk
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			errs[s] = assignHashRange(edges, out, fn, numParts, lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// assignHashRange evaluates fn over edges[lo:hi), writing into out and
+// validating the produced PIDs. Errors carry no package prefix; the
+// calling Strategy wraps them with its name.
+func assignHashRange(edges []graph.Edge, out []PID, fn EdgeHashFunc, numParts, lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		e := edges[i]
+		p := fn(e.Src, e.Dst, numParts)
+		if p < 0 || int(p) >= numParts {
+			return fmt.Errorf("hash produced out-of-range partition %d for edge %d", p, i)
+		}
+		out[i] = p
+	}
+	return nil
+}

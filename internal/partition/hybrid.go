@@ -17,6 +17,11 @@ type hybridStrategy struct {
 	threshold int32
 }
 
+// DefaultHybridThreshold is the in-degree cutoff used when a hybrid cut is
+// requested without an explicit threshold (ByName "Hybrid") — PowerLyra's
+// default ballpark for social graphs.
+const DefaultHybridThreshold = 100
+
 // Hybrid returns a hybrid-cut strategy with the given in-degree threshold
 // (100 is PowerLyra's default ballpark for social graphs).
 func Hybrid(threshold int) Strategy {

@@ -11,6 +11,8 @@ package partition
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"cutfit/internal/graph"
 	"cutfit/internal/rng"
@@ -33,15 +35,28 @@ type Strategy interface {
 // all GraphX partitioners.
 type EdgeHashFunc func(src, dst graph.VertexID, numParts int) PID
 
-// hashStrategy adapts an EdgeHashFunc into a Strategy.
+// hashStrategy adapts an EdgeHashFunc into a Strategy. Because the function
+// is stateless, assignment is embarrassingly parallel: Partition shards the
+// edge list over all cores and each shard writes its index range of the
+// output, so the result is identical to the sequential loop.
 type hashStrategy struct {
 	name string
 	fn   EdgeHashFunc
+	// prep, when set, specializes the hash function once per Partition call
+	// for a fixed partition count — hoisting any per-numParts setup (2D's
+	// grid side) out of the per-edge path.
+	prep func(numParts int) EdgeHashFunc
 }
 
 // NewHashStrategy wraps a stateless per-edge hash function as a Strategy.
 func NewHashStrategy(name string, fn EdgeHashFunc) Strategy {
 	return &hashStrategy{name: name, fn: fn}
+}
+
+// newPreparedHashStrategy wraps a factory that builds the per-edge hash for
+// a fixed partition count, invoked once per Partition call.
+func newPreparedHashStrategy(name string, prep func(numParts int) EdgeHashFunc) Strategy {
+	return &hashStrategy{name: name, prep: prep}
 }
 
 func (s *hashStrategy) Name() string { return s.name }
@@ -50,14 +65,13 @@ func (s *hashStrategy) Partition(g *graph.Graph, numParts int) ([]PID, error) {
 	if err := checkParts(numParts); err != nil {
 		return nil, err
 	}
-	edges := g.Edges()
-	out := make([]PID, len(edges))
-	for i, e := range edges {
-		p := s.fn(e.Src, e.Dst, numParts)
-		if p < 0 || int(p) >= numParts {
-			return nil, fmt.Errorf("partition: strategy %s produced out-of-range partition %d for edge %d", s.name, p, i)
-		}
-		out[i] = p
+	fn := s.fn
+	if s.prep != nil {
+		fn = s.prep(numParts)
+	}
+	out, err := assignHashParallel(g.Edges(), fn, numParts)
+	if err != nil {
+		return nil, fmt.Errorf("partition: strategy %s: %w", s.name, err)
 	}
 	return out, nil
 }
@@ -110,12 +124,17 @@ func EdgePartition1D() Strategy {
 // bound on vertex replication. When N is not a perfect square the grid is
 // folded back with a final modulo, which — as the paper observes — can
 // produce imbalanced partitions.
+//
+// The grid side depends only on the partition count, so it is computed
+// once per Partition call, not per edge.
 func EdgePartition2D() Strategy {
-	return NewHashStrategy("2D", func(src, dst graph.VertexID, n int) PID {
-		side := ceilSqrt(n)
-		col := rng.Mix64(uint64(src)) % uint64(side)
-		row := rng.Mix64(uint64(dst)) % uint64(side)
-		return PID((col*uint64(side) + row) % uint64(n))
+	return newPreparedHashStrategy("2D", func(n int) EdgeHashFunc {
+		side := uint64(ceilSqrt(n))
+		return func(src, dst graph.VertexID, n int) PID {
+			col := rng.Mix64(uint64(src)) % side
+			row := rng.Mix64(uint64(dst)) % side
+			return PID((col*side + row) % uint64(n))
+		}
 	})
 }
 
@@ -168,12 +187,26 @@ func Extended() []Strategy {
 }
 
 // ByName returns the strategy with the given table name (case sensitive:
-// "RVC", "1D", "2D", "CRVC", "SC", "DC", "Greedy", "HDRF").
+// "RVC", "1D", "2D", "CRVC", "SC", "DC", "Greedy", "HDRF"). The extension
+// strategies resolve as "Range" and "Hybrid" (default in-degree threshold)
+// or "Hybrid:<threshold>" for an explicit cutoff, e.g. "Hybrid:250".
 func ByName(name string) (Strategy, error) {
 	for _, s := range Extended() {
 		if s.Name() == name {
 			return s, nil
 		}
+	}
+	switch {
+	case name == "Range":
+		return Range(), nil
+	case name == "Hybrid":
+		return Hybrid(DefaultHybridThreshold), nil
+	case strings.HasPrefix(name, "Hybrid:"):
+		t, err := strconv.Atoi(name[len("Hybrid:"):])
+		if err != nil || t <= 0 {
+			return nil, fmt.Errorf("partition: bad hybrid threshold in %q (want Hybrid:<positive int>)", name)
+		}
+		return Hybrid(t), nil
 	}
 	return nil, fmt.Errorf("partition: unknown strategy %q", name)
 }

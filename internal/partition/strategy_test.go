@@ -181,8 +181,23 @@ func TestByName(t *testing.T) {
 			t.Fatalf("ByName(%q).Name() = %q", name, s.Name())
 		}
 	}
-	if _, err := ByName("nope"); err == nil {
-		t.Fatal("unknown name should error")
+	for _, name := range []string{"Range", "Hybrid", "Hybrid:250"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		wantName := "Range"
+		if name != "Range" {
+			wantName = "Hybrid"
+		}
+		if s.Name() != wantName {
+			t.Fatalf("ByName(%q).Name() = %q, want %q", name, s.Name(), wantName)
+		}
+	}
+	for _, bad := range []string{"nope", "Hybrid:", "Hybrid:0", "Hybrid:abc"} {
+		if _, err := ByName(bad); err == nil {
+			t.Fatalf("ByName(%q) should error", bad)
+		}
 	}
 }
 

@@ -1,0 +1,58 @@
+package pregel
+
+import (
+	"cutfit/internal/metrics"
+	"cutfit/internal/partition"
+)
+
+// NewPartitionedGraphFromAssignment builds the partitioned representation
+// from a validated Assignment artifact — the engine end of the
+// strategy → metrics → engine pipeline. The assignment's PID slice is used
+// directly; no re-partitioning or re-validation pass runs beyond the
+// build's own sharded count.
+func NewPartitionedGraphFromAssignment(a *partition.Assignment, opts BuildOptions) (*PartitionedGraph, error) {
+	return NewPartitionedGraphOpts(a.G, a.PIDs, a.NumParts, opts)
+}
+
+// Metrics derives the full §3.1 metric set from the already-built
+// partitioned topology. The per-partition edge lists, local vertex tables
+// and the mirror routing CSR encode everything the metrics package would
+// otherwise recompute with a per-vertex replica-bitset scan over all edges
+// (O(|E| + |V|·numParts/64)); here the same numbers fall out of the
+// structure in O(|V| + numParts):
+//
+//   - EdgesPerPart / VerticesPerPart are the partition sizes;
+//   - a vertex's replica count is its mirror-routing span, giving
+//     NonCut, Cut and CommCost directly;
+//   - the derived fields (Balance, PartStDev, MaxEdges, MaxVertices,
+//     ReplicationFactor) come from metrics.Finalize, the same code every
+//     other Result producer uses, so results are bit-for-bit identical to
+//     metrics.Compute on the originating assignment.
+//
+// Any path that builds the topology anyway (run-after-measure, the bench
+// grid) should read metrics here instead of calling metrics.Compute.
+func (pg *PartitionedGraph) Metrics() *metrics.Result {
+	numParts := pg.NumParts
+	res := &metrics.Result{
+		NumParts:        numParts,
+		EdgesPerPart:    make([]int64, numParts),
+		VerticesPerPart: make([]int64, numParts),
+	}
+	for p, part := range pg.Parts {
+		res.EdgesPerPart[p] = int64(part.NumEdges())
+		res.VerticesPerPart[p] = int64(part.NumLocalVertices())
+	}
+	nv := pg.G.NumVertices()
+	for v := 0; v < nv; v++ {
+		replicas := pg.routingOffsets[v+1] - pg.routingOffsets[v]
+		switch {
+		case replicas == 1:
+			res.NonCut++
+		case replicas > 1:
+			res.Cut++
+			res.CommCost += replicas
+		}
+	}
+	res.Finalize(nv)
+	return res
+}
