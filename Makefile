@@ -14,7 +14,7 @@ BENCH ?= BenchmarkSelectEmpirically|BenchmarkMeasureThenRun|BenchmarkPartitionBu
 BENCH_COUNT ?= 10
 BENCH_OUT ?= bench.txt
 
-.PHONY: all build test vet race bench bench-compare fuzz fuzz-smoke check
+.PHONY: all build test vet race bench bench-smoke bench-compare fuzz fuzz-smoke check
 
 all: check
 
@@ -28,9 +28,10 @@ vet:
 	$(GO) vet ./...
 
 # Race determinism regression for the parallel partition build, the
-# parallel hash assignment and the scratch-reuse engine.
+# parallel hash assignment, the scratch-pool engine and the serving layer
+# (store single-flight, Session mixed workload, cutfitd handlers).
 race:
-	$(GO) test -race ./internal/pregel/... ./internal/testutil/... ./internal/partition/...
+	$(GO) test -race . ./cmd/cutfitd/... ./internal/pregel/... ./internal/testutil/... ./internal/partition/... ./internal/store/...
 
 # Hot-path benchmarks: partition construction (old vs new, and across
 # dataset analogs × strategies), per-superstep allocation footprint, and
@@ -38,6 +39,11 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=BenchmarkPartitionBuild -benchmem ./internal/pregel/
 	$(GO) test -run='^$$' -bench='BenchmarkPartitionBuild|BenchmarkSuperstepAllocs|BenchmarkSelectEmpirically|BenchmarkMeasureThenRun' -benchmem .
+
+# One-iteration pass over the concurrent-serving benchmarks: fast enough
+# for CI, still executes the pooled/fresh and hit/miss paths end to end.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='BenchmarkConcurrentRuns|BenchmarkSessionCache' -benchtime=1x -benchmem .
 
 # benchstat-friendly sampling: repeat the $(BENCH) benchmarks
 # $(BENCH_COUNT) times into $(BENCH_OUT) so two runs can be compared with

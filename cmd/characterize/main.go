@@ -1,13 +1,21 @@
 // Command characterize regenerates the dataset characterization artifacts
 // of the paper: Table 1 (structural statistics of all nine datasets),
-// Figure 1 (in/out degree distributions) and Figure 2 (the CDF of the
-// out-degree/in-degree ratio).
+// Figure 1 (in/out degree distributions), Figure 2 (the CDF of the
+// out-degree/in-degree ratio) and — through the shared Assignment
+// pipeline — the partitioning characterization of any strategy set on the
+// same datasets.
 //
 // Usage:
 //
 //	characterize [-table1] [-fig1] [-fig2] [-dataset name]
+//	             [-partition] [-strategies 2D,DC,Hybrid:50] [-parts 128]
 //
-// With no flags all three artifacts are printed.
+// With no flags the three structural artifacts are printed. -partition
+// adds the §3.1 metric set per dataset × strategy: names are resolved by
+// the library-wide ByName resolver (so the extension partitioners Range
+// and Hybrid:<threshold> work here exactly as in cutfit/partmetrics), and
+// every metric set is produced by one partition.Assign pass per strategy —
+// the same artifact the engine builds from.
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 
 	"cutfit/internal/bench"
 	"cutfit/internal/datasets"
+	"cutfit/internal/partition"
 	"cutfit/internal/report"
 	"cutfit/internal/stats"
 )
@@ -25,10 +34,13 @@ func main() {
 	table1 := flag.Bool("table1", false, "print Table 1 (dataset characterization)")
 	fig1 := flag.Bool("fig1", false, "print Figure 1 (degree distributions)")
 	fig2 := flag.Bool("fig2", false, "print Figure 2 (out/in degree ratio CDF)")
+	partFlag := flag.Bool("partition", false, "print the §3.1 partitioning metrics per dataset × strategy")
+	strategies := flag.String("strategies", "", "comma-separated strategy names for -partition (any ByName-resolvable name; default: the paper's six)")
+	parts := flag.Int("parts", 128, "partition count for -partition")
 	dataset := flag.String("dataset", "", "restrict to one dataset by name")
 	flag.Parse()
 
-	if !*table1 && !*fig1 && !*fig2 {
+	if !*table1 && !*fig1 && !*fig2 && !*partFlag {
 		*table1, *fig1, *fig2 = true, true, true
 	}
 	specs := datasets.Suite()
@@ -89,6 +101,30 @@ func main() {
 			fatal(err)
 		}
 	}
+
+	if *partFlag {
+		strats, err := resolveStrategies(*strategies)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("=== Partitioning characterization (one Assign pass per strategy) ===")
+		rows, err := bench.MetricsTable(specs, strats, *parts)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteMetricsTable(os.Stdout, rows, *parts); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// resolveStrategies turns a comma-separated name list into strategies via
+// the shared ByNames resolver; empty means the paper's six.
+func resolveStrategies(names string) ([]partition.Strategy, error) {
+	if names == "" {
+		return partition.All(), nil
+	}
+	return partition.ByNames(names)
 }
 
 func printHist(bins []stats.HistBin) {

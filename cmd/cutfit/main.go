@@ -6,10 +6,13 @@
 //	cutfit generate -dataset orkut -out orkut.txt
 //	    Write an analog dataset as a text edge list.
 //
-//	cutfit metrics -in graph.txt -strategy 2D -parts 128
+//	cutfit metrics -in graph.txt -strategy 2D -parts 128 [-json]
 //	    Partition a graph (one assignment pass) and print the §3.1
 //	    metrics. Strategies include the extension partitioners Range and
-//	    Hybrid[:<threshold>].
+//	    Hybrid[:<threshold>]. -json emits the exact MetricsReport encoding
+//	    the cutfitd server responds with, so CLI output and server
+//	    responses are interchangeable (the advise subcommand's -json does
+//	    the same with AdviseReport).
 //
 //	cutfit run -in graph.txt -alg pagerank -strategy 2D -parts 128
 //	    Execute an algorithm on the partitioned graph and print the
@@ -24,6 +27,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -64,9 +68,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: cutfit <generate|metrics|run|advise> [flags]
   generate -dataset <name> -out <file>
-  metrics  -in <file>|-dataset <name> -strategy <name> -parts <n>
+  metrics  -in <file>|-dataset <name> -strategy <name> -parts <n> [-json]
   run      -in <file>|-dataset <name> -alg <name> -strategy <name> -parts <n>
-  advise   -in <file>|-dataset <name> -alg <name> -parts <n> [-measure]`)
+  advise   -in <file>|-dataset <name> -alg <name> -parts <n> [-measure] [-json]`)
 }
 
 // loadGraph reads a graph from -in or builds a named analog dataset.
@@ -124,12 +128,31 @@ func cmdGenerate(args []string) error {
 // the -strategy flags of the metrics and run subcommands.
 const strategyFlagHelp = "partitioning strategy: RVC, 1D, 2D, CRVC, SC, DC, Greedy, HDRF, Range, Hybrid or Hybrid:<in-degree threshold>"
 
+// graphLabel names the graph in JSON reports: the dataset name or the
+// input path.
+func graphLabel(in, dataset string) string {
+	if dataset != "" {
+		return dataset
+	}
+	return in
+}
+
+// writeJSON emits a report in the exact encoding cutfitd serves, so CLI
+// output and server responses are interchangeable for downstream tooling.
+func writeJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
 func cmdMetrics(args []string) error {
 	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
 	in := fs.String("in", "", "input edge-list file")
 	dataset := fs.String("dataset", "", "analog dataset name")
 	strategy := fs.String("strategy", "2D", strategyFlagHelp)
 	parts := fs.Int("parts", 128, "number of partitions")
+	asJSON := fs.Bool("json", false, "emit the cutfitd MetricsReport JSON encoding instead of text")
 	fs.Parse(args)
 	g, err := loadGraph(*in, *dataset)
 	if err != nil {
@@ -142,6 +165,11 @@ func cmdMetrics(args []string) error {
 	m, err := cutfit.Measure(g, s, *parts)
 	if err != nil {
 		return err
+	}
+	if *asJSON {
+		rep := cutfit.NewMetricsReport(s.Name(), *parts, m)
+		rep.Graph = graphLabel(*in, *dataset)
+		return writeJSON(rep)
 	}
 	fmt.Printf("strategy=%s parts=%d\n", s.Name(), *parts)
 	fmt.Printf("  Balance    %.4f\n", m.Balance)
@@ -286,6 +314,7 @@ func cmdAdvise(args []string) error {
 	alg := fs.String("alg", "pagerank", "algorithm: pagerank, cc, triangles, sssp")
 	parts := fs.Int("parts", 128, "number of partitions")
 	measure := fs.Bool("measure", false, "empirically measure and rank all strategies")
+	asJSON := fs.Bool("json", false, "emit the cutfitd AdviseReport JSON encoding instead of text")
 	fs.Parse(args)
 	g, err := loadGraph(*in, *dataset)
 	if err != nil {
@@ -298,36 +327,32 @@ func cmdAdvise(args []string) error {
 	facts := cutfit.Facts(g)
 	facts.IDLocality = core.DetectIDLocality(g, 256, 0.5)
 	rec := cutfit.Advise(profile, facts, *parts)
-	fmt.Printf("recommended strategy: %s (optimize %s)\n", rec.Strategy.Name(), rec.Metric)
-	fmt.Printf("reason: %s\n", rec.Reason)
-	if !*measure {
-		return nil
-	}
-	sel, err := cutfit.Select(g, cutfit.Strategies(), *parts, profile)
-	if err != nil {
-		return err
-	}
-	best, results := sel.Strategy, sel.Results
-	fmt.Printf("\nempirical ranking by %s at %d partitions:\n", profile.Metric, *parts)
-	type row struct {
-		name string
-		val  float64
-	}
-	rows := make([]row, 0, len(results))
-	for name, m := range results {
-		v, err := m.MetricByName(profile.Metric)
+	rep := cutfit.NewAdviseReport(*alg, *parts, rec)
+	rep.Graph = graphLabel(*in, *dataset)
+	if *measure {
+		sel, err := cutfit.Select(g, cutfit.Strategies(), *parts, profile)
 		if err != nil {
 			return err
 		}
-		rows = append(rows, row{name, v})
+		if rep.Ranking, err = cutfit.RankFromSelection(sel, profile.Metric); err != nil {
+			return err
+		}
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].val < rows[j].val })
-	for _, r := range rows {
+	if *asJSON {
+		return writeJSON(rep)
+	}
+	fmt.Printf("recommended strategy: %s (optimize %s)\n", rep.Strategy, rep.Metric)
+	fmt.Printf("reason: %s\n", rep.Reason)
+	if rep.Ranking == nil {
+		return nil
+	}
+	fmt.Printf("\nempirical ranking by %s at %d partitions:\n", profile.Metric, *parts)
+	for _, r := range rep.Ranking {
 		marker := " "
-		if r.name == best.Name() {
+		if r.Selected {
 			marker = "*"
 		}
-		fmt.Printf("  %s %-6s %s = %.0f\n", marker, r.name, profile.Metric, r.val)
+		fmt.Printf("  %s %-6s %s = %.0f\n", marker, r.Strategy, profile.Metric, r.Value)
 	}
 	return nil
 }

@@ -1,0 +1,67 @@
+// Command cutfitd is the long-running serving daemon of the Cut-to-Fit
+// library: it holds a cutfit.Session — the keyed artifact cache with
+// single-flight builds plus the engine's pooled scratch buffers — and
+// serves partitioning measurement, strategy advice and algorithm execution
+// over HTTP/JSON. Concurrent identical requests cost one partitioning pass
+// total; repeated requests are cache hits; concurrent runs on one cached
+// topology reuse pooled engine buffers.
+//
+// Usage:
+//
+//	cutfitd [-addr :8080] [-cache-mb 512] [-parallelism N] [-preload youtube,roadnet-ca]
+//
+// Endpoints (request and response bodies are JSON; the response structs
+// are the same cutfit.MetricsReport / AdviseReport / RunReport encodings
+// the cutfit CLI prints with -json):
+//
+//	POST /v1/graphs   {"name": "g", "dataset": "youtube"}   register an analog dataset
+//	POST /v1/graphs   {"name": "g", "edges": "0 1\n1 2"}    register an inline edge list
+//	GET  /v1/graphs                                         list registered graphs
+//	POST /v1/metrics  {"graph", "strategy", "parts"}        §3.1 metric set
+//	POST /v1/advise   {"graph", "alg", "parts", "measure"}  recommendation (+ measured ranking)
+//	POST /v1/run      {"graph", "alg", "strategy", "parts", "iters"}
+//	                  execute an algorithm; "strategy": "auto" selects empirically
+//	GET  /v1/stats                                          cache hit/miss/eviction counters
+//	GET  /healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheMB := flag.Int64("cache-mb", 0, "artifact cache budget in MiB (0 = default 512, negative = unbounded)")
+	parallelism := flag.Int("parallelism", 0, "worker goroutines per build/run (<1 = GOMAXPROCS)")
+	preload := flag.String("preload", "", "comma-separated analog dataset names to register at boot under their own names")
+	flag.Parse()
+
+	srv := newServer(serverOptions{
+		cacheBytes:  *cacheMB * (1 << 20),
+		parallelism: *parallelism,
+	})
+	if *preload != "" {
+		for _, name := range strings.Split(*preload, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			n, err := srv.registerDataset(name, name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cutfitd: preload:", err)
+				os.Exit(1)
+			}
+			log.Printf("preloaded %s: %d vertices, %d edges", name, n.vertices, n.edges)
+		}
+	}
+	log.Printf("cutfitd listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintln(os.Stderr, "cutfitd:", err)
+		os.Exit(1)
+	}
+}

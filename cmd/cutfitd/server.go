@@ -1,0 +1,325 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"cutfit"
+)
+
+// serverOptions configures the daemon's Session.
+type serverOptions struct {
+	cacheBytes  int64
+	parallelism int
+}
+
+// graphEntry is one registered graph with its summary.
+type graphEntry struct {
+	g        *cutfit.Graph
+	vertices int
+	edges    int
+}
+
+// server is the HTTP facade over one concurrent cutfit.Session plus a
+// named-graph registry. All handler state is either the Session (safe for
+// concurrent use by construction) or the registry map under its RWMutex,
+// so the stock net/http one-goroutine-per-request model needs no further
+// coordination.
+type server struct {
+	session *cutfit.Session
+	mux     *http.ServeMux
+
+	mu     sync.RWMutex
+	graphs map[string]*graphEntry
+}
+
+func newServer(opts serverOptions) *server {
+	s := &server{
+		session: cutfit.NewSession(cutfit.SessionOptions{
+			MaxCacheBytes: opts.cacheBytes,
+			Parallelism:   opts.parallelism,
+		}),
+		graphs: make(map[string]*graphEntry),
+		mux:    http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	s.mux.HandleFunc("POST /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/advise", s.handleAdvise)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorReply is the uniform error body.
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorReply{Error: err.Error()})
+}
+
+// maxRequestBytes caps request bodies: generous for inline edge lists
+// (a ~64 MiB list is a few million edges) while keeping one
+// unauthenticated POST from exhausting the daemon's memory.
+const maxRequestBytes = 64 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// lookup resolves a registered graph by name.
+func (s *server) lookup(name string) (*graphEntry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.graphs[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown graph %q (register it via POST /v1/graphs)", name)
+	}
+	return e, nil
+}
+
+// register installs a graph under name. Cached artifacts of a replaced
+// graph are forgotten only once no registered name references it anymore:
+// re-registering the same memoized dataset graph (old.g == g) or replacing
+// one of several names sharing a graph must not wipe the live cache.
+func (s *server) register(name string, g *cutfit.Graph) *graphEntry {
+	e := &graphEntry{g: g, vertices: g.NumVertices(), edges: g.NumEdges()}
+	s.mu.Lock()
+	old := s.graphs[name]
+	s.graphs[name] = e
+	var forget *cutfit.Graph
+	if old != nil && old.g != g {
+		forget = old.g
+		for _, other := range s.graphs {
+			if other.g == forget {
+				forget = nil
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if forget != nil {
+		s.session.Forget(forget)
+	}
+	return e
+}
+
+// registerDataset builds a named analog dataset and registers it.
+func (s *server) registerDataset(name, dataset string) (*graphEntry, error) {
+	spec, err := cutfit.DatasetByName(dataset)
+	if err != nil {
+		return nil, err
+	}
+	g, err := spec.BuildCached()
+	if err != nil {
+		return nil, err
+	}
+	return s.register(name, g), nil
+}
+
+type registerRequest struct {
+	Name    string `json:"name"`
+	Dataset string `json:"dataset,omitempty"`
+	Edges   string `json:"edges,omitempty"`
+}
+
+type graphReply struct {
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+}
+
+func (s *server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("graph name is required"))
+		return
+	}
+	var (
+		e   *graphEntry
+		err error
+	)
+	switch {
+	case req.Dataset != "" && req.Edges != "":
+		err = fmt.Errorf("use either dataset or edges, not both")
+	case req.Dataset != "":
+		e, err = s.registerDataset(req.Name, req.Dataset)
+	case req.Edges != "":
+		var g *cutfit.Graph
+		if g, err = cutfit.LoadEdgeList(strings.NewReader(req.Edges)); err == nil {
+			e = s.register(req.Name, g)
+		}
+	default:
+		err = fmt.Errorf("one of dataset or edges is required")
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, graphReply{Name: req.Name, Vertices: e.vertices, Edges: e.edges})
+}
+
+func (s *server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	out := make([]graphReply, 0, len(s.graphs))
+	for name, e := range s.graphs {
+		out = append(out, graphReply{Name: name, Vertices: e.vertices, Edges: e.edges})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+type metricsRequest struct {
+	Graph    string `json:"graph"`
+	Strategy string `json:"strategy"`
+	Parts    int    `json:"parts"`
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var req metricsRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	e, err := s.lookup(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	strat, err := cutfit.StrategyByName(req.Strategy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := s.session.Measure(e.g, strat, req.Parts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rep := cutfit.NewMetricsReport(strat.Name(), req.Parts, m)
+	rep.Graph = req.Graph
+	writeJSON(w, http.StatusOK, rep)
+}
+
+type adviseRequest struct {
+	Graph     string `json:"graph"`
+	Algorithm string `json:"alg"`
+	Parts     int    `json:"parts"`
+	Measure   bool   `json:"measure,omitempty"`
+}
+
+func (s *server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	var req adviseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	e, err := s.lookup(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	profile, err := cutfit.ProfileFor(req.Algorithm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rec := s.session.Advise(e.g, profile, req.Parts)
+	rep := cutfit.NewAdviseReport(req.Algorithm, req.Parts, rec)
+	rep.Graph = req.Graph
+	if req.Measure {
+		sel, err := s.session.Select(e.g, cutfit.Strategies(), req.Parts, profile)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if rep.Ranking, err = cutfit.RankFromSelection(sel, profile.Metric); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+type runRequest struct {
+	Graph     string `json:"graph"`
+	Algorithm string `json:"alg"`
+	Strategy  string `json:"strategy"`
+	Parts     int    `json:"parts"`
+	// Iters is a pointer so an explicit 0 (cc: run to convergence) is
+	// distinguishable from an absent field (default 10).
+	Iters *int `json:"iters,omitempty"`
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	e, err := s.lookup(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	iters := 10
+	if req.Iters != nil {
+		iters = *req.Iters
+	}
+	var strat cutfit.Strategy
+	if req.Strategy == "auto" {
+		profile, err := cutfit.ProfileFor(req.Algorithm)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		sel, err := s.session.Select(e.g, cutfit.Strategies(), req.Parts, profile)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		strat = sel.Strategy
+	} else {
+		if strat, err = cutfit.StrategyByName(req.Strategy); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	rep, err := s.session.Run(r.Context(), e.g, strat, req.Parts, req.Algorithm, iters)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rep.Graph = req.Graph
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.session.CacheStats())
+}

@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 
 	"cutfit/internal/bench"
 	"cutfit/internal/partition"
@@ -59,12 +58,9 @@ func main() {
 
 	buildOpts = pregel.BuildOptions{Parallelism: *parallelism, ReuseBuffers: *reuse}
 	if *strategies != "" {
-		for _, name := range strings.Split(*strategies, ",") {
-			s, err := partition.ByName(strings.TrimSpace(name))
-			if err != nil {
-				fatal(err)
-			}
-			stratOverride = append(stratOverride, s)
+		var err error
+		if stratOverride, err = partition.ByNames(*strategies); err != nil {
+			fatal(err)
 		}
 	}
 

@@ -59,6 +59,24 @@
 //
 //	sel, _ := cutfit.Select(g, cutfit.Strategies(), 128, cutfit.ProfilePageRank)
 //	pg, _ := cutfit.PartitionFromAssignment(sel.Assignment, cutfit.PartitionOptions{})
+//
+// # Serving
+//
+// For repeated or concurrent requests — the serving workload rather than
+// the batch one — wrap the pipeline in a Session. A Session memoizes every
+// pipeline artifact in a size-bounded, single-flight cache and runs the
+// engine with pooled scratch buffers, so identical requests cost one
+// partitioning pass total and N goroutines running algorithms on one
+// cached topology allocate almost nothing:
+//
+//	se := cutfit.NewSession(cutfit.SessionOptions{})
+//	m, _ := se.Measure(g, cutfit.EdgePartition2D(), 128)   // partitions once
+//	pg, _ := se.Partition(g, cutfit.EdgePartition2D(), 128) // reuses that pass
+//	rep, _ := se.Run(ctx, g, cutfit.EdgePartition2D(), 128, "pagerank", 10)
+//	fmt.Println(m.CommCost, pg.NumParts, rep.SimSecs, se.CacheStats())
+//
+// All Session methods are safe for concurrent use. The cmd/cutfitd command
+// serves exactly this Session surface over HTTP/JSON.
 package cutfit
 
 import (
@@ -186,14 +204,10 @@ func MeasureAssignment(a *Assignment) (*Metrics, error) {
 }
 
 // Measure partitions g with s into numParts partitions and computes the
-// full §3.1 metric set — a thin wrapper over PartitionAssignment +
-// MeasureAssignment.
+// full §3.1 metric set — a thin one-shot-session wrapper (nothing is
+// cached across calls; use a Session to serve repeated requests).
 func Measure(g *Graph, s Strategy, numParts int) (*Metrics, error) {
-	a, err := PartitionAssignment(g, s, numParts)
-	if err != nil {
-		return nil, err
-	}
-	return MeasureAssignment(a)
+	return oneShot.Measure(g, s, numParts)
 }
 
 // PartitionOptions tunes how the engine-ready partitioned representation
@@ -225,9 +239,13 @@ func PartitionFromAssignment(a *Assignment, opts PartitionOptions) (*Partitioned
 }
 
 // Partition builds the engine-ready partitioned representation of g under
-// strategy s with default options.
+// strategy s with default options — a thin one-shot-session wrapper.
 func Partition(g *Graph, s Strategy, numParts int) (*PartitionedGraph, error) {
-	return PartitionWithOptions(g, s, numParts, PartitionOptions{})
+	pg, err := oneShot.Partition(g, s, numParts)
+	if err != nil {
+		return nil, fmt.Errorf("cutfit: %w", err)
+	}
+	return pg, nil
 }
 
 // PartitionWithOptions builds the engine-ready partitioned representation
@@ -321,9 +339,11 @@ func Advise(p Profile, f GraphFacts, numParts int) Recommendation {
 // Select measures every candidate strategy on g — one edge-assignment pass
 // per candidate — and returns the Selection minimizing the profile's
 // predictive metric. The winner's Assignment is retained on the Selection,
-// so building it with PartitionFromAssignment re-partitions nothing.
+// so building it with PartitionFromAssignment re-partitions nothing. A
+// thin one-shot-session wrapper; Session.Select additionally caches every
+// candidate's assignment for later requests.
 func Select(g *Graph, candidates []Strategy, numParts int, p Profile) (*Selection, error) {
-	return core.SelectEmpirically(g, candidates, numParts, p)
+	return oneShot.Select(g, candidates, numParts, p)
 }
 
 // SelectEmpirically measures every candidate strategy on g and returns the

@@ -23,6 +23,7 @@ import (
 	"cutfit/internal/metrics"
 	"cutfit/internal/partition"
 	"cutfit/internal/pregel"
+	"cutfit/internal/store"
 )
 
 // Profile classifies an algorithm by its communication structure, which
@@ -164,7 +165,10 @@ type Selection struct {
 	// Assignment is the winner's edge assignment, produced by the single
 	// measurement pass and ready to hand to the pregel builder.
 	Assignment *partition.Assignment
-	// Results holds the §3.1 metric set of every candidate, by name.
+	// Results holds the §3.1 metric set of every candidate, keyed by
+	// partition.KeyOf — the strategy name, except for parameterized
+	// strategies (Hybrid:<t>), whose variants must not collapse into one
+	// row.
 	Results map[string]*metrics.Result
 }
 
@@ -182,21 +186,41 @@ func (s *Selection) Build(opts pregel.BuildOptions) (*pregel.PartitionedGraph, e
 // costs no further partitioning. This is the "measure, then choose"
 // workflow the paper recommends when a pre-computation pass is affordable.
 func SelectEmpirically(g *graph.Graph, candidates []partition.Strategy, numParts int, p Profile) (*Selection, error) {
+	return SelectEmpiricallyIn(nil, g, candidates, numParts, p)
+}
+
+// SelectEmpiricallyIn is SelectEmpirically routed through an artifact
+// store: each candidate's assignment and metric set come from st, so
+// repeated selection over one graph — different profiles, different
+// callers, concurrent requests — reuses candidate assignments instead of
+// re-assigning, and the winner's cached Assignment is already in place for
+// the subsequent store Built call. A nil store computes directly (the
+// one-shot batch path).
+func SelectEmpiricallyIn(st *store.Store, g *graph.Graph, candidates []partition.Strategy, numParts int, p Profile) (*Selection, error) {
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("core: no candidate strategies")
 	}
 	sel := &Selection{Results: make(map[string]*metrics.Result, len(candidates))}
 	bestVal := 0.0
 	for _, s := range candidates {
-		a, err := partition.Assign(g, s, numParts)
-		if err != nil {
-			return nil, fmt.Errorf("core: assigning %s: %w", s.Name(), err)
+		var (
+			a   *partition.Assignment
+			m   *metrics.Result
+			err error
+		)
+		if st != nil {
+			if a, err = st.Assignment(g, s, numParts); err == nil {
+				m, err = st.Metrics(g, s, numParts)
+			}
+		} else {
+			if a, err = partition.Assign(g, s, numParts); err == nil {
+				m, err = metrics.FromAssignment(a)
+			}
 		}
-		m, err := metrics.FromAssignment(a)
 		if err != nil {
 			return nil, fmt.Errorf("core: measuring %s: %w", s.Name(), err)
 		}
-		sel.Results[s.Name()] = m
+		sel.Results[partition.KeyOf(s)] = m
 		v, err := m.MetricByName(p.Metric)
 		if err != nil {
 			return nil, err

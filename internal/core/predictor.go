@@ -7,6 +7,7 @@ import (
 	"cutfit/internal/graph"
 	"cutfit/internal/metrics"
 	"cutfit/internal/partition"
+	"cutfit/internal/store"
 )
 
 // Predictor is a fitted linear model time ≈ Intercept + Slope·metric. The
@@ -166,18 +167,38 @@ func AdviseGranularity(p Profile, f GraphFacts, coarse, fine int, cfg AdvisorCon
 // metrics only. It returns the fitted predictor and the per-strategy
 // metric sets, ready for RankByPrediction.
 func TrainPredictor(g *graph.Graph, candidates []partition.Strategy, numParts int, p Profile, timesByStrategy map[string]float64) (*Predictor, map[string]*metrics.Result, error) {
+	return TrainPredictorIn(nil, g, candidates, numParts, p, timesByStrategy)
+}
+
+// TrainPredictorIn is TrainPredictor routed through an artifact store: the
+// per-candidate metric sets come from st, so training after (or racing) an
+// empirical selection over the same graph re-measures nothing. A nil store
+// computes directly.
+func TrainPredictorIn(st *store.Store, g *graph.Graph, candidates []partition.Strategy, numParts int, p Profile, timesByStrategy map[string]float64) (*Predictor, map[string]*metrics.Result, error) {
 	if len(timesByStrategy) < 2 {
 		return nil, nil, fmt.Errorf("core: need at least 2 timed strategies, got %d", len(timesByStrategy))
 	}
 	results := make(map[string]*metrics.Result, len(candidates))
 	var xs, ys []float64
 	for _, s := range candidates {
-		m, err := metrics.ComputeFor(g, s, numParts)
+		var (
+			m   *metrics.Result
+			err error
+		)
+		if st != nil {
+			m, err = st.Metrics(g, s, numParts)
+		} else {
+			m, err = metrics.ComputeFor(g, s, numParts)
+		}
 		if err != nil {
 			return nil, nil, err
 		}
-		results[s.Name()] = m
-		t, ok := timesByStrategy[s.Name()]
+		// Results and time samples are keyed by partition.KeyOf — the
+		// strategy name except for parameterized variants (Hybrid:<t>,
+		// HDRF:<λ>), which must not alias one row or one time sample.
+		key := partition.KeyOf(s)
+		results[key] = m
+		t, ok := timesByStrategy[key]
 		if !ok {
 			continue
 		}

@@ -12,6 +12,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // VertexID identifies a vertex. Like GraphX's VertexId it is a 64-bit
@@ -27,22 +29,66 @@ type Edge struct {
 
 // Graph is a directed multigraph stored as an edge list. It is cheap to
 // construct and append to; adjacency views are built lazily and cached.
-// A Graph is safe for concurrent readers once frozen via any accessor that
-// builds a view; it is not safe to mutate concurrently with reads.
+//
+// Concurrency: a Graph is safe for any number of concurrent readers,
+// including concurrent *first* accesses — every lazy view build is guarded
+// by its own viewOnce, so N goroutines racing on an unbuilt view elect one
+// builder and the rest observe the finished result. This is what lets one
+// graph back many simultaneous engine runs and cache lookups in the serving
+// layer. Mutation (AddEdge/AddEdges) is NOT safe concurrently with reads;
+// mutate before sharing.
 type Graph struct {
 	edges []Edge
 
-	// Cached derived views, built on first use.
-	verts    []VertexID         // sorted unique vertex IDs
-	index    map[VertexID]int32 // vertex ID -> dense index into verts
-	outDeg   []int32            // per dense index
-	inDeg    []int32
-	srcIdx   []int32 // per-edge dense source index, aligned with edges
-	dstIdx   []int32 // per-edge dense destination index
-	csrOut   *csr
-	csrIn    *csr
-	csrUndir *csr // undirected, deduplicated, no self loops
+	// version counts mutations; cache layers include it in their keys so
+	// entries computed against a superseded edge list can never be served
+	// for the mutated graph.
+	version atomic.Uint64
+
+	// Cached derived views, built on first use. Each group is guarded by
+	// its own viewOnce; the fields themselves are written only inside the
+	// owning viewOnce's build.
+	vertsOnce    viewOnce
+	verts        []VertexID         // sorted unique vertex IDs
+	index        map[VertexID]int32 // vertex ID -> dense index into verts
+	degOnce      viewOnce
+	outDeg       []int32 // per dense index
+	inDeg        []int32
+	endpointOnce viewOnce
+	srcIdx       []int32 // per-edge dense source index, aligned with edges
+	dstIdx       []int32 // per-edge dense destination index
+	csrOutOnce   viewOnce
+	csrOut       *csr
+	csrInOnce    viewOnce
+	csrIn        *csr
+	csrUndirOnce viewOnce
+	csrUndir     *csr // undirected, deduplicated, no self loops
 }
+
+// viewOnce guards one lazily-built derived view for concurrent first use.
+// Unlike sync.Once it is resettable (mutation invalidates views), and the
+// fast path is a single atomic load. The atomic store after build publishes
+// the view fields to every goroutine that observes ready == true.
+type viewOnce struct {
+	ready atomic.Bool
+	mu    sync.Mutex
+}
+
+// do runs build exactly once between resets, blocking concurrent callers
+// until the view is published.
+func (o *viewOnce) do(build func()) {
+	if o.ready.Load() {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.ready.Load() {
+		build()
+		o.ready.Store(true)
+	}
+}
+
+func (o *viewOnce) reset() { o.ready.Store(false) }
 
 // New returns an empty graph with capacity for hintEdges edges.
 func New(hintEdges int) *Graph {
@@ -70,16 +116,28 @@ func (g *Graph) AddEdges(edges ...Edge) {
 }
 
 func (g *Graph) invalidate() {
+	g.version.Add(1)
+	g.vertsOnce.reset()
 	g.verts = nil
 	g.index = nil
+	g.degOnce.reset()
 	g.outDeg = nil
 	g.inDeg = nil
+	g.endpointOnce.reset()
 	g.srcIdx = nil
 	g.dstIdx = nil
+	g.csrOutOnce.reset()
 	g.csrOut = nil
+	g.csrInOnce.reset()
 	g.csrIn = nil
+	g.csrUndirOnce.reset()
 	g.csrUndir = nil
 }
+
+// Version returns the mutation counter: 0 for a freshly built graph,
+// incremented by every AddEdge/AddEdges. Cache layers keying artifacts by
+// graph include it so entries for a superseded edge list are unreachable.
+func (g *Graph) Version() uint64 { return g.version.Load() }
 
 // NumEdges returns the number of directed edges, including duplicates and
 // self loops.
@@ -91,25 +149,24 @@ func (g *Graph) Edges() []Edge { return g.edges }
 // buildVertexIndex computes the sorted unique vertex list and the dense
 // index map.
 func (g *Graph) buildVertexIndex() {
-	if g.verts != nil {
-		return
-	}
-	seen := make(map[VertexID]struct{}, len(g.edges))
-	for _, e := range g.edges {
-		seen[e.Src] = struct{}{}
-		seen[e.Dst] = struct{}{}
-	}
-	verts := make([]VertexID, 0, len(seen))
-	for v := range seen {
-		verts = append(verts, v)
-	}
-	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
-	index := make(map[VertexID]int32, len(verts))
-	for i, v := range verts {
-		index[v] = int32(i)
-	}
-	g.verts = verts
-	g.index = index
+	g.vertsOnce.do(func() {
+		seen := make(map[VertexID]struct{}, len(g.edges))
+		for _, e := range g.edges {
+			seen[e.Src] = struct{}{}
+			seen[e.Dst] = struct{}{}
+		}
+		verts := make([]VertexID, 0, len(seen))
+		for v := range seen {
+			verts = append(verts, v)
+		}
+		sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+		index := make(map[VertexID]int32, len(verts))
+		for i, v := range verts {
+			index[v] = int32(i)
+		}
+		g.verts = verts
+		g.index = index
+	})
 }
 
 // NumVertices returns the number of distinct vertices that appear as an
@@ -140,7 +197,7 @@ func (g *Graph) Index(v VertexID) (int32, bool) {
 // advisor's empirical-selection loop) pay the vertex-index map lookups a
 // single time. Callers must not modify the returned slices.
 func (g *Graph) EdgeEndpointIndices() (src, dst []int32) {
-	if g.srcIdx == nil {
+	g.endpointOnce.do(func() {
 		g.buildVertexIndex()
 		srcIdx := make([]int32, len(g.edges))
 		dstIdx := make([]int32, len(g.edges))
@@ -150,24 +207,23 @@ func (g *Graph) EdgeEndpointIndices() (src, dst []int32) {
 		}
 		g.srcIdx = srcIdx
 		g.dstIdx = dstIdx
-	}
+	})
 	return g.srcIdx, g.dstIdx
 }
 
 // buildDegrees computes in/out degree per dense vertex index.
 func (g *Graph) buildDegrees() {
-	if g.outDeg != nil {
-		return
-	}
-	g.buildVertexIndex()
-	out := make([]int32, len(g.verts))
-	in := make([]int32, len(g.verts))
-	for _, e := range g.edges {
-		out[g.index[e.Src]]++
-		in[g.index[e.Dst]]++
-	}
-	g.outDeg = out
-	g.inDeg = in
+	g.degOnce.do(func() {
+		g.buildVertexIndex()
+		out := make([]int32, len(g.verts))
+		in := make([]int32, len(g.verts))
+		for _, e := range g.edges {
+			out[g.index[e.Src]]++
+			in[g.index[e.Dst]]++
+		}
+		g.outDeg = out
+		g.inDeg = in
+	})
 }
 
 // OutDegree returns the out-degree of v (0 if v is not in the graph).
@@ -330,25 +386,19 @@ func (c *csr) deduplicate(n int) *csr {
 
 // outCSR returns (building if needed) the out-adjacency CSR.
 func (g *Graph) outCSR() *csr {
-	if g.csrOut == nil {
-		g.csrOut = g.buildCSR("out", false, false)
-	}
+	g.csrOutOnce.do(func() { g.csrOut = g.buildCSR("out", false, false) })
 	return g.csrOut
 }
 
 // inCSR returns the in-adjacency CSR.
 func (g *Graph) inCSR() *csr {
-	if g.csrIn == nil {
-		g.csrIn = g.buildCSR("in", false, false)
-	}
+	g.csrInOnce.do(func() { g.csrIn = g.buildCSR("in", false, false) })
 	return g.csrIn
 }
 
 // undirCSR returns the undirected, deduplicated, loop-free adjacency CSR.
 func (g *Graph) undirCSR() *csr {
-	if g.csrUndir == nil {
-		g.csrUndir = g.buildCSR("", true, true)
-	}
+	g.csrUndirOnce.do(func() { g.csrUndir = g.buildCSR("", true, true) })
 	return g.csrUndir
 }
 

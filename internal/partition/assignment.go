@@ -37,6 +37,12 @@ type Assignment struct {
 // NumEdges returns the number of assigned edges.
 func (a *Assignment) NumEdges() int { return len(a.PIDs) }
 
+// MemoryFootprint approximates the bytes retained by the assignment (the
+// PID slice and the histogram), used as its eviction cost by cache layers.
+func (a *Assignment) MemoryFootprint() int64 {
+	return int64(len(a.PIDs))*4 + int64(len(a.EdgesPerPart))*8
+}
+
 // NewAssignment validates a raw per-edge assignment against g (length and
 // PID range) and wraps it, counting the per-partition edge histogram in the
 // same pass. The PIDs slice is retained, not copied.

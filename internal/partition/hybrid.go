@@ -30,6 +30,10 @@ func Hybrid(threshold int) Strategy {
 
 func (h *hybridStrategy) Name() string { return "Hybrid" }
 
+// Key distinguishes hybrid variants in caches: the threshold changes the
+// assignment, so "Hybrid:25" and "Hybrid:100" must never share entries.
+func (h *hybridStrategy) Key() string { return fmt.Sprintf("Hybrid:%d", h.threshold) }
+
 func (h *hybridStrategy) Partition(g *graph.Graph, numParts int) ([]PID, error) {
 	if err := checkParts(numParts); err != nil {
 		return nil, err

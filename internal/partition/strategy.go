@@ -31,6 +31,27 @@ type Strategy interface {
 	Partition(g *graph.Graph, numParts int) ([]PID, error)
 }
 
+// Keyer is an optional Strategy extension for parameterized strategies
+// whose Name alone does not identify the assignment they produce (e.g. the
+// hybrid cut, where the in-degree threshold changes the result but the
+// table name stays "Hybrid"). Cache layers key artifacts by KeyOf, never by
+// Name, so two variants of one strategy can never alias each other's
+// cached assignments.
+type Keyer interface {
+	// Key returns an identifier unique to this strategy's exact assignment
+	// behavior.
+	Key() string
+}
+
+// KeyOf returns the cache identity of a strategy: its Key when it
+// implements Keyer, else its Name.
+func KeyOf(s Strategy) string {
+	if k, ok := s.(Keyer); ok {
+		return k.Key()
+	}
+	return s.Name()
+}
+
 // EdgeHashFunc is a stateless per-edge assignment function, the shape of
 // all GraphX partitioners.
 type EdgeHashFunc func(src, dst graph.VertexID, numParts int) PID
@@ -209,6 +230,28 @@ func ByName(name string) (Strategy, error) {
 		return Hybrid(t), nil
 	}
 	return nil, fmt.Errorf("partition: unknown strategy %q", name)
+}
+
+// ByNames resolves a comma-separated strategy list (each element any name
+// ByName accepts; empty elements are skipped) — the shared parser behind
+// every -strategies CLI flag. At least one strategy must resolve.
+func ByNames(csv string) ([]Strategy, error) {
+	var out []Strategy
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		s, err := ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("partition: no strategies in %q", csv)
+	}
+	return out, nil
 }
 
 // Names returns the names of the paper's six strategies in table order.

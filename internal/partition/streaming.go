@@ -1,6 +1,8 @@
 package partition
 
 import (
+	"fmt"
+
 	"cutfit/internal/graph"
 	"cutfit/internal/rng"
 )
@@ -47,6 +49,10 @@ type hdrfStrategy struct {
 func HDRF(lambda float64) Strategy { return hdrfStrategy{lambda: lambda} }
 
 func (hdrfStrategy) Name() string { return "HDRF" }
+
+// Key distinguishes lambda variants in caches: the balance weight changes
+// the assignment, so two HDRF instances must not share cached artifacts.
+func (h hdrfStrategy) Key() string { return fmt.Sprintf("HDRF:%g", h.lambda) }
 
 func (h hdrfStrategy) Partition(g *graph.Graph, numParts int) ([]PID, error) {
 	if err := checkParts(numParts); err != nil {

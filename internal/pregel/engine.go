@@ -208,15 +208,21 @@ func (s *engineScratch[V, M]) reset(numParts, shards int) {
 	}
 }
 
-// scratchFor revives the parked scratch of a previous run when buffer reuse
-// is enabled and the types match, else builds a fresh one.
+// scratchKey returns the pool key of the [V, M] program type: the concrete
+// scratch type's name. Computed once per Run; every instantiation of
+// engineScratch formats to a distinct string.
+func scratchKey[V, M any]() string {
+	return fmt.Sprintf("%T", (*engineScratch[V, M])(nil))
+}
+
+// scratchFor checks a parked scratch of this program type out of the
+// graph's pool when buffer reuse is enabled, else builds a fresh one.
+// Concurrent Runs of the same program each get their own scratch: the pool
+// hands out distinct buffer sets and runs that find the pool empty fall
+// back to fresh allocation.
 func scratchFor[V, M any](pg *PartitionedGraph, shards int) *engineScratch[V, M] {
 	if pg.ReuseBuffers {
-		parked := pg.takeScratch(func(s any) bool {
-			_, ok := s.(*engineScratch[V, M])
-			return ok
-		})
-		if s, ok := parked.(*engineScratch[V, M]); ok {
+		if s, ok := pg.takeScratch(scratchKey[V, M]()).(*engineScratch[V, M]); ok {
 			s.reset(pg.NumParts, shards)
 			return s
 		}
@@ -503,7 +509,7 @@ func finishRun[V, M any](pg *PartitionedGraph, sc *engineScratch[V, M], masterVa
 	}
 	out := make([]V, len(masterVals))
 	copy(out, masterVals)
-	pg.putScratch(sc)
+	pg.putScratch(scratchKey[V, M](), sc)
 	return out
 }
 

@@ -91,12 +91,14 @@ type BuildOptions struct {
 	// Parallelism is the number of worker goroutines used for the build
 	// and for all engine phases; values < 1 default to GOMAXPROCS.
 	Parallelism int
-	// ReuseBuffers lets the engine stash its run-scoped scratch (mirror
-	// value/activity tables, combine accumulators, per-phase counters) on
-	// the PartitionedGraph between runs, so repeated runs over the same
-	// topology — benchmark loops, advisor selection — reallocate nothing.
-	// Runs remain safe to execute one at a time; concurrent runs on the
-	// same PartitionedGraph each fall back to fresh scratch.
+	// ReuseBuffers lets the engine park its run-scoped scratch (mirror
+	// value/activity tables, combine accumulators, per-phase counters) in
+	// per-program-type pools on the PartitionedGraph between runs, so
+	// repeated runs over the same topology — benchmark loops, advisor
+	// selection, concurrent serving — reallocate nothing. Pools hold up to
+	// max(4, Parallelism) scratches per program type, so N simultaneous
+	// Runs of one algorithm all reuse buffers; runs that find their pool
+	// empty fall back to fresh allocation.
 	ReuseBuffers bool
 }
 
@@ -125,18 +127,36 @@ type PartitionedGraph struct {
 	// BuildOptions.ReuseBuffers).
 	ReuseBuffers bool
 
-	// scratchMu guards scratchCache, the parked engine scratches of
-	// recently finished runs. A small bound of slots lets different
-	// [V, M]-typed programs (PageRank's float64s, CC's vertex IDs)
-	// alternate on one graph without evicting each other's buffers.
+	// scratchMu guards scratchPools: per-program-type stacks of parked
+	// engine scratches, keyed by the scratch's concrete type. Pools — not
+	// single slots — so N simultaneous Runs of the same algorithm on one
+	// graph each check out their own buffer set and park it back on
+	// completion; different [V, M]-typed programs (PageRank's float64s,
+	// CC's vertex IDs) keep separate pools and never evict each other.
 	scratchMu    sync.Mutex
-	scratchCache []any
+	scratchPools map[string][]any
 }
 
-// maxParkedScratches bounds how many engine scratches a PartitionedGraph
-// retains with ReuseBuffers; one per distinct (V, M) program type in
-// rotation is enough, and four covers every built-in algorithm mix.
-const maxParkedScratches = 4
+// maxScratchTypes bounds how many distinct program types park scratches on
+// one PartitionedGraph; beyond it, additional types simply run with fresh
+// buffers. Generously above the built-in algorithm mix, it exists so a
+// server executing arbitrary custom programs cannot grow the pool map
+// without bound.
+const maxScratchTypes = 8
+
+// minScratchDepth is the per-type pool depth floor. The effective depth is
+// max(minScratchDepth, Parallelism): concurrency beyond the worker pool
+// gains nothing from extra parked buffers, but a small floor keeps
+// low-parallelism builds useful under bursty concurrent load.
+const minScratchDepth = 4
+
+// scratchDepth returns the per-program-type pool bound.
+func (pg *PartitionedGraph) scratchDepth() int {
+	if pg.Parallelism > minScratchDepth {
+		return pg.Parallelism
+	}
+	return minScratchDepth
+}
 
 // NewPartitionedGraph builds the partitioned representation from an edge
 // assignment (one PID per edge, aligned with g.Edges()) with default
@@ -466,31 +486,62 @@ func (pg *PartitionedGraph) TotalMirrors() int64 {
 	return int64(len(pg.routingRefs))
 }
 
-// takeScratch checks out the first parked engine scratch accepted by
-// match (the caller's type test), or nil. Non-matching scratches stay
-// parked for runs of their own program type.
-func (pg *PartitionedGraph) takeScratch(match func(any) bool) any {
-	pg.scratchMu.Lock()
-	defer pg.scratchMu.Unlock()
-	for i, s := range pg.scratchCache {
-		if match(s) {
-			last := len(pg.scratchCache) - 1
-			pg.scratchCache[i] = pg.scratchCache[last]
-			pg.scratchCache[last] = nil
-			pg.scratchCache = pg.scratchCache[:last]
-			return s
-		}
+// MemoryFootprint approximates the bytes retained by the partitioned
+// topology itself — the shared edge buffer, per-partition mirror tables,
+// the routing CSR and the retained assignment — excluding the underlying
+// Graph and any parked engine scratch. Cache layers use it as the eviction
+// cost of a built topology.
+func (pg *PartitionedGraph) MemoryFootprint() int64 {
+	b := int64(len(pg.assign)) * 4
+	b += int64(len(pg.routingOffsets)) * 8
+	b += int64(len(pg.routingRefs)) * 8
+	for _, part := range pg.Parts {
+		b += int64(len(part.edges))*8 + int64(len(part.LocalVerts))*4
 	}
-	return nil
+	return b
 }
 
-// putScratch parks an engine scratch for the next run; full cache drops it.
-func (pg *PartitionedGraph) putScratch(s any) {
+// takeScratch checks out one parked engine scratch of the given program
+// type, or nil when that type's pool is empty. Other types' pools are
+// untouched.
+func (pg *PartitionedGraph) takeScratch(typeKey string) any {
 	pg.scratchMu.Lock()
-	if len(pg.scratchCache) < maxParkedScratches {
-		pg.scratchCache = append(pg.scratchCache, s)
+	defer pg.scratchMu.Unlock()
+	pool := pg.scratchPools[typeKey]
+	n := len(pool)
+	if n == 0 {
+		return nil
 	}
-	pg.scratchMu.Unlock()
+	s := pool[n-1]
+	pool[n-1] = nil
+	pg.scratchPools[typeKey] = pool[:n-1]
+	return s
+}
+
+// putScratch parks an engine scratch in its program type's pool; a full
+// pool (or a full type map) drops it for the garbage collector.
+func (pg *PartitionedGraph) putScratch(typeKey string, s any) {
+	pg.scratchMu.Lock()
+	defer pg.scratchMu.Unlock()
+	pool, ok := pg.scratchPools[typeKey]
+	if !ok && len(pg.scratchPools) >= maxScratchTypes {
+		return
+	}
+	if len(pool) >= pg.scratchDepth() {
+		return
+	}
+	if pg.scratchPools == nil {
+		pg.scratchPools = make(map[string][]any)
+	}
+	pg.scratchPools[typeKey] = append(pool, s)
+}
+
+// parkedScratches reports how many scratches of the given type are parked
+// (test hook).
+func (pg *PartitionedGraph) parkedScratches(typeKey string) int {
+	pg.scratchMu.Lock()
+	defer pg.scratchMu.Unlock()
+	return len(pg.scratchPools[typeKey])
 }
 
 // panicCatcher records the first panic raised by any pool worker so it can

@@ -2,6 +2,7 @@ package pregel
 
 import (
 	"context"
+	"sync"
 	"testing"
 
 	"cutfit/internal/graph"
@@ -9,7 +10,7 @@ import (
 )
 
 // runTrivial executes a one-superstep program with the given value type to
-// exercise the scratch cache with distinct [V, M] instantiations.
+// exercise the scratch pools with distinct [V, M] instantiations.
 func runTrivial[V int64 | float64](t *testing.T, pg *PartitionedGraph) {
 	t.Helper()
 	_, _, err := Run(context.Background(), pg, Program[V, V]{
@@ -24,11 +25,11 @@ func runTrivial[V int64 | float64](t *testing.T, pg *PartitionedGraph) {
 	}
 }
 
-// TestScratchCacheKeepsDistinctProgramTypes guards the ReuseBuffers
-// contract under algorithm alternation: scratches of different program
-// types must coexist in the cache, and a matching run must revive its own
-// prior scratch rather than discarding a mismatched one.
-func TestScratchCacheKeepsDistinctProgramTypes(t *testing.T) {
+// TestScratchPoolsKeepDistinctProgramTypes guards the ReuseBuffers contract
+// under algorithm alternation: scratches of different program types park in
+// separate pools, and a matching run must revive its own prior scratch
+// rather than discarding a mismatched one.
+func TestScratchPoolsKeepDistinctProgramTypes(t *testing.T) {
 	g := randomGraph(21, 40, 200)
 	assign, err := partition.RandomVertexCut().Partition(g, 4)
 	if err != nil {
@@ -38,33 +39,194 @@ func TestScratchCacheKeepsDistinctProgramTypes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	f64Key := scratchKey[float64, float64]()
+	i64Key := scratchKey[int64, int64]()
+	if f64Key == i64Key {
+		t.Fatalf("distinct program types share scratch key %q", f64Key)
+	}
 	runTrivial[float64](t, pg)
 	runTrivial[int64](t, pg)
-	if got := len(pg.scratchCache); got != 2 {
-		t.Fatalf("cache holds %d scratches after two program types, want 2", got)
+	if got := pg.parkedScratches(f64Key); got != 1 {
+		t.Fatalf("float64 pool holds %d scratches, want 1", got)
 	}
-	var f64Scratch any
-	for _, s := range pg.scratchCache {
-		if _, ok := s.(*engineScratch[float64, float64]); ok {
-			f64Scratch = s
-		}
+	if got := pg.parkedScratches(i64Key); got != 1 {
+		t.Fatalf("int64 pool holds %d scratches, want 1", got)
 	}
+	f64Scratch := pg.takeScratch(f64Key)
 	if f64Scratch == nil {
 		t.Fatal("no float64 scratch parked")
 	}
+	pg.putScratch(f64Key, f64Scratch)
 	// A third run of the float64 program must revive that exact scratch
 	// and park it again, leaving the int64 one untouched.
 	runTrivial[float64](t, pg)
-	if got := len(pg.scratchCache); got != 2 {
-		t.Fatalf("cache holds %d scratches after revival, want 2", got)
+	if got := pg.parkedScratches(f64Key); got != 1 {
+		t.Fatalf("float64 pool holds %d scratches after revival, want 1", got)
 	}
-	found := false
-	for _, s := range pg.scratchCache {
-		if s == f64Scratch {
-			found = true
+	if s := pg.takeScratch(f64Key); s != f64Scratch {
+		t.Fatal("float64 run allocated a new scratch instead of reviving the parked one")
+	}
+}
+
+// TestScratchPoolBounds checks the per-type depth bound and the distinct
+// program type bound: pools never exceed scratchDepth() entries, and types
+// beyond maxScratchTypes are not parked at all.
+func TestScratchPoolBounds(t *testing.T) {
+	g := randomGraph(21, 40, 200)
+	assign, err := partition.RandomVertexCut().Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := NewPartitionedGraphOpts(g, assign, 4, BuildOptions{ReuseBuffers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := scratchKey[float64, float64]()
+	depth := pg.scratchDepth()
+	for i := 0; i < depth+3; i++ {
+		pg.putScratch(key, newEngineScratch[float64, float64](pg, 1))
+	}
+	if got := pg.parkedScratches(key); got != depth {
+		t.Fatalf("pool depth %d, want bound %d", got, depth)
+	}
+	for i := 0; i < maxScratchTypes+4; i++ {
+		pg.putScratch(string(rune('a'+i)), newEngineScratch[int64, int64](pg, 1))
+	}
+	pg.scratchMu.Lock()
+	types := len(pg.scratchPools)
+	pg.scratchMu.Unlock()
+	if types > maxScratchTypes {
+		t.Fatalf("%d distinct scratch types parked, want ≤ %d", types, maxScratchTypes)
+	}
+}
+
+// TestConcurrentRunsShareGraph runs many simultaneous programs — same and
+// different program types — on one ReuseBuffers PartitionedGraph and
+// asserts every concurrent result is bit-identical to a serial run. Under
+// -race this is the engine half of the serving-core guarantee: a built
+// topology is a shared read-only structure, and all mutable run state lives
+// in pooled per-run scratches.
+func TestConcurrentRunsShareGraph(t *testing.T) {
+	g := randomGraph(240, 900, 7)
+	assign, err := partition.EdgePartition2D().Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := NewPartitionedGraphOpts(g, assign, 8, BuildOptions{ReuseBuffers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prF := func() ([]float64, error) {
+		vals, _, err := Run(context.Background(), pg, pagerankProgram(pg))
+		return vals, err
+	}
+	ccF := func() ([]int64, error) {
+		vals, _, err := Run(context.Background(), pg, minLabelProgram())
+		return vals, err
+	}
+	wantPR, err := prF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCC, err := ccF()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 12
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 3; iter++ {
+				if w%2 == 0 {
+					got, err := prF()
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					for i := range got {
+						if got[i] != wantPR[i] {
+							errs[w] = errMismatch
+							return
+						}
+					}
+				} else {
+					got, err := ccF()
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					for i := range got {
+						if got[i] != wantCC[i] {
+							errs[w] = errMismatch
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
 		}
 	}
-	if !found {
-		t.Fatal("float64 run allocated a new scratch instead of reviving the parked one")
+	if got := pg.parkedScratches(scratchKey[float64, float64]()); got == 0 {
+		t.Fatal("no float64 scratches parked after concurrent runs")
+	}
+}
+
+var errMismatch = errInterface("concurrent result differs from serial run")
+
+type errInterface string
+
+func (e errInterface) Error() string { return string(e) }
+
+// pagerankProgram is a small fixed-iteration PageRank used by the
+// concurrency tests (the real one lives in internal/algorithms, which
+// depends on this package).
+func pagerankProgram(pg *PartitionedGraph) Program[float64, float64] {
+	outDeg := pg.G.OutDegrees()
+	idx := make(map[graph.VertexID]int32, pg.G.NumVertices())
+	for i, v := range pg.G.Vertices() {
+		idx[v] = int32(i)
+	}
+	return Program[float64, float64]{
+		Init:  func(id graph.VertexID) float64 { return 1.0 },
+		VProg: func(id graph.VertexID, val, msg float64) float64 { return 0.15 + 0.85*msg },
+		SendMsg: func(tr *Triplet[float64], emit Emitter[float64]) {
+			if d := outDeg[idx[tr.SrcID]]; d > 0 {
+				emit.ToDst(tr.SrcVal / float64(d))
+			}
+		},
+		MergeMsg:        func(a, b float64) float64 { return a + b },
+		InitialMsg:      0,
+		MaxIterations:   5,
+		ActiveDirection: AllEdges,
+	}
+}
+
+// minLabelProgram propagates the minimum initial label — a CC-shaped
+// program with int64 state.
+func minLabelProgram() Program[int64, int64] {
+	return Program[int64, int64]{
+		Init:  func(id graph.VertexID) int64 { return int64(id) },
+		VProg: func(id graph.VertexID, val, msg int64) int64 { return min(val, msg) },
+		SendMsg: func(tr *Triplet[int64], emit Emitter[int64]) {
+			if tr.SrcVal < tr.DstVal {
+				emit.ToDst(tr.SrcVal)
+			} else if tr.DstVal < tr.SrcVal {
+				emit.ToSrc(tr.DstVal)
+			}
+		},
+		MergeMsg:        func(a, b int64) int64 { return min(a, b) },
+		InitialMsg:      int64(1) << 62,
+		MaxIterations:   6,
+		ActiveDirection: Either,
 	}
 }

@@ -1,0 +1,315 @@
+// Package store is the keyed artifact cache of the serving layer: one
+// Store memoizes every stage of the Assignment pipeline —
+//
+//	graph ──Assignment(strategy, numParts)──► built PartitionedGraph
+//	   └────────────────────────────────────► metrics.Result
+//
+// — so repeated and concurrent requests for the same (graph, strategy,
+// numParts) tuple each pay for at most one partitioning pass, one topology
+// build and one metrics derivation, ever, until eviction.
+//
+// Three properties make it a serving core rather than a memo map:
+//
+//   - Single-flight builds. Concurrent identical requests are deduplicated:
+//     the first caller computes, the rest block on the in-flight result.
+//     K simultaneous Metrics calls for one tuple run the strategy exactly
+//     once (proven by the counting-strategy tests).
+//   - Chained artifacts. Metrics and Built both obtain the Assignment
+//     through the store, so a Measure followed by a Partition — or either
+//     racing the other — shares one assignment pass.
+//   - Size-bounded LRU eviction. Every artifact carries a byte cost
+//     (MemoryFootprint); inserts evict least-recently-used entries until
+//     the cache fits MaxBytes. Evicted artifacts remain valid for holders —
+//     eviction only means the next request recomputes.
+//
+// Keys include the graph's mutation version, so a graph that is mutated
+// (against the serving contract, but possible) can never be served stale
+// artifacts; the superseded entries age out of the LRU.
+package store
+
+import (
+	"container/list"
+	"sync"
+
+	"cutfit/internal/graph"
+	"cutfit/internal/metrics"
+	"cutfit/internal/partition"
+	"cutfit/internal/pregel"
+)
+
+// kind tags the artifact stage a cache entry holds.
+type kind uint8
+
+const (
+	kindAssignment kind = iota
+	kindMetrics
+	kindBuilt
+)
+
+// key identifies one artifact: the graph (by pointer identity and mutation
+// version), the strategy's cache identity (partition.KeyOf, so
+// parameterized variants never alias), the partition count and the
+// pipeline stage.
+type key struct {
+	g        *graph.Graph
+	version  uint64
+	strategy string
+	numParts int
+	kind     kind
+}
+
+// DefaultMaxBytes is the cache budget when Config.MaxBytes is zero:
+// comfortably holds the full strategy sweep of the analog datasets while
+// bounding a long-running server.
+const DefaultMaxBytes int64 = 512 << 20
+
+// Config tunes a Store.
+type Config struct {
+	// MaxBytes bounds the summed MemoryFootprint of cached artifacts;
+	// 0 means DefaultMaxBytes, negative means unbounded.
+	MaxBytes int64
+	// Build is how the store constructs partitioned topologies. Serving
+	// wants ReuseBuffers on — cached graphs are run repeatedly and
+	// concurrently, which is exactly what the engine scratch pools serve.
+	Build pregel.BuildOptions
+}
+
+// Stats is a point-in-time snapshot of cache behavior. The JSON tags are
+// the encoding cutfitd serves at /v1/stats.
+type Stats struct {
+	// Hits counts requests answered from the cache; Misses counts requests
+	// that computed; Waits counts requests that blocked on another
+	// caller's identical in-flight computation (the single-flight dedup).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Waits  int64 `json:"waits"`
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int64 `json:"evictions"`
+	// Entries and Bytes describe the current cache contents.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// MaxBytes echoes the configured bound (< 0: unbounded).
+	MaxBytes int64 `json:"maxBytes"`
+}
+
+// entry is one cached artifact with its LRU bookkeeping.
+type entry struct {
+	key  key
+	val  any
+	cost int64
+	elem *list.Element
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Store is the concurrent artifact cache. All methods are safe for
+// concurrent use; the mutex is never held while computing an artifact.
+type Store struct {
+	build    pregel.BuildOptions
+	maxBytes int64
+
+	mu       sync.Mutex
+	entries  map[key]*entry
+	lru      *list.List // front = most recently used; values are *entry
+	inflight map[key]*flight
+	bytes    int64
+	hits     int64
+	misses   int64
+	waits    int64
+	evicted  int64
+}
+
+// New returns an empty store with the given configuration.
+func New(cfg Config) *Store {
+	max := cfg.MaxBytes
+	if max == 0 {
+		max = DefaultMaxBytes
+	}
+	return &Store{
+		build:    cfg.Build,
+		maxBytes: max,
+		entries:  make(map[key]*entry),
+		lru:      list.New(),
+		inflight: make(map[key]*flight),
+	}
+}
+
+// Assignment returns the cached edge assignment of (g, s, numParts),
+// running the strategy at most once per cache generation regardless of how
+// many callers race.
+func (st *Store) Assignment(g *graph.Graph, s partition.Strategy, numParts int) (*partition.Assignment, error) {
+	k := st.keyFor(g, s, numParts, kindAssignment)
+	v, err := st.do(k, func() (any, int64, error) {
+		a, err := partition.Assign(g, s, numParts)
+		if err != nil {
+			return nil, 0, err
+		}
+		return a, a.MemoryFootprint(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*partition.Assignment), nil
+}
+
+// Metrics returns the cached §3.1 metric set of (g, s, numParts), deriving
+// it from the store's cached Assignment on miss. Callers must treat the
+// result as immutable — it is shared with every other caller of this key.
+func (st *Store) Metrics(g *graph.Graph, s partition.Strategy, numParts int) (*metrics.Result, error) {
+	k := st.keyFor(g, s, numParts, kindMetrics)
+	v, err := st.do(k, func() (any, int64, error) {
+		a, err := st.Assignment(g, s, numParts)
+		if err != nil {
+			return nil, 0, err
+		}
+		m, err := metrics.FromAssignment(a)
+		if err != nil {
+			return nil, 0, err
+		}
+		return m, metricsFootprint(m), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*metrics.Result), nil
+}
+
+// Built returns the cached engine-ready topology of (g, s, numParts),
+// building it from the store's cached Assignment on miss. The returned
+// PartitionedGraph is shared: it is safe for concurrent runs (engine state
+// lives in per-run pooled scratch) and must not be mutated.
+func (st *Store) Built(g *graph.Graph, s partition.Strategy, numParts int) (*pregel.PartitionedGraph, error) {
+	k := st.keyFor(g, s, numParts, kindBuilt)
+	v, err := st.do(k, func() (any, int64, error) {
+		a, err := st.Assignment(g, s, numParts)
+		if err != nil {
+			return nil, 0, err
+		}
+		pg, err := pregel.NewPartitionedGraphFromAssignment(a, st.build)
+		if err != nil {
+			return nil, 0, err
+		}
+		return pg, pg.MemoryFootprint(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*pregel.PartitionedGraph), nil
+}
+
+// InvalidateGraph drops every cached artifact of g (all versions, all
+// strategies, all stages). Used when a server re-registers a graph name
+// with new data.
+func (st *Store) InvalidateGraph(g *graph.Graph) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for k, e := range st.entries {
+		if k.g == g {
+			st.lru.Remove(e.elem)
+			delete(st.entries, k)
+			st.bytes -= e.cost
+			st.evicted++
+		}
+	}
+}
+
+// Stats returns a snapshot of cache counters and contents.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return Stats{
+		Hits:      st.hits,
+		Misses:    st.misses,
+		Waits:     st.waits,
+		Evictions: st.evicted,
+		Entries:   len(st.entries),
+		Bytes:     st.bytes,
+		MaxBytes:  st.maxBytes,
+	}
+}
+
+// BuildOptions returns the options the store builds topologies with.
+func (st *Store) BuildOptions() pregel.BuildOptions { return st.build }
+
+func (st *Store) keyFor(g *graph.Graph, s partition.Strategy, numParts int, kd kind) key {
+	return key{g: g, version: g.Version(), strategy: partition.KeyOf(s), numParts: numParts, kind: kd}
+}
+
+// do implements cache lookup with single-flight computation: a hit returns
+// immediately; a miss with an identical request already in flight blocks on
+// it; otherwise the caller computes (without holding the lock), publishes,
+// and wakes all waiters. Errors are returned to every waiter of the flight
+// but never cached — a transient failure does not poison the key.
+func (st *Store) do(k key, build func() (val any, cost int64, err error)) (any, error) {
+	st.mu.Lock()
+	if e, ok := st.entries[k]; ok {
+		st.lru.MoveToFront(e.elem)
+		st.hits++
+		v := e.val
+		st.mu.Unlock()
+		return v, nil
+	}
+	if f, ok := st.inflight[k]; ok {
+		st.waits++
+		st.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	st.inflight[k] = f
+	st.misses++
+	st.mu.Unlock()
+
+	v, cost, err := build()
+	f.val, f.err = v, err
+
+	st.mu.Lock()
+	delete(st.inflight, k)
+	if err == nil {
+		st.insert(k, v, cost)
+	}
+	st.mu.Unlock()
+	close(f.done)
+	return v, err
+}
+
+// insert adds an artifact and evicts from the LRU tail until the cache
+// fits the byte bound. The just-inserted entry is never evicted, so an
+// artifact larger than the whole budget is still served (and becomes the
+// eviction victim of the next insert).
+func (st *Store) insert(k key, v any, cost int64) {
+	if e, ok := st.entries[k]; ok {
+		// A racing flight of the same key can slip in between generations;
+		// refresh in place.
+		st.bytes += cost - e.cost
+		e.val, e.cost = v, cost
+		st.lru.MoveToFront(e.elem)
+	} else {
+		e := &entry{key: k, val: v, cost: cost}
+		e.elem = st.lru.PushFront(e)
+		st.entries[k] = e
+		st.bytes += cost
+	}
+	if st.maxBytes < 0 {
+		return
+	}
+	for st.bytes > st.maxBytes && st.lru.Len() > 1 {
+		tail := st.lru.Back()
+		e := tail.Value.(*entry)
+		st.lru.Remove(tail)
+		delete(st.entries, e.key)
+		st.bytes -= e.cost
+		st.evicted++
+	}
+}
+
+// metricsFootprint approximates the retained bytes of a metric set: the
+// two per-partition slices plus the fixed fields.
+func metricsFootprint(m *metrics.Result) int64 {
+	return int64(len(m.EdgesPerPart))*8 + int64(len(m.VerticesPerPart))*8 + 128
+}

@@ -1,0 +1,376 @@
+package cutfit
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"cutfit/internal/algorithms"
+	"cutfit/internal/core"
+	"cutfit/internal/metrics"
+	"cutfit/internal/partition"
+	"cutfit/internal/pregel"
+	"cutfit/internal/store"
+)
+
+// SessionOptions tunes a Session.
+type SessionOptions struct {
+	// MaxCacheBytes bounds the artifact cache (assignments, built
+	// topologies, metric sets) by their approximate retained bytes;
+	// 0 means the default (512 MiB), negative means unbounded.
+	MaxCacheBytes int64
+	// Parallelism is the worker count for topology builds and engine
+	// phases; values < 1 default to GOMAXPROCS.
+	Parallelism int
+	// Cluster is the simulated cluster configuration Run reports use for
+	// SimSecs; nil means ConfigI with NumPartitions overridden per run.
+	Cluster *ClusterConfig
+}
+
+// CacheStats is a snapshot of a Session's artifact cache counters.
+type CacheStats = store.Stats
+
+// Session is the concurrent serving core of the library: a keyed artifact
+// cache over the Assignment pipeline plus the engine's scratch pools. Any
+// number of goroutines may call a Session's methods simultaneously —
+// identical requests are deduplicated to one computation (single-flight),
+// repeated requests hit the cache, and concurrent Runs on one cached
+// topology check buffer sets out of per-program-type pools.
+//
+// The zero-value &Session{} is a valid one-shot session: every call
+// computes from scratch with nothing cached. The package-level Measure,
+// Partition and Select functions are thin wrappers over exactly that, so
+// batch callers keep batch semantics. NewSession returns the caching kind.
+//
+// Graphs handed to a Session are treated as immutable shared inputs:
+// mutate a graph only before serving it (a mutation is detected and never
+// served stale, but it forfeits all cached artifacts of that graph).
+type Session struct {
+	st      *store.Store
+	cluster *ClusterConfig
+}
+
+// NewSession returns a Session with a caching artifact store. Topologies
+// it builds run with buffer reuse on, so repeated and concurrent runs over
+// cached graphs draw engine scratch from pools instead of allocating.
+func NewSession(opts SessionOptions) *Session {
+	return &Session{
+		st: store.New(store.Config{
+			MaxBytes: opts.MaxCacheBytes,
+			Build: pregel.BuildOptions{
+				Parallelism:  opts.Parallelism,
+				ReuseBuffers: true,
+			},
+		}),
+		cluster: opts.Cluster,
+	}
+}
+
+// oneShot backs the package-level one-shot functions: no store, no cache —
+// each call stands alone.
+var oneShot = &Session{}
+
+// Assignment returns the (cached) validated edge assignment of
+// (g, s, numParts) — at most one strategy pass per session, no matter how
+// many callers race.
+func (se *Session) Assignment(g *Graph, s Strategy, numParts int) (*Assignment, error) {
+	if se.st != nil {
+		return se.st.Assignment(g, s, numParts)
+	}
+	return partition.Assign(g, s, numParts)
+}
+
+// Measure returns the (cached) §3.1 metric set of (g, s, numParts),
+// derived from the session's cached assignment. The result is shared;
+// treat it as immutable.
+func (se *Session) Measure(g *Graph, s Strategy, numParts int) (*Metrics, error) {
+	if se.st != nil {
+		return se.st.Metrics(g, s, numParts)
+	}
+	a, err := partition.Assign(g, s, numParts)
+	if err != nil {
+		return nil, err
+	}
+	return metrics.FromAssignment(a)
+}
+
+// Partition returns the (cached) engine-ready topology of
+// (g, s, numParts), built from the session's cached assignment. The
+// returned PartitionedGraph is shared and safe for concurrent runs; do not
+// mutate it.
+func (se *Session) Partition(g *Graph, s Strategy, numParts int) (*PartitionedGraph, error) {
+	if se.st != nil {
+		return se.st.Built(g, s, numParts)
+	}
+	a, err := partition.Assign(g, s, numParts)
+	if err != nil {
+		return nil, err
+	}
+	return pregel.NewPartitionedGraphFromAssignment(a, pregel.BuildOptions{})
+}
+
+// Select measures every candidate strategy on g through the session's
+// cache — repeated selection over one graph re-assigns nothing — and
+// returns the Selection minimizing the profile's predictive metric.
+func (se *Session) Select(g *Graph, candidates []Strategy, numParts int, p Profile) (*Selection, error) {
+	return core.SelectEmpiricallyIn(se.st, g, candidates, numParts, p)
+}
+
+// Advise recommends a strategy for the algorithm profile on g, deriving
+// the dataset facts (including ID-locality detection) from the graph.
+func (se *Session) Advise(g *Graph, p Profile, numParts int) Recommendation {
+	facts := core.Facts(g)
+	facts.IDLocality = core.DetectIDLocality(g, 256, 0.5)
+	return core.Advise(p, facts, numParts, core.DefaultAdvisorConfig())
+}
+
+// TrainPredictor fits a metric→time predictor from measured run times,
+// measuring each candidate through the session's cache.
+func (se *Session) TrainPredictor(g *Graph, candidates []Strategy, numParts int, p Profile, timesByStrategy map[string]float64) (*Predictor, map[string]*Metrics, error) {
+	return core.TrainPredictorIn(se.st, g, candidates, numParts, p, timesByStrategy)
+}
+
+// CacheStats returns the session's artifact-cache counters (zero value for
+// a one-shot session).
+func (se *Session) CacheStats() CacheStats {
+	if se.st == nil {
+		return CacheStats{}
+	}
+	return se.st.Stats()
+}
+
+// Forget drops every cached artifact of g — used when replacing a served
+// graph's data under the same handle.
+func (se *Session) Forget(g *Graph) {
+	if se.st != nil {
+		se.st.InvalidateGraph(g)
+	}
+}
+
+// topRankCount is how many top-ranked vertices a pagerank RunReport
+// carries.
+const topRankCount = 5
+
+// Run executes the named algorithm ("pagerank", "cc", "triangles",
+// "sssp") on the session's cached topology of (g, s, numParts) and
+// returns the shared run encoding: superstep/traffic counts, a simulated
+// cluster time, and the algorithm's headline result. iters caps pagerank
+// and cc rounds (cc accepts 0 = run to convergence); triangles and sssp
+// ignore it. Safe for any number of concurrent callers.
+func (se *Session) Run(ctx context.Context, g *Graph, s Strategy, numParts int, alg string, iters int) (*RunReport, error) {
+	pg, err := se.Partition(g, s, numParts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &RunReport{
+		Algorithm: alg,
+		Strategy:  s.Name(),
+		Parts:     numParts,
+	}
+	var stats *RunStats
+	switch alg {
+	case "pagerank":
+		ranks, st, err := algorithms.PageRank(ctx, pg, iters, algorithms.DefaultResetProb)
+		if err != nil {
+			return nil, err
+		}
+		stats = st
+		rep.TopRanks = topRanks(g, ranks, topRankCount)
+	case "cc":
+		labels, st, err := algorithms.ConnectedComponents(ctx, pg, iters)
+		if err != nil {
+			return nil, err
+		}
+		stats = st
+		seen := make(map[VertexID]struct{}, 16)
+		for _, l := range labels {
+			seen[l] = struct{}{}
+		}
+		rep.Components = len(seen)
+	case "triangles":
+		counts, st, err := algorithms.TriangleCount(ctx, pg)
+		if err != nil {
+			return nil, err
+		}
+		stats = st
+		var total int64
+		for _, c := range counts {
+			total += c
+		}
+		rep.Triangles = total / 3
+	case "sssp":
+		verts := g.Vertices()
+		if len(verts) == 0 {
+			return nil, fmt.Errorf("cutfit: sssp needs a non-empty graph")
+		}
+		landmark := verts[0]
+		dists, st, err := algorithms.ShortestPaths(ctx, pg, []VertexID{landmark}, 0)
+		if err != nil {
+			return nil, err
+		}
+		stats = st
+		for _, d := range dists {
+			if len(d) > 0 {
+				rep.Reached++
+			}
+		}
+		rep.Landmark = &landmark
+	default:
+		return nil, fmt.Errorf("cutfit: unknown algorithm %q (want pagerank, cc, triangles or sssp)", alg)
+	}
+	rep.Supersteps = stats.NumSupersteps()
+	rep.Converged = stats.Converged
+	rep.Halted = stats.Halted
+	rep.BroadcastMsgs = stats.TotalBroadcastMsgs()
+	rep.ReduceMsgs = stats.TotalReduceMsgs()
+
+	var cfg ClusterConfig
+	if se.cluster != nil {
+		cfg = *se.cluster
+	} else {
+		cfg = ConfigI()
+	}
+	cfg.NumPartitions = numParts
+	b, err := cfg.Simulate(stats, EstimateGraphBytes(g.NumEdges()))
+	if err != nil {
+		return nil, err
+	}
+	rep.SimSecs = b.TotalSecs()
+	return rep, nil
+}
+
+// topRanks extracts the k highest-ranked vertices, ties broken by vertex
+// ID for determinism.
+func topRanks(g *Graph, ranks []float64, k int) []VertexRank {
+	verts := g.Vertices()
+	all := make([]VertexRank, len(ranks))
+	for i, r := range ranks {
+		all[i] = VertexRank{Vertex: verts[i], Rank: r}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Rank != all[j].Rank {
+			return all[i].Rank > all[j].Rank
+		}
+		return all[i].Vertex < all[j].Vertex
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k:k]
+}
+
+// The report types below are the one JSON encoding shared by the cutfit
+// CLI (-json) and the cutfitd HTTP server: one struct per response shape,
+// so clients never see two spellings of the same result.
+
+// MetricsReport is the JSON encoding of a §3.1 metric set for one
+// (graph, strategy, numParts) request.
+type MetricsReport struct {
+	Graph             string  `json:"graph,omitempty"`
+	Strategy          string  `json:"strategy"`
+	Parts             int     `json:"parts"`
+	Balance           float64 `json:"balance"`
+	NonCut            int64   `json:"nonCut"`
+	Cut               int64   `json:"cut"`
+	CommCost          int64   `json:"commCost"`
+	PartStDev         float64 `json:"partStDev"`
+	ReplicationFactor float64 `json:"replicationFactor"`
+}
+
+// NewMetricsReport builds the shared metrics encoding.
+func NewMetricsReport(strategy string, parts int, m *Metrics) MetricsReport {
+	return MetricsReport{
+		Strategy:          strategy,
+		Parts:             parts,
+		Balance:           m.Balance,
+		NonCut:            m.NonCut,
+		Cut:               m.Cut,
+		CommCost:          m.CommCost,
+		PartStDev:         m.PartStDev,
+		ReplicationFactor: m.ReplicationFactor,
+	}
+}
+
+// StrategyRank is one row of an empirical ranking: a strategy's value of
+// the profile's predictive metric, with the winner flagged.
+type StrategyRank struct {
+	Strategy string  `json:"strategy"`
+	Value    float64 `json:"value"`
+	Selected bool    `json:"selected,omitempty"`
+}
+
+// AdviseReport is the JSON encoding of a strategy recommendation,
+// optionally with the measured ranking of every candidate.
+type AdviseReport struct {
+	Graph     string         `json:"graph,omitempty"`
+	Algorithm string         `json:"algorithm"`
+	Parts     int            `json:"parts"`
+	Strategy  string         `json:"strategy"`
+	Metric    string         `json:"metric"`
+	Reason    string         `json:"reason"`
+	Ranking   []StrategyRank `json:"ranking,omitempty"`
+}
+
+// NewAdviseReport builds the shared advise encoding from a recommendation.
+func NewAdviseReport(alg string, parts int, rec Recommendation) AdviseReport {
+	return AdviseReport{
+		Algorithm: alg,
+		Parts:     parts,
+		Strategy:  rec.Strategy.Name(),
+		Metric:    rec.Metric,
+		Reason:    rec.Reason,
+	}
+}
+
+// RankFromSelection converts an empirical Selection into the shared
+// ranking rows, sorted ascending by metric value (best first). Rows carry
+// the strategy's cache key (name, or Hybrid:<t> for parameterized
+// variants), matching the Results map.
+func RankFromSelection(sel *Selection, metricName string) ([]StrategyRank, error) {
+	winner := partition.KeyOf(sel.Strategy)
+	rows := make([]StrategyRank, 0, len(sel.Results))
+	for name, m := range sel.Results {
+		v, err := m.MetricByName(metricName)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, StrategyRank{Strategy: name, Value: v, Selected: name == winner})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Value != rows[j].Value {
+			return rows[i].Value < rows[j].Value
+		}
+		return rows[i].Strategy < rows[j].Strategy
+	})
+	return rows, nil
+}
+
+// VertexRank pairs a vertex with its PageRank score.
+type VertexRank struct {
+	Vertex VertexID `json:"vertex"`
+	Rank   float64  `json:"rank"`
+}
+
+// RunReport is the JSON encoding of one algorithm execution: engine
+// accounting, the simulated cluster time, and the algorithm's headline
+// result (only the matching result field is populated).
+type RunReport struct {
+	Graph         string  `json:"graph,omitempty"`
+	Algorithm     string  `json:"algorithm"`
+	Strategy      string  `json:"strategy"`
+	Parts         int     `json:"parts"`
+	Supersteps    int     `json:"supersteps"`
+	Converged     bool    `json:"converged"`
+	Halted        bool    `json:"halted,omitempty"`
+	BroadcastMsgs int64   `json:"broadcastMsgs"`
+	ReduceMsgs    int64   `json:"reduceMsgs"`
+	SimSecs       float64 `json:"simSecs"`
+
+	TopRanks   []VertexRank `json:"topRanks,omitempty"`
+	Components int          `json:"components,omitempty"`
+	Triangles  int64        `json:"triangles,omitempty"`
+	// Landmark is a pointer: the sssp source is usually vertex 0, which
+	// omitempty on a plain VertexID would silently drop.
+	Landmark *VertexID `json:"landmark,omitempty"`
+	Reached  int       `json:"reached,omitempty"`
+}
