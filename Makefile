@@ -10,11 +10,12 @@ GO ?= go
 #   ...apply change...
 #   make bench-compare BENCH_OUT=new.txt
 #   benchstat old.txt new.txt
-BENCH ?= BenchmarkSelectEmpirically|BenchmarkMeasureThenRun|BenchmarkPartitionBuild
+# The default filter is the guarded set the CI benchmark gate enforces.
+BENCH ?= BenchmarkSelectEmpirically|BenchmarkMeasureThenRun|BenchmarkPartitionBuild|BenchmarkAppendEdges
 BENCH_COUNT ?= 10
 BENCH_OUT ?= bench.txt
 
-.PHONY: all build test vet race bench bench-smoke bench-compare fuzz fuzz-smoke check
+.PHONY: all build test vet lint race bench bench-smoke bench-compare fuzz fuzz-smoke check
 
 all: check
 
@@ -27,11 +28,25 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Formatting + vet (+ staticcheck when installed) — the CI lint job.
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
 # Race determinism regression for the parallel partition build, the
-# parallel hash assignment, the scratch-pool engine and the serving layer
-# (store single-flight, Session mixed workload, cutfitd handlers).
+# parallel hash assignment, the scratch-pool engine, the serving layer
+# (store single-flight, Session mixed workload, cutfitd handlers) and the
+# delta-append path (root equivalence suite, graph generations, store
+# chain, topology patching).
 race:
-	$(GO) test -race . ./cmd/cutfitd/... ./internal/pregel/... ./internal/testutil/... ./internal/partition/... ./internal/store/...
+	$(GO) test -race . ./cmd/cutfitd/... ./internal/graph/... ./internal/pregel/... ./internal/testutil/... ./internal/partition/... ./internal/store/...
 
 # Hot-path benchmarks: partition construction (old vs new, and across
 # dataset analogs × strategies), per-superstep allocation footprint, and
@@ -51,13 +66,18 @@ bench-smoke:
 bench-compare:
 	$(GO) test -run='^$$' -bench='$(BENCH)' -benchmem -count=$(BENCH_COUNT) . | tee $(BENCH_OUT)
 
-# Short fuzz session on the edge-list ingest path.
+# Longer fuzz session: the edge-list ingest path and the incremental
+# topology patcher (delta append vs full rebuild cross-check). FUZZTIME is
+# per target; the nightly workflow raises it.
+FUZZTIME ?= 30s
 fuzz:
-	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=30s ./internal/graph/
+	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME) ./internal/graph/
+	$(GO) test -run='^$$' -fuzz=FuzzApplyDelta -fuzztime=$(FUZZTIME) ./internal/pregel/
 
-# Seconds-long fuzz smoke for make check: long enough to catch parser
-# regressions on the seed corpus, short enough for every PR.
+# Seconds-long fuzz smoke for make check: long enough to catch parser and
+# delta-patch regressions on the seed corpus, short enough for every PR.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=5s ./internal/graph/
+	$(GO) test -run='^$$' -fuzz=FuzzApplyDelta -fuzztime=5s ./internal/pregel/
 
 check: build test vet race fuzz-smoke

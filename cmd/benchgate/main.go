@@ -1,0 +1,178 @@
+// Command benchgate compares two `go test -bench` output files and fails
+// (exit 1) when any guarded benchmark regressed beyond a threshold. It is
+// the self-contained CI gate behind the pull-request benchmark job:
+// benchstat renders the human-readable diff that gets archived as a
+// workflow artifact, benchgate decides pass/fail so the gate needs no
+// external tooling.
+//
+// Usage:
+//
+//	benchgate -base old.txt -head new.txt [-threshold 0.25] [-filter regex]
+//
+// Both files should contain repeated samples (go test -count=N); the gate
+// compares per-benchmark medians of ns/op, which tolerates the odd noisy
+// sample the way benchstat does. Benchmarks present in only one file are
+// reported but never fail the gate (new benchmarks must not break the PR
+// that introduces them).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one benchmark result line, e.g.
+//
+//	BenchmarkAppendEdges/delta-8   720   1628496 ns/op   3718640 B/op   689 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench collects ns/op samples per benchmark name from one bench
+// output stream.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		out[m[1]] = append(out[m[1]], v)
+	}
+	return out, sc.Err()
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// result is one benchmark's comparison row.
+type result struct {
+	name       string
+	base, head float64 // median ns/op; <= 0 when missing on that side
+	ratio      float64
+}
+
+// compare joins base and head samples into sorted comparison rows,
+// restricted to names matching filter (nil = all).
+func compare(base, head map[string][]float64, filter *regexp.Regexp) []result {
+	names := make(map[string]bool)
+	for n := range base {
+		names[n] = true
+	}
+	for n := range head {
+		names[n] = true
+	}
+	var rows []result
+	for n := range names {
+		if filter != nil && !filter.MatchString(n) {
+			continue
+		}
+		r := result{name: n, base: -1, head: -1}
+		if v := base[n]; len(v) > 0 {
+			r.base = median(v)
+		}
+		if v := head[n]; len(v) > 0 {
+			r.head = median(v)
+		}
+		if r.base > 0 && r.head > 0 {
+			r.ratio = r.head / r.base
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	return rows
+}
+
+// gate renders the comparison and returns the names of benchmarks whose
+// median regressed beyond threshold (e.g. 0.25 = +25%).
+func gate(w io.Writer, rows []result, threshold float64) []string {
+	var failed []string
+	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark", "base ns/op", "head ns/op", "delta")
+	for _, r := range rows {
+		switch {
+		case r.base <= 0:
+			fmt.Fprintf(w, "%-60s %14s %14.0f %8s\n", r.name, "-", r.head, "new")
+		case r.head <= 0:
+			fmt.Fprintf(w, "%-60s %14.0f %14s %8s\n", r.name, r.base, "-", "gone")
+		default:
+			verdict := fmt.Sprintf("%+.1f%%", (r.ratio-1)*100)
+			if r.ratio > 1+threshold {
+				verdict += " FAIL"
+				failed = append(failed, r.name)
+			}
+			fmt.Fprintf(w, "%-60s %14.0f %14.0f %8s\n", r.name, r.base, r.head, verdict)
+		}
+	}
+	return failed
+}
+
+func run(basePath, headPath, filterExpr string, threshold float64, w io.Writer) (int, error) {
+	var filter *regexp.Regexp
+	if filterExpr != "" {
+		var err error
+		if filter, err = regexp.Compile(filterExpr); err != nil {
+			return 2, fmt.Errorf("benchgate: bad -filter: %w", err)
+		}
+	}
+	parseFile := func(path string) (map[string][]float64, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return parseBench(f)
+	}
+	base, err := parseFile(basePath)
+	if err != nil {
+		return 2, err
+	}
+	head, err := parseFile(headPath)
+	if err != nil {
+		return 2, err
+	}
+	rows := compare(base, head, filter)
+	if len(rows) == 0 {
+		return 2, fmt.Errorf("benchgate: no benchmarks matched")
+	}
+	if failed := gate(w, rows, threshold); len(failed) > 0 {
+		fmt.Fprintf(w, "\nREGRESSION above +%.0f%%: %s\n", threshold*100, strings.Join(failed, ", "))
+		return 1, nil
+	}
+	fmt.Fprintf(w, "\nOK: no benchmark regressed beyond +%.0f%%\n", threshold*100)
+	return 0, nil
+}
+
+func main() {
+	basePath := flag.String("base", "", "bench output of the base commit")
+	headPath := flag.String("head", "", "bench output of the head commit")
+	threshold := flag.Float64("threshold", 0.25, "maximum tolerated ns/op regression (0.25 = +25%)")
+	filter := flag.String("filter", "", "regexp restricting which benchmarks are guarded (default: all)")
+	flag.Parse()
+	if *basePath == "" || *headPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchgate -base old.txt -head new.txt [-threshold 0.25] [-filter regex]")
+		os.Exit(2)
+	}
+	code, err := run(*basePath, *headPath, *filter, *threshold, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	os.Exit(code)
+}

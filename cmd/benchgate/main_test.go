@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baseBench = `goos: linux
+BenchmarkAppendEdges/delta-8     720   1600000 ns/op   3718640 B/op
+BenchmarkAppendEdges/delta-8     700   1700000 ns/op   3718640 B/op
+BenchmarkAppendEdges/delta-8     710   1500000 ns/op   3718640 B/op
+BenchmarkSelect-8                100  20000000 ns/op
+BenchmarkGone-8                  100   1000000 ns/op
+PASS
+`
+
+const headBench = `BenchmarkAppendEdges/delta-8     720   1650000 ns/op   3718640 B/op
+BenchmarkAppendEdges/delta-8     700   1600000 ns/op
+BenchmarkSelect-8                100  30000000 ns/op
+BenchmarkNew-8                   500    100000 ns/op
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseBenchMedian(t *testing.T) {
+	m, err := parseBench(strings.NewReader(baseBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m["BenchmarkAppendEdges/delta-8"]); got != 3 {
+		t.Fatalf("samples = %d, want 3", got)
+	}
+	if got := median(m["BenchmarkAppendEdges/delta-8"]); got != 1600000 {
+		t.Fatalf("median = %v, want 1600000", got)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	base := writeTemp(t, "old.txt", baseBench)
+	head := writeTemp(t, "new.txt", headBench)
+	var out strings.Builder
+	code, err := run(base, head, "", 0.25, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Select regressed +50%: gate must fail and name it; the new and gone
+	// benchmarks must be reported but not fail.
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\n%s", code, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "BenchmarkSelect-8") || !strings.Contains(s, "FAIL") {
+		t.Fatalf("regression not reported:\n%s", s)
+	}
+	if !strings.Contains(s, "new") || !strings.Contains(s, "gone") {
+		t.Fatalf("new/gone benchmarks not reported:\n%s", s)
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	base := writeTemp(t, "old.txt", baseBench)
+	head := writeTemp(t, "new.txt", headBench)
+	var out strings.Builder
+	// Guard only the delta benchmark (+3% change): passes.
+	code, err := run(base, head, "AppendEdges", 0.25, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\n%s", code, out.String())
+	}
+}
+
+func TestGateLooseThresholdPasses(t *testing.T) {
+	base := writeTemp(t, "old.txt", baseBench)
+	head := writeTemp(t, "new.txt", headBench)
+	var out strings.Builder
+	// +50% is tolerated at threshold 0.6.
+	code, err := run(base, head, "", 0.6, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\n%s", code, out.String())
+	}
+}
+
+func TestGateNoMatches(t *testing.T) {
+	base := writeTemp(t, "old.txt", baseBench)
+	head := writeTemp(t, "new.txt", headBench)
+	var out strings.Builder
+	code, err := run(base, head, "NoSuchBenchmark", 0.25, &out)
+	if code != 2 || err == nil {
+		t.Fatalf("code=%d err=%v, want 2 with error", code, err)
+	}
+}

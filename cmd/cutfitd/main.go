@@ -17,10 +17,17 @@
 //	POST /v1/graphs   {"name": "g", "dataset": "youtube"}   register an analog dataset
 //	POST /v1/graphs   {"name": "g", "edges": "0 1\n1 2"}    register an inline edge list
 //	GET  /v1/graphs                                         list registered graphs
+//	POST /v1/graphs/{name}/edges  {"edges": "2 3\n3 4"}     append an edge batch: the
+//	                  graph advances to a new generation whose artifacts are
+//	                  derived from the previous one's (suffix-only assignment,
+//	                  patched topology) — a run after an append costs O(batch),
+//	                  not a cold re-partition; in-flight requests keep reading
+//	                  the old generation
 //	POST /v1/metrics  {"graph", "strategy", "parts"}        §3.1 metric set
 //	POST /v1/advise   {"graph", "alg", "parts", "measure"}  recommendation (+ measured ranking)
 //	POST /v1/run      {"graph", "alg", "strategy", "parts", "iters"}
-//	                  execute an algorithm; "strategy": "auto" selects empirically
+//	                  execute an algorithm (pagerank, dynamicpr, cc,
+//	                  triangles, sssp); "strategy": "auto" selects empirically
 //	GET  /v1/stats                                          cache hit/miss/eviction counters
 //	GET  /healthz
 package main

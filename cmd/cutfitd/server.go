@@ -48,6 +48,7 @@ func newServer(opts serverOptions) *server {
 	}
 	s.mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleAppendEdges)
 	s.mux.HandleFunc("POST /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/advise", s.handleAdvise)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
@@ -185,6 +186,81 @@ func (s *server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, graphReply{Name: req.Name, Vertices: e.vertices, Edges: e.edges})
+}
+
+// appendRequest carries an edge batch in the same SNAP-style edge-list
+// encoding the register endpoint accepts.
+type appendRequest struct {
+	Edges string `json:"edges"`
+}
+
+// appendReply reports the grown graph plus how many edges the batch added.
+type appendReply struct {
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Added    int    `json:"added"`
+}
+
+// handleAppendEdges streams an edge batch into a registered graph:
+// POST /v1/graphs/{name}/edges. The registry entry is replaced by the next
+// graph generation (Session.AppendEdges); the previous generation is
+// deliberately NOT forgotten — its cached artifacts are what the session's
+// delta chain extends/patches, so a run after an append costs O(batch)
+// instead of a cold re-partition. Requests already running against the old
+// generation are unaffected.
+//
+// The O(|E|) Grow runs outside the registry lock — the lock is held only
+// for the lookup and the swap, so appends never stall handlers for other
+// graphs. Racing appends to one name are resolved compare-and-swap style:
+// a loser re-derives from the winner's generation, so no batch is lost
+// (TestServerConcurrentAppendsAndRuns).
+func (s *server) handleAppendEdges(w http.ResponseWriter, r *http.Request) {
+	var req appendRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Edges == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("edges is required"))
+		return
+	}
+	parsed, err := cutfit.LoadEdgeList(strings.NewReader(req.Edges))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	name := r.PathValue("name")
+	for {
+		e, err := s.lookup(name)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		ng, err := s.session.AppendEdges(e.g, parsed.Edges())
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		ne := &graphEntry{g: ng, vertices: ng.NumVertices(), edges: ng.NumEdges()}
+		s.mu.Lock()
+		if s.graphs[name] == e {
+			s.graphs[name] = ne
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, appendReply{
+				Name:     name,
+				Vertices: ne.vertices,
+				Edges:    ne.edges,
+				Added:    parsed.NumEdges(),
+			})
+			return
+		}
+		// Another append (or re-register) won the swap; drop the loser's
+		// generation from the session (its delta record would otherwise
+		// pin the discarded edge-list copy) and retry against the current
+		// one.
+		s.mu.Unlock()
+		s.session.Forget(ng)
+	}
 }
 
 func (s *server) handleListGraphs(w http.ResponseWriter, r *http.Request) {

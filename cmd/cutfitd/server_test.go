@@ -261,3 +261,129 @@ func TestServerErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestServerAppendEdges streams a batch into a registered graph and checks
+// that runs see the grown generation, the old generation's cache seeds the
+// new one (DeltaDerived > 0), and results match a cold server registered
+// with the full edge list.
+func TestServerAppendEdges(t *testing.T) {
+	ts := newTestServer(t)
+	// Warm the chain on the base generation.
+	var base cutfit.RunReport
+	post(t, ts, "/v1/run", map[string]any{"graph": "tri", "alg": "pagerank", "strategy": "2D", "parts": 4}, &base)
+
+	const batch = "5 6\n6 0\n0 6\n"
+	var rep appendReply
+	post(t, ts, "/v1/graphs/tri/edges", map[string]any{"edges": batch}, &rep)
+	if rep.Added != 3 || rep.Edges != 10 || rep.Vertices != 7 {
+		t.Fatalf("append reply %+v, want 3 added / 10 edges / 7 vertices", rep)
+	}
+
+	var run cutfit.RunReport
+	post(t, ts, "/v1/run", map[string]any{"graph": "tri", "alg": "dynamicpr", "strategy": "2D", "parts": 4, "iters": 0}, &run)
+
+	var stats cutfit.CacheStats
+	get(t, ts, "/v1/stats", &stats)
+	if stats.DeltaDerived == 0 {
+		t.Fatalf("append did not exercise the delta chain: %+v", stats)
+	}
+
+	// A cold server over the concatenated edge list must agree exactly.
+	ts2 := httptest.NewServer(newServer(serverOptions{}))
+	defer ts2.Close()
+	post(t, ts2, "/v1/graphs", map[string]any{"name": "tri", "edges": testEdges + batch}, nil)
+	var want cutfit.RunReport
+	post(t, ts2, "/v1/run", map[string]any{"graph": "tri", "alg": "dynamicpr", "strategy": "2D", "parts": 4, "iters": 0}, &want)
+	want.Graph, run.Graph = "", ""
+	if fmt.Sprint(run) != fmt.Sprint(want) {
+		t.Fatalf("post-append run differs from cold full-graph run:\n got %+v\nwant %+v", run, want)
+	}
+}
+
+// TestServerAppendErrors: unknown graph and empty batch are rejected.
+func TestServerAppendErrors(t *testing.T) {
+	ts := newTestServer(t)
+	for _, tc := range []struct {
+		path   string
+		body   map[string]any
+		status int
+	}{
+		{"/v1/graphs/nope/edges", map[string]any{"edges": "0 1\n"}, http.StatusNotFound},
+		{"/v1/graphs/tri/edges", map[string]any{"edges": ""}, http.StatusBadRequest},
+	} {
+		b, _ := json.Marshal(tc.body)
+		resp, err := http.Post(ts.URL+tc.path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e errorReply
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Fatalf("POST %s: status %d, want %d", tc.path, resp.StatusCode, tc.status)
+		}
+	}
+}
+
+// tryPost is the goroutine-safe flavor of post: it returns an error
+// instead of calling t.Fatal, which must not run off the test goroutine.
+func tryPost(ts *httptest.Server, path string, body any, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorReply
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, e.Error)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// TestServerConcurrentAppendsAndRuns: appends race runs and other appends;
+// every append must land (lost updates forbidden) and no run may error.
+func TestServerConcurrentAppendsAndRuns(t *testing.T) {
+	ts := newTestServer(t)
+	const appenders, runners, batches = 4, 4, 5
+	var wg sync.WaitGroup
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < batches; i++ {
+				v := 100 + a*batches + i
+				if err := tryPost(ts, "/v1/graphs/tri/edges", map[string]any{"edges": fmt.Sprintf("%d %d\n", v, v+1)}, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(a)
+	}
+	for r := 0; r < runners; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < batches; i++ {
+				var rep cutfit.RunReport
+				if err := tryPost(ts, "/v1/run", map[string]any{"graph": "tri", "alg": "cc", "strategy": "2D", "parts": 4}, &rep); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var graphs []graphReply
+	get(t, ts, "/v1/graphs", &graphs)
+	if len(graphs) != 1 || graphs[0].Edges != 7+appenders*batches {
+		t.Fatalf("after concurrent appends: %+v, want %d edges", graphs, 7+appenders*batches)
+	}
+}

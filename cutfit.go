@@ -77,6 +77,24 @@
 //
 // All Session methods are safe for concurrent use. The cmd/cutfitd command
 // serves exactly this Session surface over HTTP/JSON.
+//
+// # Dynamic updates
+//
+// A Session also serves evolving graphs. AppendEdges advances a graph to a
+// new generation — the original is never mutated, so concurrent requests
+// against it are unaffected — and records the delta, after which the new
+// generation's artifacts are derived from the old one's instead of
+// recomputed: assignments extend over just the appended suffix (streaming
+// strategies resume their retained state bit-for-bit), built topologies
+// are patched rather than re-sorted, and metrics are read off the patched
+// topology. Streaming edge batches and re-running convergence-style
+// algorithms between batches therefore costs O(batch) per update, never a
+// cold rebuild:
+//
+//	g, _ = se.AppendEdges(g, batch)                               // next generation
+//	rep, _ := se.Run(ctx, g, cutfit.EdgePartition2D(), 128, "dynamicpr", 0)
+//
+// See ExampleSession_AppendEdges for the full loop.
 package cutfit
 
 import (

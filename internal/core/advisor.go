@@ -52,10 +52,12 @@ var (
 )
 
 // ProfileFor returns the built-in profile for one of the four paper
-// algorithms ("pagerank", "cc", "triangles", "sssp").
+// algorithms ("pagerank", "cc", "triangles", "sssp"). "dynamicpr" — the
+// convergence-gated PageRank variant — shares PageRank's communication
+// structure and resolves to its profile.
 func ProfileFor(alg string) (Profile, error) {
 	switch alg {
-	case "pagerank":
+	case "pagerank", "dynamicpr":
 		return ProfilePageRank, nil
 	case "cc":
 		return ProfileCC, nil

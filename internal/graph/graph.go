@@ -49,7 +49,8 @@ type Graph struct {
 	// its own viewOnce; the fields themselves are written only inside the
 	// owning viewOnce's build.
 	vertsOnce    viewOnce
-	verts        []VertexID         // sorted unique vertex IDs
+	verts        []VertexID // sorted unique vertex IDs
+	idxOnce      viewOnce
 	index        map[VertexID]int32 // vertex ID -> dense index into verts
 	degOnce      viewOnce
 	outDeg       []int32 // per dense index
@@ -90,6 +91,24 @@ func (o *viewOnce) do(build func()) {
 
 func (o *viewOnce) reset() { o.ready.Store(false) }
 
+// markBuilt publishes a view that was seeded directly (Grow pre-populates
+// derived views on a new generation before it escapes to other goroutines).
+func (o *viewOnce) markBuilt() { o.ready.Store(true) }
+
+// built reports whether the view is currently available without building it.
+func (o *viewOnce) built() bool { return o.ready.Load() }
+
+// generationSeed hands out process-unique version bases for graphs created
+// from other graphs (Clone, Reverse, Grow). Cache layers key artifacts by
+// (graph pointer, version); a derived graph allocated at a freed parent's
+// address with version 0 would alias the parent's key space, so every
+// derived graph starts from a fresh, never-reused version range. The <<32
+// shift leaves each generation 2^32 in-place mutations before ranges could
+// collide.
+var generationSeed atomic.Uint64
+
+func nextGenerationVersion() uint64 { return generationSeed.Add(1) << 32 }
+
 // New returns an empty graph with capacity for hintEdges edges.
 func New(hintEdges int) *Graph {
 	if hintEdges < 0 {
@@ -119,6 +138,7 @@ func (g *Graph) invalidate() {
 	g.version.Add(1)
 	g.vertsOnce.reset()
 	g.verts = nil
+	g.idxOnce.reset()
 	g.index = nil
 	g.degOnce.reset()
 	g.outDeg = nil
@@ -134,9 +154,11 @@ func (g *Graph) invalidate() {
 	g.csrUndir = nil
 }
 
-// Version returns the mutation counter: 0 for a freshly built graph,
-// incremented by every AddEdge/AddEdges. Cache layers keying artifacts by
-// graph include it so entries for a superseded edge list are unreachable.
+// Version returns the mutation counter: 0 for a graph built by New or
+// FromEdges, a fresh process-unique base for graphs derived from another
+// graph (Clone, Reverse, Grow), incremented by every AddEdge/AddEdges.
+// Cache layers keying artifacts by graph include it so entries for a
+// superseded edge list are unreachable.
 func (g *Graph) Version() uint64 { return g.version.Load() }
 
 // NumEdges returns the number of directed edges, including duplicates and
@@ -146,9 +168,11 @@ func (g *Graph) NumEdges() int { return len(g.edges) }
 // Edges returns the underlying edge slice. Callers must not modify it.
 func (g *Graph) Edges() []Edge { return g.edges }
 
-// buildVertexIndex computes the sorted unique vertex list and the dense
-// index map.
-func (g *Graph) buildVertexIndex() {
+// buildVerts computes the sorted unique vertex list by scanning the edge
+// list. The dense index map is a separate view (buildIndex) so generations
+// seeded by Grow — which inherit a merged vertex list without scanning —
+// only pay for the map if something actually looks vertices up by ID.
+func (g *Graph) buildVerts() {
 	g.vertsOnce.do(func() {
 		seen := make(map[VertexID]struct{}, len(g.edges))
 		for _, e := range g.edges {
@@ -160,32 +184,46 @@ func (g *Graph) buildVertexIndex() {
 			verts = append(verts, v)
 		}
 		sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
-		index := make(map[VertexID]int32, len(verts))
-		for i, v := range verts {
+		g.verts = verts
+	})
+}
+
+// buildIndex computes the vertex ID -> dense index map from the vertex
+// list.
+func (g *Graph) buildIndex() {
+	g.idxOnce.do(func() {
+		g.buildVerts()
+		index := make(map[VertexID]int32, len(g.verts))
+		for i, v := range g.verts {
 			index[v] = int32(i)
 		}
-		g.verts = verts
 		g.index = index
 	})
+}
+
+// buildVertexIndex builds both the vertex list and the index map (the
+// historical combined entry point; per-edge consumers below want the map).
+func (g *Graph) buildVertexIndex() {
+	g.buildIndex()
 }
 
 // NumVertices returns the number of distinct vertices that appear as an
 // endpoint of at least one edge.
 func (g *Graph) NumVertices() int {
-	g.buildVertexIndex()
+	g.buildVerts()
 	return len(g.verts)
 }
 
 // Vertices returns the sorted list of distinct vertex IDs. Callers must not
 // modify it.
 func (g *Graph) Vertices() []VertexID {
-	g.buildVertexIndex()
+	g.buildVerts()
 	return g.verts
 }
 
 // Index returns the dense index of v in Vertices() and whether v exists.
 func (g *Graph) Index(v VertexID) (int32, bool) {
-	g.buildVertexIndex()
+	g.buildIndex()
 	i, ok := g.index[v]
 	return i, ok
 }
@@ -227,8 +265,11 @@ func (g *Graph) buildDegrees() {
 }
 
 // OutDegree returns the out-degree of v (0 if v is not in the graph).
+// The index map is ensured separately from the degree view: on a
+// generation seeded by Grow the degrees exist before the map does.
 func (g *Graph) OutDegree(v VertexID) int {
 	g.buildDegrees()
+	g.buildIndex()
 	if i, ok := g.index[v]; ok {
 		return int(g.outDeg[i])
 	}
@@ -238,6 +279,7 @@ func (g *Graph) OutDegree(v VertexID) int {
 // InDegree returns the in-degree of v (0 if v is not in the graph).
 func (g *Graph) InDegree(v VertexID) int {
 	g.buildDegrees()
+	g.buildIndex()
 	if i, ok := g.index[v]; ok {
 		return int(g.inDeg[i])
 	}
@@ -256,21 +298,29 @@ func (g *Graph) InDegrees() []int32 {
 	return g.inDeg
 }
 
-// Reverse returns a new graph with every edge direction flipped.
+// Reverse returns a new graph with every edge direction flipped. The new
+// graph starts at a fresh, process-unique nonzero version so cache layers
+// keying artifacts by (pointer, version) can never serve it entries that
+// belonged to a freed graph reallocated at the same address.
 func (g *Graph) Reverse() *Graph {
 	rev := make([]Edge, len(g.edges))
 	for i, e := range g.edges {
 		rev[i] = Edge{Src: e.Dst, Dst: e.Src}
 	}
-	return FromEdges(rev)
+	out := FromEdges(rev)
+	out.version.Store(nextGenerationVersion())
+	return out
 }
 
 // Clone returns a deep copy of the graph's edge list (views are rebuilt
-// lazily on the copy).
+// lazily on the copy). Like Reverse, the copy starts at a fresh nonzero
+// version, never shared with any other graph in this process.
 func (g *Graph) Clone() *Graph {
 	edges := make([]Edge, len(g.edges))
 	copy(edges, g.edges)
-	return FromEdges(edges)
+	out := FromEdges(edges)
+	out.version.Store(nextGenerationVersion())
+	return out
 }
 
 // Validate checks internal consistency and returns an error describing the

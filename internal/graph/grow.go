@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Delta describes one Grow step: the boundary between a parent graph and
+// the generation derived from it by appending an edge suffix. Incremental
+// consumers (the artifact store's delta chain, the partitioned-topology
+// patcher) use it to locate the suffix and to remap the parent's dense
+// vertex indices into the child's.
+type Delta struct {
+	// Old is the parent generation; New is Old plus the appended suffix.
+	Old, New *Graph
+	// OldLen is the parent's edge count: New.Edges()[:OldLen] is exactly
+	// Old.Edges(), and New.Edges()[OldLen:] is the appended suffix.
+	OldLen int
+	// OldVersion and NewVersion are the generations' version counters at
+	// the time of the Grow, so cache keys recorded against either side
+	// stay pinned even if a graph is later mutated in place.
+	OldVersion, NewVersion uint64
+	// OldVerts is the parent's sorted vertex list, shared (not copied) with
+	// the parent. Callers must not modify it. RemapVertices turns it into a
+	// dense-index remap against any descendant generation.
+	OldVerts []VertexID
+}
+
+// Grow returns a new Graph — the next generation of g, holding g's edges
+// followed by newEdges — without mutating g. The parent stays fully
+// usable, so in-flight readers of g (concurrent algorithm runs, cache
+// lookups) are never raced; growth is an O(|V| + |delta|)-ish derivation,
+// not an O(|E|) rebuild:
+//
+//   - the vertex list is the parent's merged with the suffix's new IDs
+//     (shared outright when the suffix adds no vertices);
+//   - degree and edge-endpoint views are carried over — remapped if new
+//     vertices shifted dense indices — and patched with the suffix;
+//   - the ID->index map and the CSR adjacency views stay lazy.
+//
+// The edge slice itself is copied (one memcpy), never shared, so neither
+// generation can observe the other's mutations. The new generation starts
+// at a fresh process-unique version.
+//
+// Grow only reads g through its concurrency-safe view builders, so it may
+// run while other goroutines read g.
+func (g *Graph) Grow(newEdges []Edge) (*Graph, Delta) {
+	oldLen := len(g.edges)
+	oldVerts := g.Vertices()
+
+	combined := make([]Edge, oldLen+len(newEdges))
+	copy(combined, g.edges)
+	copy(combined[oldLen:], newEdges)
+	ng := FromEdges(combined)
+	ng.version.Store(nextGenerationVersion())
+
+	// New vertex IDs introduced by the suffix: endpoints absent from the
+	// parent's sorted list.
+	var added []VertexID
+	for _, e := range newEdges {
+		if _, ok := slices.BinarySearch(oldVerts, e.Src); !ok {
+			added = append(added, e.Src)
+		}
+		if _, ok := slices.BinarySearch(oldVerts, e.Dst); !ok {
+			added = append(added, e.Dst)
+		}
+	}
+	slices.Sort(added)
+	added = slices.Compact(added)
+
+	// Merged vertex list and the old->new dense index remap. When every
+	// added ID sorts after the old maximum (the common growth pattern),
+	// old dense indices are unchanged and the remap stays nil.
+	var remap []int32
+	if len(added) == 0 {
+		ng.verts = oldVerts // shared; both generations treat it as immutable
+	} else if len(oldVerts) == 0 || added[0] > oldVerts[len(oldVerts)-1] {
+		merged := make([]VertexID, len(oldVerts)+len(added))
+		copy(merged, oldVerts)
+		copy(merged[len(oldVerts):], added)
+		ng.verts = merged
+	} else {
+		merged := make([]VertexID, 0, len(oldVerts)+len(added))
+		remap = make([]int32, len(oldVerts))
+		i, j := 0, 0
+		for i < len(oldVerts) || j < len(added) {
+			if j == len(added) || (i < len(oldVerts) && oldVerts[i] < added[j]) {
+				remap[i] = int32(len(merged))
+				merged = append(merged, oldVerts[i])
+				i++
+			} else {
+				merged = append(merged, added[j])
+				j++
+			}
+		}
+		ng.verts = merged
+	}
+	ng.vertsOnce.markBuilt()
+
+	// Dense endpoint indices of the suffix, shared by the degree and
+	// endpoint seeding below.
+	sufSrc := make([]int32, len(newEdges))
+	sufDst := make([]int32, len(newEdges))
+	for i, e := range newEdges {
+		si, _ := slices.BinarySearch(ng.verts, e.Src)
+		di, _ := slices.BinarySearch(ng.verts, e.Dst)
+		sufSrc[i], sufDst[i] = int32(si), int32(di)
+	}
+
+	nv := len(ng.verts)
+	if g.degOnce.built() {
+		out := make([]int32, nv)
+		in := make([]int32, nv)
+		if remap == nil {
+			copy(out, g.outDeg)
+			copy(in, g.inDeg)
+		} else {
+			for i := range g.outDeg {
+				out[remap[i]] = g.outDeg[i]
+				in[remap[i]] = g.inDeg[i]
+			}
+		}
+		for i := range newEdges {
+			out[sufSrc[i]]++
+			in[sufDst[i]]++
+		}
+		ng.outDeg, ng.inDeg = out, in
+		ng.degOnce.markBuilt()
+	}
+	// Endpoint views are carried over only when old dense indices survive
+	// (remap == nil): the seed is then two memcpys. When indices shifted,
+	// the per-edge remap pass would cost more than most consumers save —
+	// the delta topology patcher only needs suffix endpoints, which it
+	// computes itself — so the view is left lazy instead.
+	if remap == nil && g.endpointOnce.built() {
+		src := make([]int32, len(combined))
+		dst := make([]int32, len(combined))
+		copy(src, g.srcIdx)
+		copy(dst, g.dstIdx)
+		copy(src[oldLen:], sufSrc)
+		copy(dst[oldLen:], sufDst)
+		ng.srcIdx, ng.dstIdx = src, dst
+		ng.endpointOnce.markBuilt()
+	}
+
+	return ng, Delta{
+		Old: g, New: ng,
+		OldLen:     oldLen,
+		OldVersion: g.Version(), NewVersion: ng.Version(),
+		OldVerts: oldVerts,
+	}
+}
+
+// RemapVertices returns the dense-index remap from a sorted ancestor
+// vertex list to a descendant generation: remap[oldDense] is the vertex's
+// dense index in target. A nil, nil return means identity — every old
+// vertex keeps its dense index (all vertices added since sort after the
+// old maximum). An old vertex missing from target is an error: growth
+// never removes vertices, so it signals a mismatched (ancestor, target)
+// pair.
+func RemapVertices(oldVerts []VertexID, target *Graph) ([]int32, error) {
+	newVerts := target.Vertices()
+	if len(oldVerts) > len(newVerts) {
+		return nil, fmt.Errorf("graph: remap target has %d vertices, ancestor had %d", len(newVerts), len(oldVerts))
+	}
+	identity := true
+	for i, v := range oldVerts {
+		if newVerts[i] != v {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return nil, nil
+	}
+	remap := make([]int32, len(oldVerts))
+	j := 0
+	for i, v := range oldVerts {
+		for j < len(newVerts) && newVerts[j] < v {
+			j++
+		}
+		if j == len(newVerts) || newVerts[j] != v {
+			return nil, fmt.Errorf("graph: vertex %d missing from remap target", v)
+		}
+		remap[i] = int32(j)
+		j++
+	}
+	return remap, nil
+}

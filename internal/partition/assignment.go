@@ -32,15 +32,50 @@ type Assignment struct {
 	// EdgesPerPart is the per-partition edge histogram, counted once during
 	// validation.
 	EdgesPerPart []int64
+
+	// strategyKey is the producing strategy's cache identity
+	// (partition.KeyOf); Extend refuses to continue under a different key.
+	strategyKey string
+
+	// extendedFrom is the prefix length inherited verbatim by the last
+	// Extend (-1 when the assignment was built one-shot or fully
+	// recomputed). Consumers patching topologies use it to skip the
+	// defensive prefix comparison.
+	extendedFrom int
+
+	// stream is the retained resumable state of a streaming strategy
+	// (nil for stateless strategies). Extend takes it — under streamMu, so
+	// racing Extends cannot share state — and hands it to the extended
+	// assignment; an assignment whose state was already taken falls back
+	// to a deterministic replay.
+	streamMu sync.Mutex
+	stream   *StreamState
 }
 
 // NumEdges returns the number of assigned edges.
 func (a *Assignment) NumEdges() int { return len(a.PIDs) }
 
 // MemoryFootprint approximates the bytes retained by the assignment (the
-// PID slice and the histogram), used as its eviction cost by cache layers.
+// PID slice, the histogram and any retained streaming state), used as its
+// eviction cost by cache layers.
 func (a *Assignment) MemoryFootprint() int64 {
-	return int64(len(a.PIDs))*4 + int64(len(a.EdgesPerPart))*8
+	b := int64(len(a.PIDs))*4 + int64(len(a.EdgesPerPart))*8
+	a.streamMu.Lock()
+	if a.stream != nil {
+		b += a.stream.MemoryFootprint()
+	}
+	a.streamMu.Unlock()
+	return b
+}
+
+// takeStream removes and returns the retained streaming state (nil if
+// none, or if a previous Extend already took it).
+func (a *Assignment) takeStream() *StreamState {
+	a.streamMu.Lock()
+	defer a.streamMu.Unlock()
+	st := a.stream
+	a.stream = nil
+	return st
 }
 
 // NewAssignment validates a raw per-edge assignment against g (length and
@@ -60,7 +95,17 @@ func NewAssignment(g *graph.Graph, strategy string, pids []PID, numParts int) (*
 		}
 		counts[p]++
 	}
-	return &Assignment{G: g, Strategy: strategy, NumParts: numParts, PIDs: pids, EdgesPerPart: counts}, nil
+	return &Assignment{G: g, Strategy: strategy, strategyKey: strategy, NumParts: numParts, PIDs: pids, EdgesPerPart: counts, extendedFrom: -1}, nil
+}
+
+// ExtendedFrom reports the prefix length this assignment inherited
+// verbatim from its parent in the producing Extend call; ok is false for
+// one-shot or fully recomputed assignments.
+func (a *Assignment) ExtendedFrom() (prefixLen int, ok bool) {
+	if a.extendedFrom < 0 {
+		return 0, false
+	}
+	return a.extendedFrom, true
 }
 
 // Assign runs strategy s over g exactly once and returns the validated
@@ -72,17 +117,41 @@ func NewAssignment(g *graph.Graph, strategy string, pids []PID, numParts int) (*
 // Hash strategies shard the assignment pass over GOMAXPROCS — the process
 // CPU limit, not any per-call Parallelism option (a Strategy has no
 // options to thread them through).
+//
+// For Resumable streaming strategies the produced Assignment retains the
+// run's StreamState, so a later Extend over an appended edge suffix
+// continues where this pass stopped instead of replaying the prefix. The
+// retained state costs roughly a map entry plus replica list per distinct
+// vertex; it is included in MemoryFootprint (so cache layers budget for
+// it), and holders that will never Extend can let the whole Assignment go
+// — the state is reachable only through it.
 func Assign(g *graph.Graph, s Strategy, numParts int) (*Assignment, error) {
-	pids, err := s.Partition(g, numParts)
-	if err != nil {
-		// Strategy errors already carry the package prefix and, for the
-		// built-in strategies, the strategy name.
-		return nil, err
+	var retained *StreamState
+	var pids []PID
+	if r, ok := s.(Resumable); ok {
+		st, err := r.NewStream(numParts)
+		if err != nil {
+			return nil, err
+		}
+		edges := g.Edges()
+		pids = make([]PID, len(edges))
+		st.AssignEdges(edges, pids)
+		retained = st
+	} else {
+		var err error
+		pids, err = s.Partition(g, numParts)
+		if err != nil {
+			// Strategy errors already carry the package prefix and, for the
+			// built-in strategies, the strategy name.
+			return nil, err
+		}
 	}
 	a, err := NewAssignment(g, s.Name(), pids, numParts)
 	if err != nil {
 		return nil, fmt.Errorf("%w (strategy %s)", err, s.Name())
 	}
+	a.strategyKey = KeyOf(s)
+	a.stream = retained
 	return a, nil
 }
 
@@ -92,16 +161,13 @@ func Assign(g *graph.Graph, s Strategy, numParts int) (*Assignment, error) {
 const parallelAssignThreshold = 1 << 14
 
 // assignHashParallel evaluates a stateless per-edge hash over contiguous
-// edge shards, one per GOMAXPROCS slot. The output is index-addressed, so
-// the result is identical to the sequential loop regardless of scheduling.
-func assignHashParallel(edges []graph.Edge, fn EdgeHashFunc, numParts int) ([]PID, error) {
-	out := make([]PID, len(edges))
+// edge shards, one per GOMAXPROCS slot, writing into out. The output is
+// index-addressed, so the result is identical to the sequential loop
+// regardless of scheduling.
+func assignHashParallel(edges []graph.Edge, out []PID, fn EdgeHashFunc, numParts int) error {
 	shards := runtime.GOMAXPROCS(0)
 	if len(edges) < parallelAssignThreshold || shards < 2 {
-		if err := assignHashRange(edges, out, fn, numParts, 0, len(edges)); err != nil {
-			return nil, err
-		}
-		return out, nil
+		return assignHashRange(edges, out, fn, numParts, 0, len(edges))
 	}
 	if shards > len(edges) {
 		shards = len(edges)
@@ -123,10 +189,10 @@ func assignHashParallel(edges []graph.Edge, fn EdgeHashFunc, numParts int) ([]PI
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // assignHashRange evaluates fn over edges[lo:hi), writing into out and

@@ -1,0 +1,106 @@
+package partition
+
+import (
+	"fmt"
+
+	"cutfit/internal/graph"
+)
+
+// Extend returns the Assignment of grown — a graph that contains exactly
+// this assignment's edges as a prefix, as produced by Graph.Grow (a new
+// generation) or by AddEdges on a.G itself (in-place growth) — under the
+// same strategy and partition count. The result is bit-for-bit identical
+// to Assign(grown, s, a.NumParts); only the cost differs:
+//
+//   - stateless hash strategies (SuffixAssigner) assign just the suffix;
+//   - Resumable streaming strategies continue this assignment's retained
+//     StreamState over the suffix — or, if the state was already taken by
+//     an earlier Extend, replay the prefix deterministically first;
+//   - any other strategy (Range, whose block boundaries move as the ID
+//     span grows) falls back to a full assignment pass. Its prefix PIDs
+//     may then differ from this assignment's — downstream topology
+//     patching detects that and rebuilds.
+//
+// The prefix PID entries and the histogram are reused, never recounted.
+func (a *Assignment) Extend(grown *graph.Graph, s Strategy) (*Assignment, error) {
+	if key := KeyOf(s); a.strategyKey != "" && key != a.strategyKey {
+		return nil, fmt.Errorf("partition: cannot extend %s assignment with strategy %s", a.strategyKey, key)
+	}
+	oldLen := len(a.PIDs)
+	ne := grown.NumEdges()
+	if ne < oldLen {
+		return nil, fmt.Errorf("partition: grown graph has %d edges, assignment covers %d", ne, oldLen)
+	}
+	// Cheap prefix sanity check: the grown edge list must start with the
+	// assigned one. Spot-check the boundary edges; full equality is the
+	// caller's contract (Graph.Grow guarantees it).
+	if oldLen > 0 {
+		old := a.G.Edges()
+		if len(old) < oldLen || old[0] != grown.Edges()[0] || old[oldLen-1] != grown.Edges()[oldLen-1] {
+			return nil, fmt.Errorf("partition: grown graph does not extend the assigned edge list")
+		}
+	}
+
+	suffix := grown.Edges()[oldLen:]
+	var pids []PID
+	inherit := func() []PID {
+		out := make([]PID, ne)
+		copy(out, a.PIDs)
+		return out
+	}
+	var retained *StreamState
+	prefixStable := true
+	switch t := s.(type) {
+	case SuffixAssigner:
+		pids = inherit()
+		if err := t.AssignSuffix(suffix, pids[oldLen:], a.NumParts); err != nil {
+			return nil, err
+		}
+	case Resumable:
+		pids = inherit()
+		st := a.takeStream()
+		if st == nil {
+			// State already taken (or the assignment was hand-built):
+			// replay the prefix. Streaming strategies are deterministic, so
+			// the replayed prefix equals the retained one.
+			fresh, err := t.NewStream(a.NumParts)
+			if err != nil {
+				return nil, err
+			}
+			fresh.AssignEdges(grown.Edges()[:oldLen], pids[:oldLen])
+			st = fresh
+		}
+		st.AssignEdges(suffix, pids[oldLen:])
+		retained = st
+	default:
+		full, err := s.Partition(grown, a.NumParts)
+		if err != nil {
+			return nil, err
+		}
+		pids = full
+		prefixStable = false
+	}
+
+	var na *Assignment
+	if prefixStable {
+		counts := make([]int64, a.NumParts)
+		copy(counts, a.EdgesPerPart)
+		for i := oldLen; i < ne; i++ {
+			p := pids[i]
+			if p < 0 || int(p) >= a.NumParts {
+				return nil, fmt.Errorf("partition: edge %d assigned to out-of-range partition %d (strategy %s)", i, p, s.Name())
+			}
+			counts[p]++
+		}
+		na = &Assignment{G: grown, Strategy: s.Name(), strategyKey: KeyOf(s), NumParts: a.NumParts, PIDs: pids, EdgesPerPart: counts, extendedFrom: oldLen}
+	} else {
+		var err error
+		na, err = NewAssignment(grown, s.Name(), pids, a.NumParts)
+		if err != nil {
+			return nil, fmt.Errorf("%w (strategy %s)", err, s.Name())
+		}
+		na.strategyKey = KeyOf(s)
+	}
+	na.stream = retained
+	return na, nil
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"cutfit/internal/graph"
-	"cutfit/internal/rng"
 )
 
 // hybridStrategy implements a PowerLyra-style hybrid cut (Chen et al.,
@@ -13,6 +12,12 @@ import (
 // locality for the many low-degree vertices of a power-law graph), while
 // edges pointing at high-degree "hub" destinations are hashed by source,
 // spreading the hub's huge in-edge set across partitions.
+//
+// The in-degree consulted is the one observed in the stream so far, not
+// the final in-degree: a hub's first `threshold` in-edges stay grouped and
+// the rest spread. This makes the assignment of every edge a function of
+// the edge-list prefix only, so a hybrid assignment can be resumed over an
+// appended suffix (Assignment.Extend) bit-for-bit.
 type hybridStrategy struct {
 	threshold int32
 }
@@ -34,27 +39,22 @@ func (h *hybridStrategy) Name() string { return "Hybrid" }
 // assignment, so "Hybrid:25" and "Hybrid:100" must never share entries.
 func (h *hybridStrategy) Key() string { return fmt.Sprintf("Hybrid:%d", h.threshold) }
 
-func (h *hybridStrategy) Partition(g *graph.Graph, numParts int) ([]PID, error) {
-	if err := checkParts(numParts); err != nil {
-		return nil, err
-	}
+// NewStream returns resumable hybrid-cut state (streaming in-degree
+// counters per destination).
+func (h *hybridStrategy) NewStream(numParts int) (*StreamState, error) {
 	if h.threshold <= 0 {
 		return nil, fmt.Errorf("partition: hybrid threshold must be positive, got %d", h.threshold)
 	}
-	inDeg := g.InDegrees()
-	edges := g.Edges()
-	out := make([]PID, len(edges))
-	for i, e := range edges {
-		di, _ := g.Index(e.Dst)
-		if inDeg[di] > h.threshold {
-			// High-degree destination: spread its in-edges by source.
-			out[i] = PID(rng.Mix64(uint64(e.Src)) % uint64(numParts))
-		} else {
-			// Low-degree destination: keep its in-edges together.
-			out[i] = PID(rng.Mix64(uint64(e.Dst)) % uint64(numParts))
-		}
+	st, err := newStreamState(streamHybrid, numParts)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	st.threshold = int64(h.threshold)
+	return st, nil
+}
+
+func (h *hybridStrategy) Partition(g *graph.Graph, numParts int) ([]PID, error) {
+	return streamPartition(h, g, numParts)
 }
 
 // rangeStrategy assigns contiguous source-ID blocks to partitions. Where

@@ -83,18 +83,31 @@ func newPreparedHashStrategy(name string, prep func(numParts int) EdgeHashFunc) 
 func (s *hashStrategy) Name() string { return s.name }
 
 func (s *hashStrategy) Partition(g *graph.Graph, numParts int) ([]PID, error) {
-	if err := checkParts(numParts); err != nil {
+	out := make([]PID, g.NumEdges())
+	if err := s.AssignSuffix(g.Edges(), out, numParts); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// AssignSuffix evaluates the stateless per-edge hash over an arbitrary
+// edge slice, writing into out — the SuffixAssigner hook that lets
+// Assignment.Extend assign only a graph's appended edge suffix.
+func (s *hashStrategy) AssignSuffix(edges []graph.Edge, out []PID, numParts int) error {
+	if err := checkParts(numParts); err != nil {
+		return err
+	}
+	if len(out) != len(edges) {
+		return fmt.Errorf("partition: strategy %s: output has %d slots for %d edges", s.name, len(out), len(edges))
 	}
 	fn := s.fn
 	if s.prep != nil {
 		fn = s.prep(numParts)
 	}
-	out, err := assignHashParallel(g.Edges(), fn, numParts)
-	if err != nil {
-		return nil, fmt.Errorf("partition: strategy %s: %w", s.name, err)
+	if err := assignHashParallel(edges, out, fn, numParts); err != nil {
+		return fmt.Errorf("partition: strategy %s: %w", s.name, err)
 	}
-	return out, nil
+	return nil
 }
 
 func checkParts(numParts int) error {

@@ -8,93 +8,135 @@ import (
 )
 
 // The streaming partitioners below are not part of the paper's evaluated
-// set; they implement the related-work algorithms (§5: Fennel-style greedy
-// streaming partitioning, HDRF) and are used by the ablation benchmarks to
-// show how the paper's hash-based design space compares against stateful
-// streaming assignment.
+// set; they implement the related-work algorithms (§5: PowerGraph-style
+// greedy streaming partitioning, HDRF) and are used by the ablation
+// benchmarks to show how the paper's hash-based design space compares
+// against stateful streaming assignment.
+//
+// All three stateful strategies (Greedy, HDRF, Hybrid) are *prefix
+// streaming*: the assignment of edge i depends only on edges[0..i]. HDRF
+// uses the partial degrees observed in the stream so far (as in Petroni et
+// al.) and Hybrid thresholds on the in-degree observed so far, so none of
+// them peeks at future edges. That property is what makes them resumable —
+// continuing a retained StreamState over an appended edge suffix produces
+// exactly the assignment a one-shot pass over the full edge list would,
+// bit for bit.
 
-// greedyStrategy implements PowerGraph's greedy vertex-cut heuristic:
-// prefer a partition that already holds both endpoints, then one that holds
-// either endpoint (breaking ties by load), then the least-loaded partition.
-type greedyStrategy struct{}
+// Resumable is implemented by strategies whose assignment can be continued
+// over an appended edge suffix. Stateful streaming strategies expose their
+// per-run state; stateless hash strategies implement SuffixAssigner
+// instead (no state to carry).
+type Resumable interface {
+	Strategy
+	// NewStream returns empty resumable state targeting numParts
+	// partitions.
+	NewStream(numParts int) (*StreamState, error)
+}
 
-// Greedy returns the PowerGraph-style greedy streaming strategy.
-func Greedy() Strategy { return greedyStrategy{} }
+// SuffixAssigner is implemented by strategies whose per-edge assignment
+// depends only on the edge itself (the stateless hash family), so any edge
+// suffix can be assigned in isolation.
+type SuffixAssigner interface {
+	Strategy
+	// AssignSuffix assigns edges, writing one PID per edge into out
+	// (len(out) == len(edges)).
+	AssignSuffix(edges []graph.Edge, out []PID, numParts int) error
+}
 
-func (greedyStrategy) Name() string { return "Greedy" }
+// streamKind selects the per-edge rule a StreamState applies.
+type streamKind uint8
 
-func (greedyStrategy) Partition(g *graph.Graph, numParts int) ([]PID, error) {
+const (
+	streamGreedy streamKind = iota
+	streamHDRF
+	streamHybrid
+)
+
+// streamVertex is one vertex's retained streaming state: the partitions it
+// has been replicated to and the partial degrees observed so far.
+type streamVertex struct {
+	replicas []PID
+	deg      int64 // total partial degree (HDRF's θ)
+	inDeg    int64 // partial in-degree (Hybrid's threshold)
+}
+
+// StreamState is the retained state of a streaming partitioner run: which
+// partitions each vertex has been replicated to, per-partition load, and
+// the partial degrees observed so far. State is keyed by vertex ID — never
+// by dense vertex index — so it stays valid as the graph grows; a
+// StreamState may therefore be resumed over an appended edge suffix
+// (Assignment.Extend) and produces exactly the assignment a one-shot pass
+// over the full edge list would.
+//
+// A StreamState is not safe for concurrent use; Assignment serializes
+// access to its retained state.
+type StreamState struct {
+	kind      streamKind
+	numParts  int
+	lambda    float64 // HDRF balance weight
+	threshold int64   // Hybrid in-degree cutoff
+
+	load         []int64
+	maxLoad      int64
+	verts        map[graph.VertexID]*streamVertex
+	replicaSlots int64 // Σ len(replicas), for footprint accounting
+}
+
+func newStreamState(kind streamKind, numParts int) (*StreamState, error) {
 	if err := checkParts(numParts); err != nil {
 		return nil, err
 	}
-	st := newStreamState(g, numParts)
-	edges := g.Edges()
-	out := make([]PID, len(edges))
-	for i, e := range edges {
-		out[i] = st.assignGreedy(e)
-	}
-	return out, nil
-}
-
-// hdrfStrategy implements High-Degree Replicated First (Petroni et al.):
-// like greedy, but when only one endpoint is already placed it prefers to
-// cut the higher-degree vertex, plus an explicit load-balance term weighted
-// by lambda.
-type hdrfStrategy struct {
-	lambda float64
-}
-
-// HDRF returns the High-Degree-Replicated-First streaming strategy with
-// balance weight lambda (1.0 is the authors' default).
-func HDRF(lambda float64) Strategy { return hdrfStrategy{lambda: lambda} }
-
-func (hdrfStrategy) Name() string { return "HDRF" }
-
-// Key distinguishes lambda variants in caches: the balance weight changes
-// the assignment, so two HDRF instances must not share cached artifacts.
-func (h hdrfStrategy) Key() string { return fmt.Sprintf("HDRF:%g", h.lambda) }
-
-func (h hdrfStrategy) Partition(g *graph.Graph, numParts int) ([]PID, error) {
-	if err := checkParts(numParts); err != nil {
-		return nil, err
-	}
-	st := newStreamState(g, numParts)
-	edges := g.Edges()
-	out := make([]PID, len(edges))
-	for i, e := range edges {
-		out[i] = st.assignHDRF(e, h.lambda)
-	}
-	return out, nil
-}
-
-// streamState tracks, while streaming edges, which partitions each vertex
-// has been replicated to and the current per-partition load.
-type streamState struct {
-	numParts int
-	load     []int64
-	// replicas[denseIdx] is a bitset of partitions (small part counts) or a
-	// map fallback; we use a map[int32]map[PID] only when parts > 64 would
-	// not fit; for simplicity and because experiments use ≤ 1024 parts, we
-	// store a per-vertex slice of PIDs (replica lists are short in
-	// practice: the whole point of vertex cuts is bounding them).
-	replicas [][]PID
-	g        *graph.Graph
-	maxLoad  int64
-	minLoad  int64
-}
-
-func newStreamState(g *graph.Graph, numParts int) *streamState {
-	g.Vertices() // force index build
-	return &streamState{
+	return &StreamState{
+		kind:     kind,
 		numParts: numParts,
 		load:     make([]int64, numParts),
-		replicas: make([][]PID, g.NumVertices()),
-		g:        g,
+		verts:    make(map[graph.VertexID]*streamVertex),
+	}, nil
+}
+
+// NumParts returns the partition count the state targets.
+func (st *StreamState) NumParts() int { return st.numParts }
+
+// AssignEdges streams edges through the state in order, writing one PID
+// per edge into out (len(out) == len(edges)). Calling it repeatedly over
+// consecutive chunks of one edge list is equivalent to a single call over
+// the whole list.
+func (st *StreamState) AssignEdges(edges []graph.Edge, out []PID) {
+	switch st.kind {
+	case streamGreedy:
+		for i, e := range edges {
+			out[i] = st.assignGreedy(e)
+		}
+	case streamHDRF:
+		for i, e := range edges {
+			out[i] = st.assignHDRF(e)
+		}
+	case streamHybrid:
+		for i, e := range edges {
+			out[i] = st.assignHybrid(e)
+		}
 	}
 }
 
-func (st *streamState) has(v int32, p PID) bool {
-	for _, q := range st.replicas[v] {
+// MemoryFootprint approximates the bytes retained by the state (used by
+// cache layers when an Assignment carrying it is the eviction candidate).
+func (st *StreamState) MemoryFootprint() int64 {
+	const perVertex = 8 + 8 + 48 // map slot + pointer + streamVertex
+	return int64(len(st.load))*8 + int64(len(st.verts))*perVertex + st.replicaSlots*4
+}
+
+// vert returns (creating if needed) the state of vertex v.
+func (st *StreamState) vert(v graph.VertexID) *streamVertex {
+	sv, ok := st.verts[v]
+	if !ok {
+		sv = &streamVertex{}
+		st.verts[v] = sv
+	}
+	return sv
+}
+
+func (sv *streamVertex) has(p PID) bool {
+	for _, q := range sv.replicas {
 		if q == p {
 			return true
 		}
@@ -102,13 +144,14 @@ func (st *streamState) has(v int32, p PID) bool {
 	return false
 }
 
-func (st *streamState) place(v int32, p PID) {
-	if !st.has(v, p) {
-		st.replicas[v] = append(st.replicas[v], p)
+func (st *StreamState) place(sv *streamVertex, p PID) {
+	if !sv.has(p) {
+		sv.replicas = append(sv.replicas, p)
+		st.replicaSlots++
 	}
 }
 
-func (st *streamState) commit(s, d int32, p PID) PID {
+func (st *StreamState) commit(s, d *streamVertex, p PID) PID {
 	st.place(s, p)
 	st.place(d, p)
 	st.load[p]++
@@ -118,7 +161,7 @@ func (st *streamState) commit(s, d int32, p PID) PID {
 	return p
 }
 
-func (st *streamState) leastLoaded(candidates []PID) PID {
+func (st *StreamState) leastLoaded(candidates []PID) PID {
 	best := candidates[0]
 	for _, p := range candidates[1:] {
 		if st.load[p] < st.load[best] {
@@ -128,7 +171,7 @@ func (st *streamState) leastLoaded(candidates []PID) PID {
 	return best
 }
 
-func (st *streamState) leastLoadedAll(tiebreak uint64) PID {
+func (st *StreamState) leastLoadedAll(tiebreak uint64) PID {
 	best := PID(0)
 	for p := 1; p < st.numParts; p++ {
 		if st.load[p] < st.load[best] {
@@ -162,33 +205,34 @@ func intersect(a, b []PID) []PID {
 	return out
 }
 
-func (st *streamState) assignGreedy(e graph.Edge) PID {
-	si, _ := st.g.Index(e.Src)
-	di, _ := st.g.Index(e.Dst)
-	rs, rd := st.replicas[si], st.replicas[di]
+func (st *StreamState) assignGreedy(e graph.Edge) PID {
+	sv, dv := st.vert(e.Src), st.vert(e.Dst)
+	rs, rd := sv.replicas, dv.replicas
 	if both := intersect(rs, rd); len(both) > 0 {
-		return st.commit(si, di, st.leastLoaded(both))
+		return st.commit(sv, dv, st.leastLoaded(both))
 	}
 	if len(rs) > 0 && len(rd) > 0 {
 		// Cut the vertex whose replicas live on more-loaded partitions:
 		// choose least loaded among the union.
 		union := append(append([]PID(nil), rs...), rd...)
-		return st.commit(si, di, st.leastLoaded(union))
+		return st.commit(sv, dv, st.leastLoaded(union))
 	}
 	if len(rs) > 0 {
-		return st.commit(si, di, st.leastLoaded(rs))
+		return st.commit(sv, dv, st.leastLoaded(rs))
 	}
 	if len(rd) > 0 {
-		return st.commit(si, di, st.leastLoaded(rd))
+		return st.commit(sv, dv, st.leastLoaded(rd))
 	}
-	return st.commit(si, di, st.leastLoadedAll(rng.Combine2(uint64(e.Src), uint64(e.Dst))))
+	return st.commit(sv, dv, st.leastLoadedAll(rng.Combine2(uint64(e.Src), uint64(e.Dst))))
 }
 
-func (st *streamState) assignHDRF(e graph.Edge, lambda float64) PID {
-	si, _ := st.g.Index(e.Src)
-	di, _ := st.g.Index(e.Dst)
-	degS := float64(st.g.OutDegree(e.Src) + st.g.InDegree(e.Src))
-	degD := float64(st.g.OutDegree(e.Dst) + st.g.InDegree(e.Dst))
+func (st *StreamState) assignHDRF(e graph.Edge) PID {
+	sv, dv := st.vert(e.Src), st.vert(e.Dst)
+	// Partial degrees: count the current edge first, so a first-seen
+	// endpoint has degree 1 and θ is always well defined.
+	sv.deg++
+	dv.deg++
+	degS, degD := float64(sv.deg), float64(dv.deg)
 	// Normalized "partial degrees" θ: the lower-degree endpoint should be
 	// kept whole; the higher-degree one is cheap to replicate.
 	thetaS := degS / (degS + degD)
@@ -203,22 +247,35 @@ func (st *streamState) assignHDRF(e graph.Edge, lambda float64) PID {
 	for p := 0; p < st.numParts; p++ {
 		pid := PID(p)
 		score := 0.0
-		if st.has(si, pid) {
+		if sv.has(pid) {
 			score += 1 + thetaD // g(s): replica present, weighted by other side's θ
 		}
-		if st.has(di, pid) {
+		if dv.has(pid) {
 			score += 1 + thetaS
 		}
-		score += lambda * float64(st.maxLoad-st.load[p]) / spread
+		score += st.lambda * float64(st.maxLoad-st.load[p]) / spread
 		if score > bestScore {
 			bestScore = score
 			bestP = pid
 		}
 	}
-	return st.commit(si, di, bestP)
+	return st.commit(sv, dv, bestP)
 }
 
-func (st *streamState) minLoadVal() int64 {
+// assignHybrid applies the PowerLyra rule on the in-degree observed so
+// far: while a destination looks low-degree its in-edges are grouped by
+// destination; once its observed in-degree crosses the threshold, further
+// in-edges are spread by source hash.
+func (st *StreamState) assignHybrid(e graph.Edge) PID {
+	dv := st.vert(e.Dst)
+	dv.inDeg++
+	if dv.inDeg > st.threshold {
+		return PID(rng.Mix64(uint64(e.Src)) % uint64(st.numParts))
+	}
+	return PID(rng.Mix64(uint64(e.Dst)) % uint64(st.numParts))
+}
+
+func (st *StreamState) minLoadVal() int64 {
 	m := st.load[0]
 	for _, l := range st.load[1:] {
 		if l < m {
@@ -226,4 +283,66 @@ func (st *streamState) minLoadVal() int64 {
 		}
 	}
 	return m
+}
+
+// streamPartition is the shared one-shot Partition of the streaming
+// strategies: fresh state, one pass.
+func streamPartition(r Resumable, g *graph.Graph, numParts int) ([]PID, error) {
+	st, err := r.NewStream(numParts)
+	if err != nil {
+		return nil, err
+	}
+	edges := g.Edges()
+	out := make([]PID, len(edges))
+	st.AssignEdges(edges, out)
+	return out, nil
+}
+
+// greedyStrategy implements PowerGraph's greedy vertex-cut heuristic:
+// prefer a partition that already holds both endpoints, then one that holds
+// either endpoint (breaking ties by load), then the least-loaded partition.
+type greedyStrategy struct{}
+
+// Greedy returns the PowerGraph-style greedy streaming strategy.
+func Greedy() Strategy { return greedyStrategy{} }
+
+func (greedyStrategy) Name() string { return "Greedy" }
+
+func (greedyStrategy) NewStream(numParts int) (*StreamState, error) {
+	return newStreamState(streamGreedy, numParts)
+}
+
+func (s greedyStrategy) Partition(g *graph.Graph, numParts int) ([]PID, error) {
+	return streamPartition(s, g, numParts)
+}
+
+// hdrfStrategy implements High-Degree Replicated First (Petroni et al.):
+// like greedy, but when scoring partitions it prefers to cut the endpoint
+// with the higher partial degree observed in the stream, plus an explicit
+// load-balance term weighted by lambda.
+type hdrfStrategy struct {
+	lambda float64
+}
+
+// HDRF returns the High-Degree-Replicated-First streaming strategy with
+// balance weight lambda (1.0 is the authors' default).
+func HDRF(lambda float64) Strategy { return hdrfStrategy{lambda: lambda} }
+
+func (hdrfStrategy) Name() string { return "HDRF" }
+
+// Key distinguishes lambda variants in caches: the balance weight changes
+// the assignment, so two HDRF instances must not share cached artifacts.
+func (h hdrfStrategy) Key() string { return fmt.Sprintf("HDRF:%g", h.lambda) }
+
+func (h hdrfStrategy) NewStream(numParts int) (*StreamState, error) {
+	st, err := newStreamState(streamHDRF, numParts)
+	if err != nil {
+		return nil, err
+	}
+	st.lambda = h.lambda
+	return st, nil
+}
+
+func (h hdrfStrategy) Partition(g *graph.Graph, numParts int) ([]PID, error) {
+	return streamPartition(h, g, numParts)
 }

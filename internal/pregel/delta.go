@@ -1,0 +1,229 @@
+package pregel
+
+import (
+	"fmt"
+	"slices"
+
+	"cutfit/internal/partition"
+)
+
+// ApplyDelta derives the partitioned topology of a grown graph from this
+// already-built topology plus the appended edge suffix, without re-running
+// the sort-heavy full build. a must be the (extended) assignment of the
+// grown graph — its PID prefix must equal this topology's assignment
+// bit-for-bit (verified; strategies whose prefix moved under growth, like
+// Range, fail the check and the caller falls back to a full build). remap
+// maps this topology's dense vertex indices to the grown graph's, as
+// produced by graph.RemapVertices; nil means identity (every vertex added
+// since sorts after the old maximum).
+//
+// The derived topology is structurally identical to what
+// NewPartitionedGraphFromAssignment would build from scratch — same
+// per-partition edge order (global edge order within each partition), same
+// sorted LocalVerts tables, same routing CSR — so engine runs and derived
+// metrics are bit-for-bit equal to the full rebuild. The receiver is only
+// read, never mutated: in-flight runs on the old topology are unaffected,
+// and the two topologies share no mutable state (the new one starts with
+// empty scratch pools).
+//
+// Cost: O(|E|) straight copies and merges plus O(|delta| log |delta|)
+// sorting of the suffix endpoints — no per-partition endpoint re-sort, no
+// strategy pass, no hash-map rebuild.
+func (pg *PartitionedGraph) ApplyDelta(a *partition.Assignment, remap []int32) (*PartitionedGraph, error) {
+	if a.NumParts != pg.NumParts {
+		return nil, fmt.Errorf("pregel: delta assignment targets %d partitions, topology has %d", a.NumParts, pg.NumParts)
+	}
+	oldLen := len(pg.assign)
+	ne := len(a.PIDs)
+	if ne < oldLen {
+		return nil, fmt.Errorf("pregel: delta assignment covers %d edges, topology already has %d", ne, oldLen)
+	}
+	if a.G.NumEdges() != ne {
+		return nil, fmt.Errorf("pregel: assignment has %d entries for %d edges", ne, a.G.NumEdges())
+	}
+	// Extend marks suffix-stable extensions; only unmarked assignments
+	// (hand-built, or fully recomputed by a non-stable strategy like
+	// Range) pay the defensive O(oldLen) prefix comparison.
+	if ef, ok := a.ExtendedFrom(); !ok || ef > oldLen {
+		if !slices.Equal(pg.assign, a.PIDs[:oldLen]) {
+			return nil, fmt.Errorf("pregel: assignment prefix differs from built topology (strategy not suffix-stable)")
+		}
+	}
+	numParts := pg.NumParts
+	// Dense endpoint indices of just the suffix, by binary search on the
+	// grown vertex list — O(|delta| log |V|), without forcing the grown
+	// graph's full per-edge endpoint view.
+	verts := a.G.Vertices()
+	sufEdges := a.G.Edges()[oldLen:]
+	sufSrc := make([]int32, len(sufEdges))
+	sufDst := make([]int32, len(sufEdges))
+	for i, e := range sufEdges {
+		si, _ := slices.BinarySearch(verts, e.Src)
+		di, _ := slices.BinarySearch(verts, e.Dst)
+		sufSrc[i], sufDst[i] = int32(si), int32(di)
+	}
+
+	// Per-partition span sizes: old counts from the built partitions, delta
+	// counts from the suffix (already range-validated by the Assignment).
+	oldCounts := make([]int64, numParts)
+	for p, part := range pg.Parts {
+		oldCounts[p] = int64(len(part.edges))
+	}
+	newCounts := make([]int64, numParts)
+	for _, p := range a.PIDs[oldLen:] {
+		newCounts[p]++
+	}
+	partStart := make([]int64, numParts+1)
+	for p := 0; p < numParts; p++ {
+		partStart[p+1] = partStart[p] + oldCounts[p] + newCounts[p]
+	}
+
+	// Stage the suffix: scatter the new edges — with their *grown-graph*
+	// dense endpoint indices — into the tail of each partition's span, in
+	// global edge order (sequential pass, per-partition cursors).
+	edgeBuf := make([]localEdge, ne)
+	cursors := make([]int64, numParts)
+	for p := 0; p < numParts; p++ {
+		cursors[p] = partStart[p] + oldCounts[p]
+	}
+	for i := oldLen; i < ne; i++ {
+		p := a.PIDs[i]
+		edgeBuf[cursors[p]] = localEdge{src: sufSrc[i-oldLen], dst: sufDst[i-oldLen]}
+		cursors[p]++
+	}
+
+	npg := &PartitionedGraph{
+		G:            a.G,
+		NumParts:     numParts,
+		assign:       a.PIDs,
+		Parallelism:  pg.Parallelism,
+		ReuseBuffers: pg.ReuseBuffers,
+	}
+	parts := make([]*Partition, numParts)
+	npg.Parts = parts
+	err := pg.forEachPart(func(p int) {
+		old := pg.Parts[p]
+		span := edgeBuf[partStart[p]:partStart[p+1]:partStart[p+1]]
+		parts[p] = &Partition{LocalVerts: patchPartition(old, span, remap), edges: span}
+	})
+	if err != nil {
+		return nil, err
+	}
+	npg.buildRouting()
+	return npg, nil
+}
+
+// patchPartition derives one partition of the grown topology and returns
+// its new LocalVerts table:
+//
+//  1. the old LocalVerts table is remapped to grown-graph dense indices
+//     (remapping is monotone, so the table stays sorted);
+//  2. suffix endpoints not yet mirrored in the partition are merge-inserted,
+//     keeping the table sorted and deduplicated — exactly the table the
+//     full rebuild's sort+dedup would produce;
+//  3. the old edges are copied into the span head with their local indices
+//     shifted by the number of new mirrors inserted before them;
+//  4. the staged suffix edges (global indices) are rewritten in place to
+//     local indices by binary search, as in the full build.
+//
+// It is called per partition on the worker pool; span is the partition's
+// region of the new shared edge buffer, whose tail holds the staged suffix.
+func patchPartition(old *Partition, span []localEdge, remap []int32) []int32 {
+	merged, shift := mergedMirrors(old, span, remap)
+	oldEdges := old.edges
+	if shift == nil {
+		copy(span, oldEdges)
+	} else {
+		for j, e := range oldEdges {
+			span[j] = localEdge{src: e.src + shift[e.src], dst: e.dst + shift[e.dst]}
+		}
+	}
+	for j := len(oldEdges); j < len(span); j++ {
+		e := span[j] // staged: grown-graph dense indices
+		src, _ := slices.BinarySearch(merged, e.src)
+		dst, _ := slices.BinarySearch(merged, e.dst)
+		span[j] = localEdge{src: int32(src), dst: int32(dst)}
+	}
+	return merged
+}
+
+// mergedMirrors computes the partition's new sorted mirror table and, when
+// mirrors were inserted (not just appended), the per-old-local-index shift
+// (shift[l] = number of new mirrors inserted before old entry l). A nil
+// shift means old local indices are unchanged. The remap of the old table
+// to grown-graph dense indices is fused into the merge/copy passes, so the
+// only allocations are the outputs themselves.
+func mergedMirrors(old *Partition, span []localEdge, remap []int32) (merged []int32, shift []int32) {
+	lv := old.LocalVerts
+	// at maps an old-table entry to grown-graph dense indexing. Remapping
+	// is monotone, so the remapped view of lv is still sorted and can be
+	// binary-searched through the transform without materializing it.
+	at := func(i int) int32 {
+		if remap == nil {
+			return lv[i]
+		}
+		return remap[lv[i]]
+	}
+	contains := func(v int32) bool {
+		lo, hi := 0, len(lv)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if at(mid) < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo < len(lv) && at(lo) == v
+	}
+	// Collect suffix endpoints not already mirrored here.
+	var fresh []int32
+	for _, e := range span[len(old.edges):] {
+		if !contains(e.src) {
+			fresh = append(fresh, e.src)
+		}
+		if e.dst != e.src && !contains(e.dst) {
+			fresh = append(fresh, e.dst)
+		}
+	}
+	if len(fresh) == 0 {
+		if remap == nil {
+			// Nothing inserted, nothing remapped: share the old table.
+			return old.LocalVerts, nil
+		}
+		merged = make([]int32, len(lv))
+		for i := range lv {
+			merged[i] = remap[lv[i]]
+		}
+		return merged, nil
+	}
+	slices.Sort(fresh)
+	fresh = slices.Compact(fresh)
+	merged = make([]int32, len(lv)+len(fresh))
+	// All-new mirrors append past the old maximum: no index shifts.
+	if len(lv) == 0 || fresh[0] > at(len(lv)-1) {
+		if remap == nil {
+			copy(merged, lv)
+		} else {
+			for i := range lv {
+				merged[i] = remap[lv[i]]
+			}
+		}
+		copy(merged[len(lv):], fresh)
+		return merged, nil
+	}
+	shift = make([]int32, len(lv))
+	i, j, k := 0, 0, 0
+	for i < len(lv) || j < len(fresh) {
+		if j == len(fresh) || (i < len(lv) && at(i) < fresh[j]) {
+			shift[i] = int32(j)
+			merged[k] = at(i)
+			i++
+		} else {
+			merged[k] = fresh[j]
+			j++
+		}
+		k++
+	}
+	return merged, shift
+}

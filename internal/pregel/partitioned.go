@@ -360,7 +360,9 @@ func localizePartition(part *Partition, scratch []int32) []int32 {
 
 // buildRouting constructs the mirror routing CSR from the per-partition
 // local vertex tables. Mirror refs of a vertex are ordered by ascending
-// partition, matching the reference construction.
+// partition, matching the reference construction. The fill pass uses the
+// offsets themselves as cursors (shifting them one slot, restored by a
+// final copy-down) instead of a separate per-vertex cursor array.
 func (pg *PartitionedGraph) buildRouting() {
 	nv := pg.G.NumVertices()
 	offsets := make([]int64, nv+1)
@@ -373,13 +375,14 @@ func (pg *PartitionedGraph) buildRouting() {
 		offsets[i+1] += offsets[i]
 	}
 	refs := make([]mirrorRef, offsets[nv])
-	cursor := make([]int64, nv)
 	for p := 0; p < pg.NumParts; p++ {
 		for l, gidx := range pg.Parts[p].LocalVerts {
-			refs[offsets[gidx]+cursor[gidx]] = mirrorRef{part: int32(p), local: int32(l)}
-			cursor[gidx]++
+			refs[offsets[gidx]] = mirrorRef{part: int32(p), local: int32(l)}
+			offsets[gidx]++
 		}
 	}
+	copy(offsets[1:], offsets[:nv])
+	offsets[0] = 0
 	pg.routingOffsets = offsets
 	pg.routingRefs = refs
 }

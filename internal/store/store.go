@@ -25,6 +25,24 @@
 // Keys include the graph's mutation version, so a graph that is mutated
 // (against the serving contract, but possible) can never be served stale
 // artifacts; the superseded entries age out of the LRU.
+//
+// # Delta chains
+//
+// A fourth property serves evolving graphs: when a new graph generation is
+// registered as an append delta over an old one (RecordDelta, fed by
+// Session.AppendEdges / graph.Grow), a miss for the new generation does
+// not recompute from scratch. The store walks the recorded chain to the
+// nearest ancestor whose artifact is still cached and derives the new
+// artifact from it:
+//
+//	assignment: ancestor Assignment ──Extend──► suffix-only pass
+//	topology:   ancestor topology ──ApplyDelta──► patched, no re-sort
+//	metrics:    derived topology ──Metrics()──► O(|V| + parts)
+//
+// Derivations are still single-flight and cached under the new
+// generation's key; a chain with no cached ancestor (or a strategy whose
+// prefix is not stable under growth) falls back to the full computation.
+// Stats.DeltaDerived counts artifacts produced this way.
 package store
 
 import (
@@ -83,6 +101,9 @@ type Stats struct {
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
 	Waits  int64 `json:"waits"`
+	// DeltaDerived counts artifacts derived from a cached ancestor
+	// generation through the delta chain instead of computed from scratch.
+	DeltaDerived int64 `json:"deltaDerived"`
 	// Evictions counts entries dropped by the LRU bound.
 	Evictions int64 `json:"evictions"`
 	// Entries and Bytes describe the current cache contents.
@@ -122,7 +143,34 @@ type Store struct {
 	misses   int64
 	waits    int64
 	evicted  int64
+	derived  int64
+
+	// deltas records append relationships between graph generations, keyed
+	// by the new generation; deltaFIFO orders them for eviction. Each
+	// record pins its parent generation's Graph (edge list + vertex list),
+	// so retention is bounded both by count and by estimated pinned bytes
+	// (deltaBytes vs deltaBudget) — a streamed large graph must not pin
+	// dozens of full edge-list copies outside the LRU budget.
+	deltas      map[*graph.Graph]graph.Delta
+	deltaFIFO   []*graph.Graph
+	deltaBytes  int64
+	deltaBudget int64
 }
+
+// maxDeltaRecords bounds retained generation records: enough for a long
+// streaming session to keep deriving, small enough that abandoned parent
+// generations become collectable.
+const maxDeltaRecords = 64
+
+// deltaPinnedBytes estimates the memory a delta record keeps reachable:
+// the parent generation's edge list and vertex list.
+func deltaPinnedBytes(d graph.Delta) int64 {
+	return int64(d.OldLen)*16 + int64(len(d.OldVerts))*8
+}
+
+// maxDeltaDepth bounds how many generations a derive-on-miss walk crosses
+// looking for a cached ancestor artifact.
+const maxDeltaDepth = 16
 
 // New returns an empty store with the given configuration.
 func New(cfg Config) *Store {
@@ -130,12 +178,46 @@ func New(cfg Config) *Store {
 	if max == 0 {
 		max = DefaultMaxBytes
 	}
+	budget := max / 4
+	if max < 0 {
+		budget = DefaultMaxBytes / 4 // unbounded cache still bounds pinned generations
+	}
 	return &Store{
-		build:    cfg.Build,
-		maxBytes: max,
-		entries:  make(map[key]*entry),
-		lru:      list.New(),
-		inflight: make(map[key]*flight),
+		build:       cfg.Build,
+		maxBytes:    max,
+		entries:     make(map[key]*entry),
+		lru:         list.New(),
+		inflight:    make(map[key]*flight),
+		deltas:      make(map[*graph.Graph]graph.Delta),
+		deltaBudget: budget,
+	}
+}
+
+// RecordDelta registers that d.New is d.Old plus an appended edge suffix,
+// enabling delta derivation for artifacts of d.New (and of generations
+// grown from it in turn). Records are dropped oldest-first beyond a fixed
+// count, and beyond a byte budget (a quarter of the cache bound) on the
+// generations they pin — dropping a record only severs the derivation
+// chain there; later requests fall back to full computation.
+func (st *Store) RecordDelta(d graph.Delta) {
+	if d.Old == nil || d.New == nil || d.Old == d.New {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if old, ok := st.deltas[d.New]; ok {
+		st.deltaBytes -= deltaPinnedBytes(old)
+	} else {
+		st.deltaFIFO = append(st.deltaFIFO, d.New)
+	}
+	st.deltas[d.New] = d
+	st.deltaBytes += deltaPinnedBytes(d)
+	for len(st.deltaFIFO) > 1 &&
+		(len(st.deltaFIFO) > maxDeltaRecords || st.deltaBytes > st.deltaBudget) {
+		drop := st.deltaFIFO[0]
+		st.deltaFIFO = st.deltaFIFO[1:]
+		st.deltaBytes -= deltaPinnedBytes(st.deltas[drop])
+		delete(st.deltas, drop)
 	}
 }
 
@@ -145,6 +227,9 @@ func New(cfg Config) *Store {
 func (st *Store) Assignment(g *graph.Graph, s partition.Strategy, numParts int) (*partition.Assignment, error) {
 	k := st.keyFor(g, s, numParts, kindAssignment)
 	v, err := st.do(k, func() (any, int64, error) {
+		if a, ok := st.assignmentViaDelta(g, s, numParts); ok {
+			return a, a.MemoryFootprint(), nil
+		}
 		a, err := partition.Assign(g, s, numParts)
 		if err != nil {
 			return nil, 0, err
@@ -163,6 +248,9 @@ func (st *Store) Assignment(g *graph.Graph, s partition.Strategy, numParts int) 
 func (st *Store) Metrics(g *graph.Graph, s partition.Strategy, numParts int) (*metrics.Result, error) {
 	k := st.keyFor(g, s, numParts, kindMetrics)
 	v, err := st.do(k, func() (any, int64, error) {
+		if m, ok := st.metricsViaDelta(g, s, numParts); ok {
+			return m, metricsFootprint(m), nil
+		}
 		a, err := st.Assignment(g, s, numParts)
 		if err != nil {
 			return nil, 0, err
@@ -186,6 +274,9 @@ func (st *Store) Metrics(g *graph.Graph, s partition.Strategy, numParts int) (*m
 func (st *Store) Built(g *graph.Graph, s partition.Strategy, numParts int) (*pregel.PartitionedGraph, error) {
 	k := st.keyFor(g, s, numParts, kindBuilt)
 	v, err := st.do(k, func() (any, int64, error) {
+		if pg, ok := st.builtViaDelta(g, s, numParts); ok {
+			return pg, pg.MemoryFootprint(), nil
+		}
 		a, err := st.Assignment(g, s, numParts)
 		if err != nil {
 			return nil, 0, err
@@ -202,9 +293,155 @@ func (st *Store) Built(g *graph.Graph, s partition.Strategy, numParts int) (*pre
 	return v.(*pregel.PartitionedGraph), nil
 }
 
+// peek returns the cached artifact of k without computing on miss,
+// refreshing its LRU position on hit.
+func (st *Store) peek(k key) (any, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[k]
+	if !ok {
+		return nil, false
+	}
+	st.lru.MoveToFront(e.elem)
+	return e.val, true
+}
+
+// findBase walks the recorded delta chain from g toward older generations
+// and returns the first cached artifact of the wanted stage, together with
+// the delta hop it was found behind (whose OldVerts remap that ancestor's
+// dense vertex indices onto any descendant). ok is false when no ancestor
+// within maxDeltaDepth has the artifact cached — deriving would then first
+// have to compute on a superseded generation, which is never cheaper than
+// computing on g directly.
+func (st *Store) findBase(g *graph.Graph, s partition.Strategy, numParts int, kd kind) (any, graph.Delta, bool) {
+	cur := g
+	for depth := 0; depth < maxDeltaDepth; depth++ {
+		st.mu.Lock()
+		d, ok := st.deltas[cur]
+		st.mu.Unlock()
+		if !ok {
+			break
+		}
+		k := key{g: d.Old, version: d.OldVersion, strategy: partition.KeyOf(s), numParts: numParts, kind: kd}
+		if v, ok := st.peek(k); ok {
+			return v, d, true
+		}
+		cur = d.Old
+	}
+	return nil, graph.Delta{}, false
+}
+
+func (st *Store) countDerived() {
+	st.mu.Lock()
+	st.derived++
+	st.mu.Unlock()
+}
+
+// extendable reports whether s can assign an edge suffix without
+// recomputing the prefix (stateless hash or resumable streaming). For any
+// other strategy the delta paths are pure overhead — Extend would fall
+// back to a full pass and ApplyDelta would reject the moved prefix — so
+// the store skips the detour entirely.
+func extendable(s partition.Strategy) bool {
+	if _, ok := s.(partition.SuffixAssigner); ok {
+		return true
+	}
+	_, ok := s.(partition.Resumable)
+	return ok
+}
+
+// assignmentViaDelta derives g's assignment by extending the nearest
+// cached ancestor assignment over the accumulated edge suffix.
+func (st *Store) assignmentViaDelta(g *graph.Graph, s partition.Strategy, numParts int) (*partition.Assignment, bool) {
+	if !extendable(s) {
+		return nil, false
+	}
+	base, d, ok := st.findBase(g, s, numParts, kindAssignment)
+	if !ok {
+		return nil, false
+	}
+	ba := base.(*partition.Assignment)
+	na, err := ba.Extend(g, s)
+	if err != nil {
+		return nil, false // fall back to the full pass
+	}
+	// Extend moves the ancestor's retained streaming state into the
+	// derived assignment; refresh the cached ancestor's byte cost so the
+	// LRU accounting keeps matching actually-retained memory.
+	st.refreshCost(key{g: d.Old, version: d.OldVersion, strategy: partition.KeyOf(s), numParts: numParts, kind: kindAssignment}, ba.MemoryFootprint())
+	st.countDerived()
+	return na, true
+}
+
+// refreshCost re-prices an existing cache entry (no-op if the key is
+// absent). Shrinking never triggers eviction; growth is handled by the
+// next insert's eviction pass.
+func (st *Store) refreshCost(k key, cost int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e, ok := st.entries[k]; ok {
+		st.bytes += cost - e.cost
+		e.cost = cost
+	}
+}
+
+// builtViaDelta derives g's topology by patching the nearest cached
+// ancestor topology with the accumulated suffix. The assignment it patches
+// with comes from the store too, so it is itself delta-derived when
+// possible.
+func (st *Store) builtViaDelta(g *graph.Graph, s partition.Strategy, numParts int) (*pregel.PartitionedGraph, bool) {
+	if !extendable(s) {
+		return nil, false
+	}
+	base, d, ok := st.findBase(g, s, numParts, kindBuilt)
+	if !ok {
+		return nil, false
+	}
+	a, err := st.Assignment(g, s, numParts)
+	if err != nil {
+		return nil, false
+	}
+	remap, err := graph.RemapVertices(d.OldVerts, g)
+	if err != nil {
+		return nil, false
+	}
+	npg, err := base.(*pregel.PartitionedGraph).ApplyDelta(a, remap)
+	if err != nil {
+		return nil, false // e.g. prefix not suffix-stable: full rebuild
+	}
+	st.countDerived()
+	return npg, true
+}
+
+// metricsViaDelta derives g's metric set from its built topology — exact
+// (O(|V| + parts)) and far cheaper than the replica-bitset scan — when the
+// topology is already cached for g or derivable from a cached ancestor.
+func (st *Store) metricsViaDelta(g *graph.Graph, s partition.Strategy, numParts int) (*metrics.Result, bool) {
+	// A topology already cached for g answers exactly, delta or not — not
+	// counted as DeltaDerived, since no chain was crossed.
+	k := st.keyFor(g, s, numParts, kindBuilt)
+	if v, ok := st.peek(k); ok {
+		return v.(*pregel.PartitionedGraph).Metrics(), true
+	}
+	if !extendable(s) {
+		return nil, false
+	}
+	if _, _, ok := st.findBase(g, s, numParts, kindBuilt); !ok {
+		return nil, false
+	}
+	pg, err := st.Built(g, s, numParts)
+	if err != nil {
+		return nil, false
+	}
+	// Not counted as DeltaDerived here: Built's own derivation already
+	// counted if (and only if) the topology really came through the chain
+	// rather than a full-rebuild fallback.
+	return pg.Metrics(), true
+}
+
 // InvalidateGraph drops every cached artifact of g (all versions, all
-// strategies, all stages). Used when a server re-registers a graph name
-// with new data.
+// strategies, all stages) and every delta record touching g. Used when a
+// server re-registers a graph name with new data.
 func (st *Store) InvalidateGraph(g *graph.Graph) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -216,6 +453,16 @@ func (st *Store) InvalidateGraph(g *graph.Graph) {
 			st.evicted++
 		}
 	}
+	kept := st.deltaFIFO[:0]
+	for _, ng := range st.deltaFIFO {
+		if d := st.deltas[ng]; d.Old == g || d.New == g {
+			st.deltaBytes -= deltaPinnedBytes(d)
+			delete(st.deltas, ng)
+			continue
+		}
+		kept = append(kept, ng)
+	}
+	st.deltaFIFO = kept
 }
 
 // Stats returns a snapshot of cache counters and contents.
@@ -223,13 +470,14 @@ func (st *Store) Stats() Stats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return Stats{
-		Hits:      st.hits,
-		Misses:    st.misses,
-		Waits:     st.waits,
-		Evictions: st.evicted,
-		Entries:   len(st.entries),
-		Bytes:     st.bytes,
-		MaxBytes:  st.maxBytes,
+		Hits:         st.hits,
+		Misses:       st.misses,
+		Waits:        st.waits,
+		DeltaDerived: st.derived,
+		Evictions:    st.evicted,
+		Entries:      len(st.entries),
+		Bytes:        st.bytes,
+		MaxBytes:     st.maxBytes,
 	}
 }
 

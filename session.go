@@ -147,16 +147,54 @@ func (se *Session) Forget(g *Graph) {
 	}
 }
 
+// AppendEdges returns the next generation of g: a new Graph holding g's
+// edges followed by edges, derived incrementally (graph.Grow) without
+// mutating g — in-flight requests against g keep running untouched, which
+// is what makes streaming updates race-free in a serving session.
+//
+// The session records the generation delta, so artifacts of the new graph
+// are derived from g's cached ones instead of recomputed: assignments
+// extend over just the suffix, built topologies are patched in place of a
+// full sort/scatter rebuild, and metrics fall out of the patched topology.
+// A client can therefore stream edge batches and re-run algorithms (e.g.
+// dynamic PageRank) between batches without ever paying a cold rebuild:
+//
+//	g, _ = se.AppendEdges(g, batch)
+//	rep, _ = se.Run(ctx, g, strat, parts, "dynamicpr", 0)
+//
+// Edges with negative vertex IDs are rejected (the engine reserves them).
+// An empty batch returns g unchanged.
+func (se *Session) AppendEdges(g *Graph, edges []Edge) (*Graph, error) {
+	for i, e := range edges {
+		if e.Src < 0 || e.Dst < 0 {
+			return nil, fmt.Errorf("cutfit: appended edge %d (%d -> %d) has negative vertex ID", i, e.Src, e.Dst)
+		}
+	}
+	if len(edges) == 0 {
+		return g, nil
+	}
+	ng, d := g.Grow(edges)
+	if se.st != nil {
+		se.st.RecordDelta(d)
+	}
+	return ng, nil
+}
+
 // topRankCount is how many top-ranked vertices a pagerank RunReport
 // carries.
 const topRankCount = 5
 
-// Run executes the named algorithm ("pagerank", "cc", "triangles",
-// "sssp") on the session's cached topology of (g, s, numParts) and
-// returns the shared run encoding: superstep/traffic counts, a simulated
-// cluster time, and the algorithm's headline result. iters caps pagerank
-// and cc rounds (cc accepts 0 = run to convergence); triangles and sssp
-// ignore it. Safe for any number of concurrent callers.
+// dynamicPRTol is the per-vertex convergence tolerance Run uses for the
+// "dynamicpr" algorithm (GraphX's runUntilConvergence flavor).
+const dynamicPRTol = 1e-3
+
+// Run executes the named algorithm ("pagerank", "dynamicpr", "cc",
+// "triangles", "sssp") on the session's cached topology of (g, s,
+// numParts) and returns the shared run encoding: superstep/traffic counts,
+// a simulated cluster time, and the algorithm's headline result. iters
+// caps pagerank, dynamicpr and cc rounds (dynamicpr and cc accept 0 = run
+// to convergence); triangles and sssp ignore it. Safe for any number of
+// concurrent callers.
 func (se *Session) Run(ctx context.Context, g *Graph, s Strategy, numParts int, alg string, iters int) (*RunReport, error) {
 	pg, err := se.Partition(g, s, numParts)
 	if err != nil {
@@ -171,6 +209,13 @@ func (se *Session) Run(ctx context.Context, g *Graph, s Strategy, numParts int, 
 	switch alg {
 	case "pagerank":
 		ranks, st, err := algorithms.PageRank(ctx, pg, iters, algorithms.DefaultResetProb)
+		if err != nil {
+			return nil, err
+		}
+		stats = st
+		rep.TopRanks = topRanks(g, ranks, topRankCount)
+	case "dynamicpr":
+		ranks, st, err := algorithms.DynamicPageRank(ctx, pg, dynamicPRTol, algorithms.DefaultResetProb, iters)
 		if err != nil {
 			return nil, err
 		}
@@ -216,7 +261,7 @@ func (se *Session) Run(ctx context.Context, g *Graph, s Strategy, numParts int, 
 		}
 		rep.Landmark = &landmark
 	default:
-		return nil, fmt.Errorf("cutfit: unknown algorithm %q (want pagerank, cc, triangles or sssp)", alg)
+		return nil, fmt.Errorf("cutfit: unknown algorithm %q (want pagerank, dynamicpr, cc, triangles or sssp)", alg)
 	}
 	rep.Supersteps = stats.NumSupersteps()
 	rep.Converged = stats.Converged
