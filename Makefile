@@ -11,11 +11,11 @@ GO ?= go
 #   make bench-compare BENCH_OUT=new.txt
 #   benchstat old.txt new.txt
 # The default filter is the guarded set the CI benchmark gate enforces.
-BENCH ?= BenchmarkSelectEmpirically|BenchmarkMeasureThenRun|BenchmarkPartitionBuild|BenchmarkAppendEdges
+BENCH ?= BenchmarkSelectEmpirically|BenchmarkMeasureThenRun|BenchmarkPartitionBuild|BenchmarkAppendEdges|BenchmarkRestoreVsRebuild
 BENCH_COUNT ?= 10
 BENCH_OUT ?= bench.txt
 
-.PHONY: all build test vet lint race bench bench-smoke bench-compare fuzz fuzz-smoke check
+.PHONY: all build test vet lint race bench bench-smoke bench-compare fuzz fuzz-smoke compat check
 
 all: check
 
@@ -42,11 +42,12 @@ lint: vet
 
 # Race determinism regression for the parallel partition build, the
 # parallel hash assignment, the scratch-pool engine, the serving layer
-# (store single-flight, Session mixed workload, cutfitd handlers) and the
+# (store single-flight, Session mixed workload, cutfitd handlers), the
 # delta-append path (root equivalence suite, graph generations, store
-# chain, topology patching).
+# chain, topology patching) and the persistence layer (snap codecs, disk
+# tier spill/restore, warm-start handlers).
 race:
-	$(GO) test -race . ./cmd/cutfitd/... ./internal/graph/... ./internal/pregel/... ./internal/testutil/... ./internal/partition/... ./internal/store/...
+	$(GO) test -race . ./cmd/cutfitd/... ./internal/graph/... ./internal/pregel/... ./internal/testutil/... ./internal/partition/... ./internal/store/... ./internal/snap/...
 
 # Hot-path benchmarks: partition construction (old vs new, and across
 # dataset analogs × strategies), per-superstep allocation footprint, and
@@ -66,18 +67,30 @@ bench-smoke:
 bench-compare:
 	$(GO) test -run='^$$' -bench='$(BENCH)' -benchmem -count=$(BENCH_COUNT) . | tee $(BENCH_OUT)
 
-# Longer fuzz session: the edge-list ingest path and the incremental
-# topology patcher (delta append vs full rebuild cross-check). FUZZTIME is
-# per target; the nightly workflow raises it.
+# Longer fuzz session: the edge-list ingest path, the incremental topology
+# patcher (delta append vs full rebuild cross-check), and the snapshot
+# decoders (container parsing + the assignment codec, seeded from the
+# golden corpus). FUZZTIME is per target; the nightly workflow raises it.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -run='^$$' -fuzz=FuzzApplyDelta -fuzztime=$(FUZZTIME) ./internal/pregel/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeSnapshot -fuzztime=$(FUZZTIME) ./internal/snap/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeAssignment -fuzztime=$(FUZZTIME) ./internal/snap/
 
-# Seconds-long fuzz smoke for make check: long enough to catch parser and
-# delta-patch regressions on the seed corpus, short enough for every PR.
+# Seconds-long fuzz smoke for make check: long enough to catch parser,
+# delta-patch and snapshot-decoder regressions on the seed corpus, short
+# enough for every PR.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=5s ./internal/graph/
 	$(GO) test -run='^$$' -fuzz=FuzzApplyDelta -fuzztime=5s ./internal/pregel/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeSnapshot -fuzztime=5s ./internal/snap/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeAssignment -fuzztime=5s ./internal/snap/
+
+# Golden-corpus compatibility gate: the committed format-v1 snapshots must
+# re-encode byte-identically and decode to bit-identical artifacts. Run by
+# the CI test job as its own step so a format break is named in the UI.
+compat:
+	$(GO) test -run='TestGolden' -count=1 ./internal/snap/
 
 check: build test vet race fuzz-smoke

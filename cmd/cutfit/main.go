@@ -23,6 +23,17 @@
 //	cutfit advise -in graph.txt -alg pagerank -parts 128 [-measure]
 //	    Recommend a partitioning strategy for the computation; with
 //	    -measure, empirically rank all strategies by the predictive metric.
+//
+//	cutfit snapshot -in graph.txt -strategies 2D,SC -parts 128 -out warm.snap
+//	    Partition the graph under each strategy (assignment, metrics and
+//	    engine topology) and persist the warmed artifact cache as one
+//	    versioned, CRC-checked snapshot — the same format cutfitd's
+//	    -data-dir warm start consumes.
+//
+//	cutfit restore -in warm.snap
+//	    Decode and fully validate a snapshot, then report its graphs and
+//	    restored cache contents. A non-zero exit means the snapshot is
+//	    corrupt or from an incompatible format version.
 package main
 
 import (
@@ -52,6 +63,10 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "advise":
 		err = cmdAdvise(os.Args[2:])
+	case "snapshot":
+		err = cmdSnapshot(os.Args[2:])
+	case "restore":
+		err = cmdRestore(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -66,11 +81,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: cutfit <generate|metrics|run|advise> [flags]
+	fmt.Fprintln(os.Stderr, `usage: cutfit <generate|metrics|run|advise|snapshot|restore> [flags]
   generate -dataset <name> -out <file>
   metrics  -in <file>|-dataset <name> -strategy <name> -parts <n> [-json]
   run      -in <file>|-dataset <name> -alg <name> -strategy <name> -parts <n>
-  advise   -in <file>|-dataset <name> -alg <name> -parts <n> [-measure] [-json]`)
+  advise   -in <file>|-dataset <name> -alg <name> -parts <n> [-measure] [-json]
+  snapshot -in <file>|-dataset <name> -strategies <csv> -parts <n> -out <file.snap> [-name <label>]
+  restore  -in <file.snap>`)
 }
 
 // loadGraph reads a graph from -in or builds a named analog dataset.
@@ -305,6 +322,85 @@ func printTopRanks(g *cutfit.Graph, ranks []float64, k int) {
 		fmt.Printf(" %d=%.3f", t.v, t.r)
 	}
 	fmt.Println()
+}
+
+// cmdSnapshot warms a session — one assignment pass, one metric set and
+// one built topology per strategy — and persists the whole cache.
+func cmdSnapshot(args []string) error {
+	fs := flag.NewFlagSet("snapshot", flag.ExitOnError)
+	in := fs.String("in", "", "input edge-list file")
+	dataset := fs.String("dataset", "", "analog dataset name")
+	strategies := fs.String("strategies", "2D", "comma-separated strategies to warm (any names StrategyByName accepts)")
+	parts := fs.Int("parts", 128, "number of partitions")
+	out := fs.String("out", "", "output snapshot file")
+	name := fs.String("name", "", "graph label recorded in the snapshot (default: dataset name or input path)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("snapshot requires -out")
+	}
+	g, err := loadGraph(*in, *dataset)
+	if err != nil {
+		return err
+	}
+	strats, err := cutfit.StrategiesByNames(*strategies)
+	if err != nil {
+		return err
+	}
+	se := cutfit.NewSession(cutfit.SessionOptions{})
+	for _, s := range strats {
+		if _, err := se.Measure(g, s, *parts); err != nil {
+			return err
+		}
+		if _, err := se.Partition(g, s, *parts); err != nil {
+			return err
+		}
+	}
+	label := *name
+	if label == "" {
+		label = graphLabel(*in, *dataset)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sum, err := se.SnapshotNamed(f, map[string]*cutfit.Graph{label: g})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d graphs, %d artifacts, %d bytes\n", *out, sum.Graphs, sum.Artifacts, sum.Bytes)
+	return nil
+}
+
+// cmdRestore decodes and validates a snapshot, reporting its contents.
+func cmdRestore(args []string) error {
+	fs := flag.NewFlagSet("restore", flag.ExitOnError)
+	in := fs.String("in", "", "input snapshot file")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("restore requires -in")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	se, named, err := cutfit.RestoreSession(f, cutfit.SessionOptions{})
+	if err != nil {
+		return err
+	}
+	stats := se.CacheStats()
+	fmt.Printf("%s: %d named graphs, %d cached artifacts (%d bytes)\n", *in, len(named), stats.Entries, stats.Bytes)
+	names := make([]string, 0, len(named))
+	for name := range named {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := named[name]
+		fmt.Printf("  %-20s %d vertices, %d edges\n", name, g.NumVertices(), g.NumEdges())
+	}
+	return nil
 }
 
 func cmdAdvise(args []string) error {

@@ -8,7 +8,15 @@
 //
 // Usage:
 //
-//	cutfitd [-addr :8080] [-cache-mb 512] [-parallelism N] [-preload youtube,roadnet-ca]
+//	cutfitd [-addr :8080] [-cache-mb 512] [-parallelism N] [-preload youtube,roadnet-ca] [-data-dir /var/lib/cutfitd]
+//
+// With -data-dir the daemon is durable: evicted cache entries spill to
+// <dir>/cache/ (and satisfy later misses from disk), POST /v1/snapshot and
+// graceful shutdown (SIGINT/SIGTERM) write <dir>/cutfitd.snap — a
+// versioned, CRC-checked snapshot of the graph registry and every cached
+// assignment, metric set and built topology — and the next boot
+// warm-starts from it, so a restarted daemon serves /v1/run without
+// re-partitioning anything.
 //
 // Endpoints (request and response bodies are JSON; the response structs
 // are the same cutfit.MetricsReport / AdviseReport / RunReport encodings
@@ -28,30 +36,52 @@
 //	POST /v1/run      {"graph", "alg", "strategy", "parts", "iters"}
 //	                  execute an algorithm (pagerank, dynamicpr, cc,
 //	                  triangles, sssp); "strategy": "auto" selects empirically
-//	GET  /v1/stats                                          cache hit/miss/eviction counters
+//	POST /v1/snapshot                                       persist registry + cache to
+//	                  <data-dir>/cutfitd.snap (requires -data-dir); replies with
+//	                  the graph/artifact counts and encoded bytes
+//	GET  /v1/stats                                          cache hit/miss/eviction counters,
+//	                  including the disk tier's diskHits/diskBytes
 //	GET  /healthz
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 )
+
+// shutdownGrace bounds how long in-flight requests may run after a
+// termination signal before the final snapshot is taken.
+const shutdownGrace = 10 * time.Second
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheMB := flag.Int64("cache-mb", 0, "artifact cache budget in MiB (0 = default 512, negative = unbounded)")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines per build/run (<1 = GOMAXPROCS)")
 	preload := flag.String("preload", "", "comma-separated analog dataset names to register at boot under their own names")
+	dataDir := flag.String("data-dir", "", "durability directory: disk cache tier under <dir>/cache, warm-start snapshot at <dir>/cutfitd.snap (empty = in-memory only)")
 	flag.Parse()
 
-	srv := newServer(serverOptions{
+	srv, err := newServer(serverOptions{
 		cacheBytes:  *cacheMB * (1 << 20),
 		parallelism: *parallelism,
+		dataDir:     *dataDir,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cutfitd:", err)
+		os.Exit(1)
+	}
+	if n := len(srv.graphs); n > 0 {
+		log.Printf("warm start: restored %d graphs from %s", n, *dataDir)
+	}
 	if *preload != "" {
 		for _, name := range strings.Split(*preload, ",") {
 			name = strings.TrimSpace(name)
@@ -66,9 +96,35 @@ func main() {
 			log.Printf("preloaded %s: %d vertices, %d edges", name, n.vertices, n.edges)
 		}
 	}
-	log.Printf("cutfitd listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
-		fmt.Fprintln(os.Stderr, "cutfitd:", err)
-		os.Exit(1)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("cutfitd listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "cutfitd:", err)
+			os.Exit(1)
+		}
+	case sig := <-sigCh:
+		log.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		cancel()
+		if *dataDir != "" {
+			sum, err := srv.persist()
+			if err != nil {
+				log.Printf("final snapshot failed: %v", err)
+				os.Exit(1)
+			}
+			log.Printf("persisted %d graphs, %d artifacts (%d bytes) to %s", sum.Graphs, sum.Artifacts, sum.Bytes, *dataDir)
+		}
 	}
 }

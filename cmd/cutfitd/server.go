@@ -2,8 +2,11 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -15,7 +18,15 @@ import (
 type serverOptions struct {
 	cacheBytes  int64
 	parallelism int
+	// dataDir enables durability: the artifact cache spills evicted entries
+	// to <dataDir>/cache/, and <dataDir>/cutfitd.snap — written by
+	// POST /v1/snapshot and on graceful shutdown — warm-starts the whole
+	// session (graph registry included) on the next boot.
+	dataDir string
 }
+
+// snapshotFile is the session snapshot inside -data-dir.
+const snapshotFile = "cutfitd.snap"
 
 // graphEntry is one registered graph with its summary.
 type graphEntry struct {
@@ -32,19 +43,60 @@ type graphEntry struct {
 type server struct {
 	session *cutfit.Session
 	mux     *http.ServeMux
+	dataDir string
 
 	mu     sync.RWMutex
 	graphs map[string]*graphEntry
+
+	// persistMu serializes snapshot writes (concurrent POST /v1/snapshot
+	// calls, or one racing the shutdown persist).
+	persistMu sync.Mutex
 }
 
-func newServer(opts serverOptions) *server {
+// newServer builds the daemon. With opts.dataDir set it warm-starts from
+// <dataDir>/cutfitd.snap when one exists — the graph registry and every
+// cached artifact come back from one read, so the first /v1/run after a
+// restart never re-partitions — and wires the session's disk tier under
+// <dataDir>/cache/. A corrupt snapshot fails loudly (delete the file to
+// boot cold) rather than silently paying a full re-partition.
+func newServer(opts serverOptions) (*server, error) {
+	sopts := cutfit.SessionOptions{
+		MaxCacheBytes: opts.cacheBytes,
+		Parallelism:   opts.parallelism,
+	}
+	var (
+		session  *cutfit.Session
+		restored map[string]*cutfit.Graph
+	)
+	if opts.dataDir != "" {
+		if err := os.MkdirAll(opts.dataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("cutfitd: creating data dir: %w", err)
+		}
+		sopts.DiskDir = filepath.Join(opts.dataDir, "cache")
+		path := filepath.Join(opts.dataDir, snapshotFile)
+		f, err := os.Open(path)
+		switch {
+		case err == nil:
+			session, restored, err = cutfit.RestoreSession(f, sopts)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("cutfitd: warm start from %s: %w", path, err)
+			}
+		case !errors.Is(err, os.ErrNotExist):
+			return nil, fmt.Errorf("cutfitd: opening snapshot: %w", err)
+		}
+	}
+	if session == nil {
+		session = cutfit.NewSession(sopts)
+	}
 	s := &server{
-		session: cutfit.NewSession(cutfit.SessionOptions{
-			MaxCacheBytes: opts.cacheBytes,
-			Parallelism:   opts.parallelism,
-		}),
-		graphs: make(map[string]*graphEntry),
-		mux:    http.NewServeMux(),
+		session: session,
+		dataDir: opts.dataDir,
+		graphs:  make(map[string]*graphEntry, len(restored)),
+		mux:     http.NewServeMux(),
+	}
+	for name, g := range restored {
+		s.graphs[name] = &graphEntry{g: g, vertices: g.NumVertices(), edges: g.NumEdges()}
 	}
 	s.mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
@@ -52,11 +104,80 @@ func newServer(opts serverOptions) *server {
 	s.mux.HandleFunc("POST /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/advise", s.handleAdvise)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return s
+	return s, nil
+}
+
+// persist atomically writes the session snapshot (graph registry included)
+// to <dataDir>/cutfitd.snap via a temp file + rename, so a crash mid-write
+// can never clobber the previous good snapshot.
+func (s *server) persist() (cutfit.SnapshotSummary, error) {
+	if s.dataDir == "" {
+		return cutfit.SnapshotSummary{}, fmt.Errorf("snapshots need the daemon started with -data-dir")
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	s.mu.RLock()
+	names := make(map[string]*cutfit.Graph, len(s.graphs))
+	for name, e := range s.graphs {
+		names[name] = e.g
+	}
+	s.mu.RUnlock()
+	path := filepath.Join(s.dataDir, snapshotFile)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return cutfit.SnapshotSummary{}, err
+	}
+	sum, err := s.session.SnapshotNamed(f, names)
+	if err == nil {
+		// fsync before the rename: without it a system crash shortly after
+		// the rename could surface an empty file at the final path, and a
+		// corrupt snapshot deliberately fails the next boot.
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return cutfit.SnapshotSummary{}, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return cutfit.SnapshotSummary{}, err
+	}
+	return sum, nil
+}
+
+// snapshotReply reports a persisted snapshot.
+type snapshotReply struct {
+	Path      string `json:"path"`
+	Graphs    int    `json:"graphs"`
+	Artifacts int    `json:"artifacts"`
+	Bytes     int64  `json:"bytes"`
+}
+
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sum, err := s.persist()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if s.dataDir == "" {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotReply{
+		Path:      filepath.Join(s.dataDir, snapshotFile),
+		Graphs:    sum.Graphs,
+		Artifacts: sum.Artifacts,
+		Bytes:     sum.Bytes,
+	})
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }

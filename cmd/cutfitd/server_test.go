@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -15,9 +17,19 @@ import (
 // edge list shared by the handler tests: two triangles joined by a bridge.
 const testEdges = "0 1\n1 2\n2 0\n2 3\n3 4\n4 5\n5 3\n"
 
+// mustServer builds a server or fails the test.
+func mustServer(t *testing.T, opts serverOptions) *server {
+	t.Helper()
+	s, err := newServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(serverOptions{}))
+	ts := httptest.NewServer(mustServer(t, serverOptions{}))
 	t.Cleanup(ts.Close)
 	post(t, ts, "/v1/graphs", map[string]any{"name": "tri", "edges": testEdges}, nil)
 	return ts
@@ -180,7 +192,7 @@ func TestServerConcurrentRequests(t *testing.T) {
 // convergence" (cc on a path graph needs more than the default-10 rounds),
 // not be coerced to the absent-field default.
 func TestServerRunExplicitZeroIters(t *testing.T) {
-	ts := httptest.NewServer(newServer(serverOptions{}))
+	ts := httptest.NewServer(mustServer(t, serverOptions{}))
 	defer ts.Close()
 	var sb bytes.Buffer
 	for i := 0; i < 40; i++ {
@@ -289,7 +301,7 @@ func TestServerAppendEdges(t *testing.T) {
 	}
 
 	// A cold server over the concatenated edge list must agree exactly.
-	ts2 := httptest.NewServer(newServer(serverOptions{}))
+	ts2 := httptest.NewServer(mustServer(t, serverOptions{}))
 	defer ts2.Close()
 	post(t, ts2, "/v1/graphs", map[string]any{"name": "tri", "edges": testEdges + batch}, nil)
 	var want cutfit.RunReport
@@ -322,6 +334,101 @@ func TestServerAppendErrors(t *testing.T) {
 		if resp.StatusCode != tc.status {
 			t.Fatalf("POST %s: status %d, want %d", tc.path, resp.StatusCode, tc.status)
 		}
+	}
+}
+
+// TestServerSnapshotWarmStart is the kill-and-restart proof: a daemon
+// serves runs, persists via POST /v1/snapshot, "dies", and a new daemon
+// over the same data dir answers the identical /v1/run without a single
+// re-partition — its registry and artifact cache come back from the
+// snapshot, asserted via the cache counters (zero misses).
+func TestServerSnapshotWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	ts1 := httptest.NewServer(mustServer(t, serverOptions{dataDir: dir}))
+	post(t, ts1, "/v1/graphs", map[string]any{"name": "tri", "edges": testEdges}, nil)
+	runReq := map[string]any{"graph": "tri", "alg": "pagerank", "strategy": "2D", "parts": 4, "iters": 5}
+	var want cutfit.RunReport
+	post(t, ts1, "/v1/run", runReq, &want)
+	var mwant cutfit.MetricsReport
+	post(t, ts1, "/v1/metrics", map[string]any{"graph": "tri", "strategy": "2D", "parts": 4}, &mwant)
+
+	var snap snapshotReply
+	post(t, ts1, "/v1/snapshot", map[string]any{}, &snap)
+	if snap.Graphs != 1 || snap.Artifacts < 3 || snap.Bytes <= 0 {
+		t.Fatalf("snapshot reply %+v, want 1 graph and ≥3 artifacts", snap)
+	}
+	ts1.Close() // the "kill"
+
+	ts2 := httptest.NewServer(mustServer(t, serverOptions{dataDir: dir}))
+	defer ts2.Close()
+
+	// The registry survived the restart.
+	var graphs []graphReply
+	get(t, ts2, "/v1/graphs", &graphs)
+	if len(graphs) != 1 || graphs[0].Name != "tri" || graphs[0].Edges != 7 {
+		t.Fatalf("warm-started registry %+v, want tri with 7 edges", graphs)
+	}
+
+	// Identical requests produce identical responses...
+	var got cutfit.RunReport
+	post(t, ts2, "/v1/run", runReq, &got)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("post-restart run differs:\n got %+v\nwant %+v", got, want)
+	}
+	var mgot cutfit.MetricsReport
+	post(t, ts2, "/v1/metrics", map[string]any{"graph": "tri", "strategy": "2D", "parts": 4}, &mgot)
+	if mgot != mwant {
+		t.Fatalf("post-restart metrics differ: %+v vs %+v", mgot, mwant)
+	}
+
+	// ...and nothing was re-partitioned: every request hit the restored
+	// cache.
+	var stats cutfit.CacheStats
+	get(t, ts2, "/v1/stats", &stats)
+	if stats.Misses != 0 {
+		t.Fatalf("warm-started daemon recomputed %d artifacts: %+v", stats.Misses, stats)
+	}
+	if stats.Hits < 2 {
+		t.Fatalf("warm-started daemon served %d hits, want ≥2: %+v", stats.Hits, stats)
+	}
+}
+
+// TestServerSnapshotRequiresDataDir: POST /v1/snapshot on a memory-only
+// daemon is a client error, not a crash.
+func TestServerSnapshotRequiresDataDir(t *testing.T) {
+	ts := newTestServer(t)
+	b, _ := json.Marshal(map[string]any{})
+	resp, err := http.Post(ts.URL+"/v1/snapshot", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("snapshot without -data-dir: status %d, want %d", resp.StatusCode, http.StatusBadRequest)
+	}
+}
+
+// TestServerRejectsCorruptSnapshot: a tampered snapshot must fail the boot
+// loudly instead of silently starting cold (the operator deletes the file
+// to accept a cold start).
+func TestServerRejectsCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	ts1 := httptest.NewServer(mustServer(t, serverOptions{dataDir: dir}))
+	post(t, ts1, "/v1/graphs", map[string]any{"name": "tri", "edges": testEdges}, nil)
+	post(t, ts1, "/v1/snapshot", map[string]any{}, nil)
+	ts1.Close()
+
+	path := filepath.Join(dir, snapshotFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newServer(serverOptions{dataDir: dir}); err == nil {
+		t.Fatal("boot over a corrupt snapshot must fail")
 	}
 }
 

@@ -95,6 +95,25 @@
 //	rep, _ := se.Run(ctx, g, cutfit.EdgePartition2D(), 128, "dynamicpr", 0)
 //
 // See ExampleSession_AppendEdges for the full loop.
+//
+// # Persistence
+//
+// A Session's amortized measurement cost survives restarts. Snapshot
+// persists the whole artifact cache — graphs, assignments, metric sets and
+// built engine topologies — as one versioned, CRC-checked container, and
+// RestoreSession reads it back so the first requests of the new process
+// are cache hits (restoring a built topology is one read + validation,
+// never a re-partition):
+//
+//	_ = se.SnapshotNamed(w, map[string]*cutfit.Graph{"social": g})
+//	se2, named, _ := cutfit.RestoreSession(r, cutfit.SessionOptions{})
+//	pg, _ := se2.Partition(named["social"], cutfit.EdgePartition2D(), 128) // hit
+//
+// SessionOptions.DiskDir additionally gives the cache a durable disk tier:
+// evicted artifacts spill to content-addressed snapshot files, misses check
+// disk before recomputing, and the files outlive the process. The cmd/cutfitd
+// daemon composes both via -data-dir (warm start on boot, POST /v1/snapshot,
+// persist on graceful shutdown); see ExampleSession_Snapshot.
 package cutfit
 
 import (
@@ -207,6 +226,10 @@ func RangeCut() Strategy { return partition.Range() }
 // StrategyByName resolves "RVC", "1D", "2D", "CRVC", "SC", "DC", "Greedy",
 // "HDRF", "Range", "Hybrid" or "Hybrid:<in-degree threshold>".
 func StrategyByName(name string) (Strategy, error) { return partition.ByName(name) }
+
+// StrategiesByNames resolves a comma-separated list of strategy names (any
+// names StrategyByName accepts; empty elements are skipped).
+func StrategiesByNames(csv string) ([]Strategy, error) { return partition.ByNames(csv) }
 
 // PartitionAssignment runs strategy s over g exactly once and returns the
 // validated Assignment artifact — the head of the strategy → metrics →

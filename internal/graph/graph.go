@@ -14,6 +14,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"cutfit/internal/rng"
 )
 
 // VertexID identifies a vertex. Like GraphX's VertexId it is a 64-bit
@@ -64,6 +66,8 @@ type Graph struct {
 	csrIn        *csr
 	csrUndirOnce viewOnce
 	csrUndir     *csr // undirected, deduplicated, no self loops
+	fpOnce       viewOnce
+	fp           uint64 // content fingerprint of the edge list
 }
 
 // viewOnce guards one lazily-built derived view for concurrent first use.
@@ -152,6 +156,33 @@ func (g *Graph) invalidate() {
 	g.csrIn = nil
 	g.csrUndirOnce.reset()
 	g.csrUndir = nil
+	g.fpOnce.reset()
+	g.fp = 0
+}
+
+// fingerprintSeed starts every fingerprint chain; folding edges onto it is
+// order-dependent, so a graph and its grown generations never collide.
+const fingerprintSeed = 0x637574666974_3031 // "cutfit01"
+
+// foldFingerprint chains edges onto a running fingerprint. Sequential
+// chaining is what lets Grow seed a child generation's fingerprint from the
+// parent's by folding only the appended suffix.
+func foldFingerprint(h uint64, edges []Edge) uint64 {
+	for _, e := range edges {
+		h = rng.Combine2(h, rng.Combine2(uint64(e.Src), uint64(e.Dst)))
+	}
+	return h
+}
+
+// Fingerprint returns a 64-bit content fingerprint of the edge list —
+// unlike Version (a process-local mutation counter) it is a pure function
+// of the edges, so it identifies the same graph content across processes.
+// Persistence layers use it to pair durable artifacts with the graph they
+// were computed for and as the stable part of disk-tier cache keys. Built
+// lazily and cached; mutation invalidates it like any other derived view.
+func (g *Graph) Fingerprint() uint64 {
+	g.fpOnce.do(func() { g.fp = foldFingerprint(fingerprintSeed, g.edges) })
+	return g.fp
 }
 
 // Version returns the mutation counter: 0 for a graph built by New or

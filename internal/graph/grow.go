@@ -54,6 +54,14 @@ func (g *Graph) Grow(newEdges []Edge) (*Graph, Delta) {
 	ng := FromEdges(combined)
 	ng.version.Store(nextGenerationVersion())
 
+	// The content fingerprint chains sequentially over the edge list, so a
+	// parent's built fingerprint extends to the child by folding only the
+	// suffix.
+	if g.fpOnce.built() {
+		ng.fp = foldFingerprint(g.fp, newEdges)
+		ng.fpOnce.markBuilt()
+	}
+
 	// New vertex IDs introduced by the suffix: endpoints absent from the
 	// parent's sorted list.
 	var added []VertexID

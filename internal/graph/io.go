@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -58,13 +59,78 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	return g, nil
 }
 
-// Binary format: magic, edge count, then per edge the src delta (zig-zag
-// varint from the previous src) and dst (zig-zag varint from src). Sorting
-// by src before writing makes the deltas small; the format does not require
-// sorted input, it only compresses better with it.
+// Binary edge payload: edge count (uvarint), then per edge the src delta
+// (zig-zag varint from the previous src) and dst (zig-zag varint from src).
+// Sorting by src before writing makes the deltas small; the format does not
+// require sorted input, it only compresses better with it.
+//
+// The payload is shared by two containers: the legacy bare WriteBinary /
+// ReadBinary stream below (magic "CFG1" + payload) and the versioned,
+// CRC-checked snapshot container in internal/snap, which supersedes it for
+// anything durable.
 const binaryMagic = "CFG1"
 
-// WriteBinary writes a compact binary encoding of the edge list.
+// EncodeEdges appends the delta-varint binary encoding of edges to dst and
+// returns the extended slice — the same payload WriteBinary streams,
+// materialized for the internal/snap graph section (whose container needs
+// section bytes up front).
+func EncodeEdges(dst []byte, edges []Edge) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(edges)))
+	dst = append(dst, buf[:n]...)
+	var prevSrc int64
+	for _, e := range edges {
+		n = binary.PutVarint(buf[:], int64(e.Src)-prevSrc)
+		dst = append(dst, buf[:n]...)
+		n = binary.PutVarint(buf[:], int64(e.Dst)-int64(e.Src))
+		dst = append(dst, buf[:n]...)
+		prevSrc = int64(e.Src)
+	}
+	return dst
+}
+
+// DecodeEdges parses an EncodeEdges payload, requiring that it is consumed
+// exactly (no trailing bytes). The declared edge count is validated against
+// the payload size before any allocation, so a forged count can never force
+// an allocation larger than the input itself.
+func DecodeEdges(data []byte) ([]Edge, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("graph: reading edge count: malformed varint")
+	}
+	data = data[n:]
+	// Every edge costs at least two varint bytes.
+	if count > uint64(len(data))/2+1 {
+		return nil, fmt.Errorf("graph: edge count %d exceeds payload size", count)
+	}
+	edges := make([]Edge, 0, count)
+	var prevSrc int64
+	for i := uint64(0); i < count; i++ {
+		ds, n := binary.Varint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("graph: edge %d: reading src: malformed varint", i)
+		}
+		data = data[n:]
+		src := prevSrc + ds
+		dd, n := binary.Varint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("graph: edge %d: reading dst: malformed varint", i)
+		}
+		data = data[n:]
+		edges = append(edges, Edge{Src: VertexID(src), Dst: VertexID(src + dd)})
+		prevSrc = src
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("graph: %d trailing bytes after edge payload", len(data))
+	}
+	return edges, nil
+}
+
+// WriteBinary writes a compact binary encoding of the edge list: the magic
+// followed by the EncodeEdges payload, streamed through a buffered writer
+// so arbitrarily large graphs never materialize the encoding in memory.
+// The snapshot container in internal/snap supersedes this bare format for
+// durable artifacts (same payload, plus versioning and CRCs).
 func (g *Graph) WriteBinary(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString(binaryMagic); err != nil {
@@ -90,7 +156,9 @@ func (g *Graph) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads the binary encoding produced by WriteBinary.
+// ReadBinary reads the binary encoding produced by WriteBinary, streaming
+// (it never holds the raw bytes and the decoded edges at once — snapshot
+// restores, which have the payload in memory anyway, use DecodeEdges).
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	magic := make([]byte, len(binaryMagic))
@@ -108,7 +176,13 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if count > maxEdges {
 		return nil, fmt.Errorf("graph: edge count %d exceeds sanity limit", count)
 	}
-	edges := make([]Edge, 0, count)
+	// Cap the up-front allocation: a forged header must not commit memory
+	// the stream cannot back; append grows normally past the cap.
+	hint := count
+	if hint > 1<<20 {
+		hint = 1 << 20
+	}
+	edges := make([]Edge, 0, hint)
 	var prevSrc int64
 	for i := uint64(0); i < count; i++ {
 		ds, err := binary.ReadVarint(br)
@@ -120,9 +194,62 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: edge %d: reading dst: %w", i, err)
 		}
-		dst := src + dd
-		edges = append(edges, Edge{Src: VertexID(src), Dst: VertexID(dst)})
+		edges = append(edges, Edge{Src: VertexID(src), Dst: VertexID(src + dd)})
 		prevSrc = src
 	}
 	return FromEdges(edges), nil
+}
+
+// FromEdgesAndVertices restores a graph from a decoded edge list plus its
+// sorted unique vertex list, as persisted by the snapshot codec. The vertex
+// list is validated against the edges — strictly ascending, non-negative,
+// every edge endpoint present, every listed vertex used — and then seeded
+// as the graph's vertex view, so NumVertices and Vertices never pay the
+// O(|E|) derivation scan on a restored graph. The graph starts at a fresh
+// process-unique version (like Clone/Grow), so cache layers can never
+// confuse it with a freed graph reallocated at the same address.
+func FromEdgesAndVertices(edges []Edge, verts []VertexID) (*Graph, error) {
+	if len(verts) > 0 && verts[0] < 0 {
+		return nil, fmt.Errorf("graph: restored vertex list has negative vertex ID %d", verts[0])
+	}
+	for i := 1; i < len(verts); i++ {
+		if verts[i] <= verts[i-1] {
+			return nil, fmt.Errorf("graph: restored vertex list not strictly ascending at index %d", i)
+		}
+	}
+	// Membership + coverage: every endpoint must be listed, every listed
+	// vertex must be an endpoint. Dense ID spaces (all generators in this
+	// module) take the O(1)-per-endpoint fast path.
+	used := make([]bool, len(verts))
+	dense := len(verts) > 0 && verts[0] == 0 && verts[len(verts)-1] == VertexID(len(verts)-1)
+	locate := func(v VertexID) int {
+		if dense {
+			if v < 0 || int(v) >= len(verts) {
+				return -1
+			}
+			return int(v)
+		}
+		if i, ok := slices.BinarySearch(verts, v); ok {
+			return i
+		}
+		return -1
+	}
+	for i, e := range edges {
+		si, di := locate(e.Src), locate(e.Dst)
+		if si < 0 || di < 0 {
+			return nil, fmt.Errorf("graph: edge %d (%d -> %d) has an endpoint missing from the restored vertex list", i, e.Src, e.Dst)
+		}
+		used[si] = true
+		used[di] = true
+	}
+	for i, u := range used {
+		if !u {
+			return nil, fmt.Errorf("graph: restored vertex list entry %d (vertex %d) appears in no edge", i, verts[i])
+		}
+	}
+	g := FromEdges(edges)
+	g.verts = verts
+	g.vertsOnce.markBuilt()
+	g.version.Store(nextGenerationVersion())
+	return g, nil
 }

@@ -1,0 +1,190 @@
+package snap
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cutfit/internal/graph"
+	"cutfit/internal/metrics"
+	"cutfit/internal/partition"
+	"cutfit/internal/pregel"
+)
+
+// The golden corpus freezes format version 1 on disk: committed containers
+// that every future build must keep decoding to bit-identical artifacts.
+// `go test ./internal/snap -run TestGolden -update` regenerates the files —
+// only do that together with a FormatVersion bump (and keep the old
+// version's goldens decodable), per the version policy in the package doc.
+
+var update = flag.Bool("update", false, "rewrite the golden snapshot files")
+
+const goldenDir = "testdata/golden"
+
+// goldenEdges is the fixed graph behind every golden artifact. Never
+// change it: the committed bytes depend on it.
+var goldenEdges = []graph.Edge{
+	{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3},
+	{Src: 3, Dst: 0}, {Src: 3, Dst: 4}, {Src: 4, Dst: 5}, {Src: 5, Dst: 6},
+	{Src: 6, Dst: 4}, {Src: 6, Dst: 7}, {Src: 7, Dst: 8}, {Src: 8, Dst: 9},
+	{Src: 9, Dst: 7}, {Src: 9, Dst: 0}, {Src: 2, Dst: 7}, {Src: 5, Dst: 1},
+	{Src: 8, Dst: 3}, {Src: 4, Dst: 9}, {Src: 0, Dst: 1}, {Src: 9, Dst: 9},
+}
+
+const (
+	goldenParts = 4
+	goldenLabel = "golden"
+)
+
+func goldenGraph() *graph.Graph {
+	return graph.FromEdges(append([]graph.Edge(nil), goldenEdges...))
+}
+
+// goldenArtifacts computes the full artifact set the goldens freeze, from
+// scratch, with the 2D strategy at 4 partitions.
+func goldenArtifacts(t testing.TB) (*graph.Graph, *partition.Assignment, *pregel.PartitionedGraph, *metrics.Result) {
+	t.Helper()
+	g := goldenGraph()
+	a, err := partition.Assign(g, partition.EdgePartition2D(), goldenParts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := pregel.NewPartitionedGraphFromAssignment(a, pregel.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := metrics.FromAssignment(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, a, pg, m
+}
+
+// goldenFiles encodes every golden container from first principles.
+func goldenFiles(t testing.TB) map[string][]byte {
+	t.Helper()
+	g, a, pg, m := goldenArtifacts(t)
+	return map[string][]byte{
+		"graph.snap":      EncodeGraph(g),
+		"assignment.snap": EncodeAssignment(a),
+		"topology.snap":   EncodeTopology(pg, "2D"),
+		"metrics.snap":    EncodeMetrics(m, g, "2D"),
+		"store.snap": EncodeStore(
+			[]StoreGraph{{Labels: []string{goldenLabel}, Data: EncodeGraph(g)}},
+			[]StoreArtifact{
+				{GraphIndex: 0, Stage: StageAssignment, StrategyKey: "2D", NumParts: goldenParts, Data: EncodeAssignment(a)},
+				{GraphIndex: 0, Stage: StageMetrics, StrategyKey: "2D", NumParts: goldenParts, Data: EncodeMetrics(m, g, "2D")},
+				{GraphIndex: 0, Stage: StageTopology, StrategyKey: "2D", NumParts: goldenParts, Data: EncodeTopology(pg, "2D")},
+			},
+		),
+	}
+}
+
+func readGolden(t testing.TB, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(goldenDir, name))
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with -update after a deliberate format change): %v", err)
+	}
+	return data
+}
+
+// TestGoldenCompat is the CI compatibility gate: the committed golden
+// containers must still encode exactly (any byte drift is an accidental
+// format break) and decode to artifacts bit-identical to a from-scratch
+// computation.
+func TestGoldenCompat(t *testing.T) {
+	files := goldenFiles(t)
+	if *update {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range files {
+			if err := os.WriteFile(filepath.Join(goldenDir, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for name, want := range files {
+		if got := readGolden(t, name); !bytes.Equal(got, want) {
+			t.Errorf("%s: committed golden differs from freshly encoded bytes — the format changed; bump FormatVersion and add a new golden set", name)
+		}
+	}
+
+	g, a, pg, m := goldenArtifacts(t)
+
+	dg, err := DecodeGraph(readGolden(t, "graph.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dg.Edges(), g.Edges()) || !reflect.DeepEqual(dg.Vertices(), g.Vertices()) {
+		t.Error("golden graph decodes to different content")
+	}
+
+	da, err := DecodeAssignment(readGolden(t, "assignment.snap"), g, "2D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(da.PIDs, a.PIDs) || !reflect.DeepEqual(da.EdgesPerPart, a.EdgesPerPart) || da.Strategy != a.Strategy {
+		t.Error("golden assignment decodes to a different artifact")
+	}
+
+	dpg, err := DecodeTopology(readGolden(t, "topology.snap"), g, "2D", pregel.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dpg.RawTables(), pg.RawTables()) {
+		t.Error("golden topology decodes to a different artifact")
+	}
+
+	dm, err := DecodeMetrics(readGolden(t, "metrics.snap"), g, "2D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dm, m) {
+		t.Errorf("golden metrics decode to a different artifact:\n got %+v\nwant %+v", dm, m)
+	}
+
+	sg, sa, err := DecodeStore(readGolden(t, "store.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sg) != 1 || len(sa) != 3 || sg[0].Labels[0] != goldenLabel {
+		t.Errorf("golden store bundle decodes to %d graphs / %d artifacts", len(sg), len(sa))
+	}
+}
+
+// TestGoldenRejectsMutations is the acceptance bar for decoder robustness:
+// every single-byte flip and every truncation of every golden file must be
+// rejected — never mis-decoded — by the typed decoder for its kind.
+func TestGoldenRejectsMutations(t *testing.T) {
+	g := goldenGraph()
+	decoders := map[string]func([]byte) error{
+		"graph.snap":      func(d []byte) error { _, err := DecodeGraph(d); return err },
+		"assignment.snap": func(d []byte) error { _, err := DecodeAssignment(d, g, "2D"); return err },
+		"topology.snap":   func(d []byte) error { _, err := DecodeTopology(d, g, "2D", pregel.BuildOptions{}); return err },
+		"metrics.snap":    func(d []byte) error { _, err := DecodeMetrics(d, g, "2D"); return err },
+		"store.snap":      func(d []byte) error { _, _, err := DecodeStore(d); return err },
+	}
+	for name, decode := range decoders {
+		data := readGolden(t, name)
+		if err := decode(data); err != nil {
+			t.Fatalf("%s: pristine golden rejected: %v", name, err)
+		}
+		for i := range data {
+			mutated := append([]byte(nil), data...)
+			mutated[i] ^= 0xFF
+			if decode(mutated) == nil {
+				t.Fatalf("%s: flip at byte %d/%d decoded successfully", name, i, len(data))
+			}
+		}
+		for n := 0; n < len(data); n++ {
+			if decode(data[:n]) == nil {
+				t.Fatalf("%s: truncation to %d/%d bytes decoded successfully", name, n, len(data))
+			}
+		}
+	}
+}

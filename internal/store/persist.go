@@ -1,0 +1,230 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"cutfit/internal/graph"
+	"cutfit/internal/metrics"
+	"cutfit/internal/partition"
+	"cutfit/internal/pregel"
+	"cutfit/internal/snap"
+)
+
+// readAllSized reads r to EOF, pre-sizing the buffer from Stat when r is a
+// file. io.ReadAll's incremental growth would otherwise allocate and copy
+// several times the snapshot size — measurable on every warm start.
+func readAllSized(r io.Reader) ([]byte, error) {
+	type sizer interface{ Stat() (os.FileInfo, error) }
+	if s, ok := r.(sizer); ok {
+		if info, err := s.Stat(); err == nil && info.Mode().IsRegular() && info.Size() > 0 {
+			buf := make([]byte, info.Size())
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, err
+			}
+			return buf, nil
+		}
+	}
+	return io.ReadAll(r)
+}
+
+// PersistSummary reports what one Persist call wrote.
+type PersistSummary struct {
+	// Graphs and Artifacts count the snapshotted records.
+	Graphs    int `json:"graphs"`
+	Artifacts int `json:"artifacts"`
+	// Bytes is the encoded snapshot size.
+	Bytes int64 `json:"bytes"`
+}
+
+// Persist snapshots the whole cache to w as one snap.KindStore container:
+// every distinct graph referenced by a live cache entry or by names, then
+// every live cached artifact (assignments, metric sets, built topologies).
+// names label graphs for the restoring side (a server's name registry);
+// multiple names may share one graph. Entries whose graph was mutated
+// after they were computed are skipped — they are garbage under the live
+// fingerprint. The encoding is deterministic for a given cache state.
+//
+// Persist holds the store lock only while listing entries; encoding runs
+// concurrently with normal cache traffic against the immutable artifacts.
+func (st *Store) Persist(w io.Writer, names map[string]*graph.Graph) (PersistSummary, error) {
+	st.mu.Lock()
+	live := make([]*entry, 0, len(st.entries))
+	for _, e := range st.entries {
+		if e.key.version == e.key.g.Version() {
+			live = append(live, e)
+		}
+	}
+	st.mu.Unlock()
+
+	// Distinct graphs, labeled by every name that points at them.
+	labels := make(map[*graph.Graph][]string)
+	for name, g := range names {
+		if g != nil {
+			labels[g] = append(labels[g], name)
+		}
+	}
+	seen := make(map[*graph.Graph]bool, len(labels))
+	graphs := make([]*graph.Graph, 0, len(labels))
+	for g := range labels {
+		seen[g] = true
+		graphs = append(graphs, g)
+	}
+	for _, e := range live {
+		if !seen[e.key.g] {
+			seen[e.key.g] = true
+			graphs = append(graphs, e.key.g)
+		}
+	}
+	// Canonical graph order: labeled graphs first by their sorted label
+	// list, then unlabeled by (fingerprint, version).
+	for _, g := range graphs {
+		sort.Strings(labels[g])
+	}
+	sort.Slice(graphs, func(i, j int) bool {
+		li, lj := strings.Join(labels[graphs[i]], "\x00"), strings.Join(labels[graphs[j]], "\x00")
+		if (li == "") != (lj == "") {
+			return li != ""
+		}
+		if li != lj {
+			return li < lj
+		}
+		if graphs[i].Fingerprint() != graphs[j].Fingerprint() {
+			return graphs[i].Fingerprint() < graphs[j].Fingerprint()
+		}
+		return graphs[i].Version() < graphs[j].Version()
+	})
+	index := make(map[*graph.Graph]int, len(graphs))
+	sg := make([]snap.StoreGraph, len(graphs))
+	for i, g := range graphs {
+		index[g] = i
+		sg[i] = snap.StoreGraph{Labels: labels[g], Data: snap.EncodeGraph(g)}
+	}
+
+	// Canonical artifact order: (graph index, stage, strategy key, parts).
+	sort.Slice(live, func(i, j int) bool {
+		ki, kj := live[i].key, live[j].key
+		if index[ki.g] != index[kj.g] {
+			return index[ki.g] < index[kj.g]
+		}
+		if ki.kind != kj.kind {
+			return ki.kind < kj.kind
+		}
+		if ki.strategy != kj.strategy {
+			return ki.strategy < kj.strategy
+		}
+		return ki.numParts < kj.numParts
+	})
+	sa := make([]snap.StoreArtifact, 0, len(live))
+	for _, e := range live {
+		k := e.key
+		a := snap.StoreArtifact{
+			GraphIndex:  index[k.g],
+			StrategyKey: k.strategy,
+			NumParts:    k.numParts,
+		}
+		switch k.kind {
+		case kindAssignment:
+			a.Stage = snap.StageAssignment
+			a.Data = snap.EncodeAssignment(e.val.(*partition.Assignment))
+		case kindMetrics:
+			a.Stage = snap.StageMetrics
+			a.Data = snap.EncodeMetrics(e.val.(*metrics.Result), k.g, k.strategy)
+		case kindBuilt:
+			a.Stage = snap.StageTopology
+			a.Data = snap.EncodeTopology(e.val.(*pregel.PartitionedGraph), k.strategy)
+		default:
+			continue
+		}
+		sa = append(sa, a)
+	}
+
+	data := snap.EncodeStore(sg, sa)
+	if _, err := w.Write(data); err != nil {
+		return PersistSummary{}, fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	return PersistSummary{Graphs: len(sg), Artifacts: len(sa), Bytes: int64(len(data))}, nil
+}
+
+// Restore loads a Persist snapshot into the cache: graphs are decoded
+// (fresh objects at fresh process-unique versions, vertex views
+// pre-seeded), every artifact is decoded against its graph with the full
+// codec validation, and the results are inserted under the restored
+// graphs' live keys — so the very first request against a restored graph
+// is a cache hit. The labeled graphs are returned by name so callers can
+// rebuild their registries. Entries that do not fit the memory budget
+// spill straight to the disk tier (when configured).
+func (st *Store) Restore(r io.Reader) (map[string]*graph.Graph, error) {
+	data, err := readAllSized(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	sg, sa, err := snap.DecodeStore(data)
+	if err != nil {
+		return nil, err
+	}
+	graphs := make([]*graph.Graph, len(sg))
+	named := make(map[string]*graph.Graph)
+	for i, rec := range sg {
+		g, err := snap.DecodeGraph(rec.Data)
+		if err != nil {
+			return nil, fmt.Errorf("store: restoring graph %d: %w", i, err)
+		}
+		graphs[i] = g
+		for _, label := range rec.Labels {
+			if label == "" {
+				continue
+			}
+			if _, dup := named[label]; dup {
+				return nil, fmt.Errorf("store: snapshot labels %q twice", label)
+			}
+			named[label] = g
+		}
+	}
+	for i, rec := range sa {
+		g := graphs[rec.GraphIndex]
+		var (
+			val      any
+			cost     int64
+			kd       kind
+			numParts int
+		)
+		// Each decode verifies the embedded container's strategy key
+		// against the bundle record's — the key the artifact will be cached
+		// under — so a relabeled record can never plant an artifact under
+		// another tuple's key; the partition counts are cross-checked below
+		// for the same reason.
+		switch rec.Stage {
+		case snap.StageAssignment:
+			a, err := snap.DecodeAssignment(rec.Data, g, rec.StrategyKey)
+			if err != nil {
+				return nil, fmt.Errorf("store: restoring artifact %d: %w", i, err)
+			}
+			val, cost, kd, numParts = a, a.MemoryFootprint(), kindAssignment, a.NumParts
+		case snap.StageMetrics:
+			m, err := snap.DecodeMetrics(rec.Data, g, rec.StrategyKey)
+			if err != nil {
+				return nil, fmt.Errorf("store: restoring artifact %d: %w", i, err)
+			}
+			val, cost, kd, numParts = m, metricsFootprint(m), kindMetrics, m.NumParts
+		case snap.StageTopology:
+			pg, err := snap.DecodeTopology(rec.Data, g, rec.StrategyKey, st.build)
+			if err != nil {
+				return nil, fmt.Errorf("store: restoring artifact %d: %w", i, err)
+			}
+			val, cost, kd, numParts = pg, pg.MemoryFootprint(), kindBuilt, pg.NumParts
+		}
+		if numParts != rec.NumParts {
+			return nil, fmt.Errorf("store: restoring artifact %d: holds %d parts, record says %d", i, numParts, rec.NumParts)
+		}
+		k := key{g: g, version: g.Version(), strategy: rec.StrategyKey, numParts: rec.NumParts, kind: kd}
+		st.mu.Lock()
+		evicted := st.insert(k, val, cost)
+		st.mu.Unlock()
+		st.spill(evicted)
+	}
+	return named, nil
+}

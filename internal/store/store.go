@@ -90,6 +90,17 @@ type Config struct {
 	// wants ReuseBuffers on — cached graphs are run repeatedly and
 	// concurrently, which is exactly what the engine scratch pools serve.
 	Build pregel.BuildOptions
+	// DiskDir, when non-empty, enables the durable disk tier under the
+	// in-memory cache: entries evicted by the LRU spill to
+	// <DiskDir>/<fingerprint>-<tuplehash>.snap, misses check disk before
+	// recomputing, and entries survive process restarts (the file name is
+	// keyed by graph content, not pointers). The directory is created if
+	// missing; if it cannot be, the store silently runs memory-only —
+	// servers that must fail loudly should create the directory themselves.
+	DiskDir string
+	// DiskMaxBytes bounds the disk tier; 0 means DefaultDiskMaxBytes,
+	// negative means unbounded. Oldest entries are dropped beyond it.
+	DiskMaxBytes int64
 }
 
 // Stats is a point-in-time snapshot of cache behavior. The JSON tags are
@@ -104,6 +115,10 @@ type Stats struct {
 	// DeltaDerived counts artifacts derived from a cached ancestor
 	// generation through the delta chain instead of computed from scratch.
 	DeltaDerived int64 `json:"deltaDerived"`
+	// DiskHits counts misses satisfied by decoding a disk-tier entry
+	// instead of recomputing (each also counts as a Miss at the memory
+	// tier).
+	DiskHits int64 `json:"diskHits"`
 	// Evictions counts entries dropped by the LRU bound.
 	Evictions int64 `json:"evictions"`
 	// Entries and Bytes describe the current cache contents.
@@ -111,6 +126,10 @@ type Stats struct {
 	Bytes   int64 `json:"bytes"`
 	// MaxBytes echoes the configured bound (< 0: unbounded).
 	MaxBytes int64 `json:"maxBytes"`
+	// DiskEntries and DiskBytes describe the disk tier's current contents
+	// (zero when no disk tier is configured).
+	DiskEntries int   `json:"diskEntries"`
+	DiskBytes   int64 `json:"diskBytes"`
 }
 
 // entry is one cached artifact with its LRU bookkeeping.
@@ -133,6 +152,7 @@ type flight struct {
 type Store struct {
 	build    pregel.BuildOptions
 	maxBytes int64
+	disk     *diskTier // nil when no disk tier is configured
 
 	mu       sync.Mutex
 	entries  map[key]*entry
@@ -144,6 +164,7 @@ type Store struct {
 	waits    int64
 	evicted  int64
 	derived  int64
+	diskHits int64
 
 	// deltas records append relationships between graph generations, keyed
 	// by the new generation; deltaFIFO orders them for eviction. Each
@@ -182,7 +203,7 @@ func New(cfg Config) *Store {
 	if max < 0 {
 		budget = DefaultMaxBytes / 4 // unbounded cache still bounds pinned generations
 	}
-	return &Store{
+	st := &Store{
 		build:       cfg.Build,
 		maxBytes:    max,
 		entries:     make(map[key]*entry),
@@ -191,6 +212,16 @@ func New(cfg Config) *Store {
 		deltas:      make(map[*graph.Graph]graph.Delta),
 		deltaBudget: budget,
 	}
+	if cfg.DiskDir != "" {
+		diskMax := cfg.DiskMaxBytes
+		if diskMax == 0 {
+			diskMax = DefaultDiskMaxBytes
+		}
+		// A failed open (unwritable path) leaves the store memory-only;
+		// see Config.DiskDir.
+		st.disk, _ = newDiskTier(cfg.DiskDir, diskMax)
+	}
+	return st
 }
 
 // RecordDelta registers that d.New is d.Old plus an appended edge suffix,
@@ -227,6 +258,9 @@ func (st *Store) RecordDelta(d graph.Delta) {
 func (st *Store) Assignment(g *graph.Graph, s partition.Strategy, numParts int) (*partition.Assignment, error) {
 	k := st.keyFor(g, s, numParts, kindAssignment)
 	v, err := st.do(k, func() (any, int64, error) {
+		if v, cost, ok := st.fromDisk(g, k.strategy, numParts, kindAssignment); ok {
+			return v, cost, nil
+		}
 		if a, ok := st.assignmentViaDelta(g, s, numParts); ok {
 			return a, a.MemoryFootprint(), nil
 		}
@@ -248,6 +282,9 @@ func (st *Store) Assignment(g *graph.Graph, s partition.Strategy, numParts int) 
 func (st *Store) Metrics(g *graph.Graph, s partition.Strategy, numParts int) (*metrics.Result, error) {
 	k := st.keyFor(g, s, numParts, kindMetrics)
 	v, err := st.do(k, func() (any, int64, error) {
+		if v, cost, ok := st.fromDisk(g, k.strategy, numParts, kindMetrics); ok {
+			return v, cost, nil
+		}
 		if m, ok := st.metricsViaDelta(g, s, numParts); ok {
 			return m, metricsFootprint(m), nil
 		}
@@ -274,6 +311,9 @@ func (st *Store) Metrics(g *graph.Graph, s partition.Strategy, numParts int) (*m
 func (st *Store) Built(g *graph.Graph, s partition.Strategy, numParts int) (*pregel.PartitionedGraph, error) {
 	k := st.keyFor(g, s, numParts, kindBuilt)
 	v, err := st.do(k, func() (any, int64, error) {
+		if v, cost, ok := st.fromDisk(g, k.strategy, numParts, kindBuilt); ok {
+			return v, cost, nil
+		}
 		if pg, ok := st.builtViaDelta(g, s, numParts); ok {
 			return pg, pg.MemoryFootprint(), nil
 		}
@@ -440,9 +480,14 @@ func (st *Store) metricsViaDelta(g *graph.Graph, s partition.Strategy, numParts 
 }
 
 // InvalidateGraph drops every cached artifact of g (all versions, all
-// strategies, all stages) and every delta record touching g. Used when a
-// server re-registers a graph name with new data.
+// strategies, all stages), every delta record touching g — severing any
+// derivation chain that runs through it — and every disk-tier entry spilled
+// under g's content fingerprint, including files left by previous
+// processes. Used when a server re-registers a graph name with new data.
 func (st *Store) InvalidateGraph(g *graph.Graph) {
+	if st.disk != nil {
+		st.disk.removeGraph(g.Fingerprint())
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	for k, e := range st.entries {
@@ -467,6 +512,11 @@ func (st *Store) InvalidateGraph(g *graph.Graph) {
 
 // Stats returns a snapshot of cache counters and contents.
 func (st *Store) Stats() Stats {
+	var diskEntries int
+	var diskBytes int64
+	if st.disk != nil {
+		diskEntries, diskBytes = st.disk.stat()
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return Stats{
@@ -474,10 +524,13 @@ func (st *Store) Stats() Stats {
 		Misses:       st.misses,
 		Waits:        st.waits,
 		DeltaDerived: st.derived,
+		DiskHits:     st.diskHits,
 		Evictions:    st.evicted,
 		Entries:      len(st.entries),
 		Bytes:        st.bytes,
 		MaxBytes:     st.maxBytes,
+		DiskEntries:  diskEntries,
+		DiskBytes:    diskBytes,
 	}
 }
 
@@ -518,19 +571,25 @@ func (st *Store) do(k key, build func() (val any, cost int64, err error)) (any, 
 
 	st.mu.Lock()
 	delete(st.inflight, k)
+	var evicted []*entry
 	if err == nil {
-		st.insert(k, v, cost)
+		evicted = st.insert(k, v, cost)
 	}
 	st.mu.Unlock()
 	close(f.done)
+	// Budget-evicted entries spill to the disk tier — outside the lock, so
+	// file I/O never stalls concurrent cache traffic.
+	st.spill(evicted)
 	return v, err
 }
 
 // insert adds an artifact and evicts from the LRU tail until the cache
-// fits the byte bound. The just-inserted entry is never evicted, so an
-// artifact larger than the whole budget is still served (and becomes the
-// eviction victim of the next insert).
-func (st *Store) insert(k key, v any, cost int64) {
+// fits the byte bound, returning the evicted entries so the caller can
+// spill them to the disk tier after releasing the lock. The just-inserted
+// entry is never evicted, so an artifact larger than the whole budget is
+// still served (and becomes the eviction victim of the next insert).
+// Callers must hold st.mu.
+func (st *Store) insert(k key, v any, cost int64) []*entry {
 	if e, ok := st.entries[k]; ok {
 		// A racing flight of the same key can slip in between generations;
 		// refresh in place.
@@ -544,8 +603,9 @@ func (st *Store) insert(k key, v any, cost int64) {
 		st.bytes += cost
 	}
 	if st.maxBytes < 0 {
-		return
+		return nil
 	}
+	var evicted []*entry
 	for st.bytes > st.maxBytes && st.lru.Len() > 1 {
 		tail := st.lru.Back()
 		e := tail.Value.(*entry)
@@ -553,7 +613,9 @@ func (st *Store) insert(k key, v any, cost int64) {
 		delete(st.entries, e.key)
 		st.bytes -= e.cost
 		st.evicted++
+		evicted = append(evicted, e)
 	}
+	return evicted
 }
 
 // metricsFootprint approximates the retained bytes of a metric set: the

@@ -3,6 +3,7 @@ package cutfit
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 
 	"cutfit/internal/algorithms"
@@ -25,7 +26,21 @@ type SessionOptions struct {
 	// Cluster is the simulated cluster configuration Run reports use for
 	// SimSecs; nil means ConfigI with NumPartitions overridden per run.
 	Cluster *ClusterConfig
+	// DiskDir, when non-empty, enables the durable disk tier under the
+	// artifact cache: artifacts evicted from memory spill to versioned
+	// snapshot files in this directory, cache misses check disk before
+	// recomputing, and spilled entries survive process restarts (files are
+	// keyed by graph content, so a re-registered identical graph warms
+	// straight from disk). The directory is created if needed; if it cannot
+	// be, the session runs memory-only.
+	DiskDir string
+	// MaxDiskBytes bounds the disk tier; 0 means the default (4× the
+	// default memory budget), negative means unbounded.
+	MaxDiskBytes int64
 }
+
+// SnapshotSummary reports what one Snapshot call wrote.
+type SnapshotSummary = store.PersistSummary
 
 // CacheStats is a snapshot of a Session's artifact cache counters.
 type CacheStats = store.Stats
@@ -61,6 +76,8 @@ func NewSession(opts SessionOptions) *Session {
 				Parallelism:  opts.Parallelism,
 				ReuseBuffers: true,
 			},
+			DiskDir:      opts.DiskDir,
+			DiskMaxBytes: opts.MaxDiskBytes,
 		}),
 		cluster: opts.Cluster,
 	}
@@ -178,6 +195,57 @@ func (se *Session) AppendEdges(g *Graph, edges []Edge) (*Graph, error) {
 		se.st.RecordDelta(d)
 	}
 	return ng, nil
+}
+
+// Snapshot writes the session's whole artifact cache to w as one
+// versioned, CRC-checked snapshot: every cached graph and every cached
+// assignment, metric set and built topology. cutfit.RestoreSession reads
+// it back into a fresh session whose first requests are cache hits — a
+// restart costs one read instead of re-partitioning everything. See
+// SnapshotNamed to label graphs for a name registry.
+func (se *Session) Snapshot(w io.Writer) error {
+	_, err := se.SnapshotNamed(w, nil)
+	return err
+}
+
+// SnapshotNamed is Snapshot with graph labels: names maps registry names
+// to the graphs they serve (several names may share a graph), and
+// RestoreSession returns the same mapping over the restored graph objects
+// so a server can rebuild its registry on warm start. Graphs referenced
+// only by names (no cached artifacts yet) are snapshotted too.
+func (se *Session) SnapshotNamed(w io.Writer, names map[string]*Graph) (SnapshotSummary, error) {
+	if se.st == nil {
+		return SnapshotSummary{}, fmt.Errorf("cutfit: one-shot session holds no cache to snapshot")
+	}
+	return se.st.Persist(w, names)
+}
+
+// Flush writes every cached artifact through to the session's disk tier,
+// returning how many entries were written — a no-op (0, nil) without
+// SessionOptions.DiskDir. Use it before shutdown when the disk tier alone
+// (rather than a Snapshot file) should carry the cache across restarts.
+func (se *Session) Flush() (int, error) {
+	if se.st == nil {
+		return 0, nil
+	}
+	return se.st.FlushDisk()
+}
+
+// RestoreSession reads a Session.Snapshot/SnapshotNamed stream into a new
+// Session configured by opts, and returns the label → graph mapping
+// recorded at snapshot time (over the freshly restored graph objects).
+// Every artifact is re-validated by the snapshot codec before it enters
+// the cache — a corrupt or tampered snapshot fails loudly rather than
+// serving a wrong-but-plausible artifact. Requests against the returned
+// graphs hit the restored cache immediately: restoring a partitioned
+// topology is one read + validation, never a re-partition.
+func RestoreSession(r io.Reader, opts SessionOptions) (*Session, map[string]*Graph, error) {
+	se := NewSession(opts)
+	named, err := se.st.Restore(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return se, named, nil
 }
 
 // topRankCount is how many top-ranked vertices a pagerank RunReport
