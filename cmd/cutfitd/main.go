@@ -30,7 +30,13 @@
 //	                  derived from the previous one's (suffix-only assignment,
 //	                  patched topology) — a run after an append costs O(batch),
 //	                  not a cold re-partition; in-flight requests keep reading
-//	                  the old generation
+//	                  the old generation. Edge lines may carry a third column
+//	                  (a float weight); weighted metrics are reported alongside
+//	                  the edge-count metrics. An "expire_before": N field
+//	                  tombstones every edge position below N while appending —
+//	                  sliding-window serving in one generation step; the reply's
+//	                  "expired" counts retired edges and "edges" is the live
+//	                  count. "edges" may be omitted for a pure expiry.
 //	POST /v1/metrics  {"graph", "strategy", "parts"}        §3.1 metric set
 //	POST /v1/advise   {"graph", "alg", "parts", "measure"}  recommendation (+ measured ranking)
 //	POST /v1/run      {"graph", "alg", "strategy", "parts", "iters"}

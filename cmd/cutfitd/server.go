@@ -96,7 +96,7 @@ func newServer(opts serverOptions) (*server, error) {
 		mux:     http.NewServeMux(),
 	}
 	for name, g := range restored {
-		s.graphs[name] = &graphEntry{g: g, vertices: g.NumVertices(), edges: g.NumEdges()}
+		s.graphs[name] = &graphEntry{g: g, vertices: g.NumVertices(), edges: g.NumLiveEdges()}
 	}
 	s.mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
@@ -208,6 +208,15 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		// A body over the cap is the client sending too much, not sending
+		// malformed JSON — it gets 413, and MaxBytesReader has already set
+		// Connection: close so the half-read body is not misread as the
+		// next request.
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return false
 	}
@@ -230,7 +239,7 @@ func (s *server) lookup(name string) (*graphEntry, error) {
 // re-registering the same memoized dataset graph (old.g == g) or replacing
 // one of several names sharing a graph must not wipe the live cache.
 func (s *server) register(name string, g *cutfit.Graph) *graphEntry {
-	e := &graphEntry{g: g, vertices: g.NumVertices(), edges: g.NumEdges()}
+	e := &graphEntry{g: g, vertices: g.NumVertices(), edges: g.NumLiveEdges()}
 	s.mu.Lock()
 	old := s.graphs[name]
 	s.graphs[name] = e
@@ -310,45 +319,62 @@ func (s *server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 }
 
 // appendRequest carries an edge batch in the same SNAP-style edge-list
-// encoding the register endpoint accepts.
+// encoding the register endpoint accepts (an optional third column weights
+// each edge), plus the sliding-window expiry bound. ExpireBefore > 0
+// additionally retires every live edge older than the graph's
+// expire_before-th append — append and expiry land in ONE generation step.
+// Edges may be empty when expire_before is set (pure expiry).
 type appendRequest struct {
-	Edges string `json:"edges"`
+	Edges        string `json:"edges,omitempty"`
+	ExpireBefore int    `json:"expire_before,omitempty"`
 }
 
-// appendReply reports the grown graph plus how many edges the batch added.
+// appendReply reports the advanced graph plus how many edges the batch
+// added and the window step expired. Edges counts live (unexpired) edges.
 type appendReply struct {
 	Name     string `json:"name"`
 	Vertices int    `json:"vertices"`
 	Edges    int    `json:"edges"`
 	Added    int    `json:"added"`
+	Expired  int    `json:"expired,omitempty"`
 }
 
 // handleAppendEdges streams an edge batch into a registered graph:
 // POST /v1/graphs/{name}/edges. The registry entry is replaced by the next
-// graph generation (Session.AppendEdges); the previous generation is
-// deliberately NOT forgotten — its cached artifacts are what the session's
-// delta chain extends/patches, so a run after an append costs O(batch)
+// graph generation (Session.AppendEdges, or Session.SlideWindow when the
+// request carries expire_before); the previous generation is deliberately
+// NOT forgotten — its cached artifacts are what the session's delta chain
+// extends/patches, so a run after an append or expiry costs O(batch)
 // instead of a cold re-partition. Requests already running against the old
 // generation are unaffected.
 //
-// The O(|E|) Grow runs outside the registry lock — the lock is held only
-// for the lookup and the swap, so appends never stall handlers for other
-// graphs. Racing appends to one name are resolved compare-and-swap style:
-// a loser re-derives from the winner's generation, so no batch is lost
-// (TestServerConcurrentAppendsAndRuns).
+// The O(|E|) generation step runs outside the registry lock — the lock is
+// held only for the lookup and the swap, so appends never stall handlers
+// for other graphs. Racing appends to one name are resolved
+// compare-and-swap style: a loser re-derives from the winner's generation,
+// so no batch is lost (TestServerConcurrentAppendsAndRuns).
 func (s *server) handleAppendEdges(w http.ResponseWriter, r *http.Request) {
 	var req appendRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if req.Edges == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("edges is required"))
+	if req.Edges == "" && req.ExpireBefore <= 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("edges or expire_before is required"))
 		return
 	}
-	parsed, err := cutfit.LoadEdgeList(strings.NewReader(req.Edges))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if req.ExpireBefore < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("expire_before must be non-negative"))
 		return
+	}
+	var batch []cutfit.Edge
+	var weights []float64
+	if req.Edges != "" {
+		parsed, err := cutfit.LoadEdgeList(strings.NewReader(req.Edges))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		batch, weights = parsed.Edges(), parsed.Weights()
 	}
 	name := r.PathValue("name")
 	for {
@@ -357,12 +383,18 @@ func (s *server) handleAppendEdges(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusNotFound, err)
 			return
 		}
-		ng, err := s.session.AppendEdges(e.g, parsed.Edges())
+		oldLive := e.g.NumLiveEdges()
+		var ng *cutfit.Graph
+		if req.ExpireBefore > 0 {
+			ng, err = s.session.SlideWindow(e.g, batch, weights, req.ExpireBefore)
+		} else {
+			ng, err = s.session.AppendWeightedEdges(e.g, batch, weights)
+		}
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		ne := &graphEntry{g: ng, vertices: ng.NumVertices(), edges: ng.NumEdges()}
+		ne := &graphEntry{g: ng, vertices: ng.NumVertices(), edges: ng.NumLiveEdges()}
 		s.mu.Lock()
 		if s.graphs[name] == e {
 			s.graphs[name] = ne
@@ -371,7 +403,8 @@ func (s *server) handleAppendEdges(w http.ResponseWriter, r *http.Request) {
 				Name:     name,
 				Vertices: ne.vertices,
 				Edges:    ne.edges,
-				Added:    parsed.NumEdges(),
+				Added:    len(batch),
+				Expired:  oldLive + len(batch) - ng.NumLiveEdges(),
 			})
 			return
 		}
@@ -380,7 +413,9 @@ func (s *server) handleAppendEdges(w http.ResponseWriter, r *http.Request) {
 		// pin the discarded edge-list copy) and retry against the current
 		// one.
 		s.mu.Unlock()
-		s.session.Forget(ng)
+		if ng != e.g {
+			s.session.Forget(ng)
+		}
 	}
 }
 

@@ -337,6 +337,69 @@ func TestServerAppendErrors(t *testing.T) {
 	}
 }
 
+// TestServerSlideWindow drives the sliding-window mode of the append
+// endpoint: one request appends a batch AND expires the oldest edges in a
+// single generation step, later artifacts still derive through the delta
+// chain, and a pure-expiry request (no edges) works too — including one
+// that pushes tombstones over the compaction threshold.
+func TestServerSlideWindow(t *testing.T) {
+	ts := newTestServer(t)
+	// Warm the chain on the base generation.
+	post(t, ts, "/v1/run", map[string]any{"graph": "tri", "alg": "pagerank", "strategy": "2D", "parts": 4}, nil)
+
+	const batch = "5 6\n6 0\n0 6\n"
+	var rep appendReply
+	post(t, ts, "/v1/graphs/tri/edges", map[string]any{"edges": batch, "expire_before": 2}, &rep)
+	if rep.Added != 3 || rep.Expired != 2 || rep.Edges != 8 || rep.Vertices != 7 {
+		t.Fatalf("slide reply %+v, want 3 added / 2 expired / 8 live edges / 7 vertices", rep)
+	}
+
+	post(t, ts, "/v1/run", map[string]any{"graph": "tri", "alg": "dynamicpr", "strategy": "2D", "parts": 4, "iters": 0}, nil)
+	var stats cutfit.CacheStats
+	get(t, ts, "/v1/stats", &stats)
+	if stats.DeltaDerived == 0 {
+		t.Fatalf("sliding window did not exercise the delta chain: %+v", stats)
+	}
+
+	// Pure expiry: no edges, just retire the next two oldest. This pushes
+	// tombstone density past the compaction threshold — the endpoint must
+	// stay transparent to that (the next run pays a cold pass, not an
+	// error).
+	var rep2 appendReply
+	post(t, ts, "/v1/graphs/tri/edges", map[string]any{"expire_before": 4}, &rep2)
+	if rep2.Added != 0 || rep2.Expired != 2 || rep2.Edges != 6 {
+		t.Fatalf("pure-expiry reply %+v, want 0 added / 2 expired / 6 live edges", rep2)
+	}
+	post(t, ts, "/v1/run", map[string]any{"graph": "tri", "alg": "pagerank", "strategy": "2D", "parts": 4}, nil)
+
+	var graphs []graphReply
+	get(t, ts, "/v1/graphs", &graphs)
+	if len(graphs) != 1 || graphs[0].Edges != 6 {
+		t.Fatalf("registry lists %+v, want one graph with 6 live edges", graphs)
+	}
+}
+
+// TestServerOversizedBodyReturns413: a request body over the 64 MiB cap is
+// "too large", not "malformed" — the handler must answer 413, not 400.
+func TestServerOversizedBodyReturns413(t *testing.T) {
+	ts := newTestServer(t)
+	payload := append([]byte(`{"edges":"`), bytes.Repeat([]byte(" "), maxRequestBytes)...)
+	payload = append(payload, '"', '}')
+	resp, err := http.Post(ts.URL+"/v1/graphs/tri/edges", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var e errorReply
+	_ = json.NewDecoder(resp.Body).Decode(&e)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d (%s), want %d", resp.StatusCode, e.Error, http.StatusRequestEntityTooLarge)
+	}
+	if e.Error == "" {
+		t.Fatal("oversized body: empty error body")
+	}
+}
+
 // TestServerSnapshotWarmStart is the kill-and-restart proof: a daemon
 // serves runs, persists via POST /v1/snapshot, "dies", and a new daemon
 // over the same data dir answers the identical /v1/run without a single

@@ -94,7 +94,26 @@
 //	g, _ = se.AppendEdges(g, batch)                               // next generation
 //	rep, _ := se.Run(ctx, g, cutfit.EdgePartition2D(), 128, "dynamicpr", 0)
 //
-// See ExampleSession_AppendEdges for the full loop.
+// Graphs are fully mutable, not append-only: RemoveEdges retracts edges by
+// tombstoning their dense positions (unfollows, expired interactions), and
+// SlideWindow appends a batch and expires the oldest live edges in one
+// generation step — the serving shape for time-windowed graphs. Retractions
+// ride the same delta machinery as appends: cached assignments subtract the
+// retracted edges and built topologies are patched in place, bit-identical
+// to a rebuild from scratch. Once tombstones accumulate past a quarter of
+// the edge list the generation compacts its dense storage; compaction
+// severs the delta chain, so the next request pays one full partition pass
+// (never a wrong answer, just a cold one).
+//
+// Graphs may also carry optional per-edge weights (FromWeightedEdges, or a
+// third column in LoadEdgeList input). Weighted graphs flow through the
+// same pipeline and additionally report the weighted metric counterparts
+// (Metrics.WeightedBalance, WeightPerPart, WeightedCommCost); a graph whose
+// weights are all 1 produces bit-identical base metrics to its unweighted
+// twin.
+//
+// See ExampleSession_AppendEdges and ExampleSession_RemoveEdges for the
+// full loops.
 //
 // # Persistence
 //
@@ -194,6 +213,15 @@ func NewGraph(hintEdges int) *Graph { return graph.New(hintEdges) }
 
 // FromEdges builds a graph that takes ownership of the slice.
 func FromEdges(edges []Edge) *Graph { return graph.FromEdges(edges) }
+
+// FromWeightedEdges builds a weighted graph that takes ownership of both
+// slices; weights[i] is the weight of edges[i] and must be finite and
+// positive. Weighted graphs report the weighted metric counterparts
+// (WeightPerPart, WeightedBalance, WeightedCommCost) alongside the base
+// set.
+func FromWeightedEdges(edges []Edge, weights []float64) (*Graph, error) {
+	return graph.FromWeightedEdges(edges, weights)
+}
 
 // LoadEdgeList parses a SNAP-style whitespace-separated edge list.
 func LoadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }

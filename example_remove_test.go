@@ -1,0 +1,54 @@
+package cutfit_test
+
+import (
+	"context"
+	"fmt"
+
+	"cutfit"
+)
+
+// ExampleSession_RemoveEdges retracts edges from a served graph: each
+// batch tombstones the oldest live occurrence of every listed edge and
+// mints a new generation whose partitioning artifacts are patched from
+// the parent's — the retracted slots are masked out, mirrors that lost
+// their last live edge are dropped — instead of re-partitioning cold.
+func ExampleSession_RemoveEdges() {
+	se := cutfit.NewSession(cutfit.SessionOptions{})
+	strat := cutfit.EdgePartition2D()
+	const parts = 4
+
+	// A ring of eight vertices plus two chords.
+	g := cutfit.FromEdges([]cutfit.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 4},
+		{Src: 4, Dst: 5}, {Src: 5, Dst: 6}, {Src: 6, Dst: 7}, {Src: 7, Dst: 0},
+		{Src: 0, Dst: 4}, {Src: 2, Dst: 6},
+	})
+	ctx := context.Background()
+	if _, err := se.Run(ctx, g, strat, parts, "pagerank", 5); err != nil {
+		panic(err)
+	}
+
+	// Both chords are unfollowed; dynamic PageRank re-runs on the patched
+	// topology.
+	ng, err := se.RemoveEdges(g, []cutfit.Edge{
+		{Src: 0, Dst: 4}, {Src: 2, Dst: 6},
+	})
+	if err != nil {
+		panic(err)
+	}
+	g = ng
+	if _, err := se.Run(ctx, g, strat, parts, "dynamicpr", 0); err != nil {
+		panic(err)
+	}
+
+	stats := se.CacheStats()
+	fmt.Println("live edges:", g.NumLiveEdges())
+	fmt.Println("tombstones:", g.NumDeadEdges())
+	fmt.Println("vertices:", g.NumVertices())
+	fmt.Println("delta-derived artifacts:", stats.DeltaDerived > 0)
+	// Output:
+	// live edges: 8
+	// tombstones: 2
+	// vertices: 8
+	// delta-derived artifacts: true
+}

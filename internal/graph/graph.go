@@ -11,6 +11,8 @@ package graph
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -32,6 +34,21 @@ type Edge struct {
 // Graph is a directed multigraph stored as an edge list. It is cheap to
 // construct and append to; adjacency views are built lazily and cached.
 //
+// Retraction is represented by tombstones: Shrink marks dense edge
+// positions dead in a bitset instead of splicing the edge list, so every
+// per-edge artifact computed against the dense list (partition
+// assignments, scattered topologies) stays index-aligned across a
+// retraction. Edges() and NumEdges() keep dense semantics — they include
+// tombstoned slots — while NumLiveEdges/EdgeAlive expose liveness and all
+// derived views (degrees, CSRs, stats) skip dead edges. Once tombstones
+// pass a density threshold a new generation is compacted to a fresh dense
+// list (see Shrink).
+//
+// Edges optionally carry float64 weights in a parallel slice (nil when
+// the graph is unweighted, so the common case pays nothing). Weights flow
+// through the partitioning metrics and the streaming strategies' degree
+// tables; an all-ones weighting is bit-identical to the unweighted path.
+//
 // Concurrency: a Graph is safe for any number of concurrent readers,
 // including concurrent *first* accesses — every lazy view build is guarded
 // by its own viewOnce, so N goroutines racing on an unbuilt view elect one
@@ -41,6 +58,16 @@ type Edge struct {
 // mutate before sharing.
 type Graph struct {
 	edges []Edge
+
+	// weights holds the per-edge weight aligned with edges, or nil for an
+	// unweighted graph (every edge then weighs 1).
+	weights []float64
+
+	// dead is the tombstone bitset over dense edge positions (bit i set =
+	// edge i retracted); words beyond len(dead) are implicitly alive, so a
+	// nil bitset means every edge is live. numDead counts the set bits.
+	dead    []uint64
+	numDead int
 
 	// version counts mutations; cache layers include it in their keys so
 	// entries computed against a superseded edge list can never be served
@@ -67,7 +94,8 @@ type Graph struct {
 	csrUndirOnce viewOnce
 	csrUndir     *csr // undirected, deduplicated, no self loops
 	fpOnce       viewOnce
-	fp           uint64 // content fingerprint of the edge list
+	fp           uint64 // content fingerprint: edge fold + tombstone fold
+	fpEdges      uint64 // sequential edge/weight fold only (extendable by Grow)
 }
 
 // viewOnce guards one lazily-built derived view for concurrent first use.
@@ -126,15 +154,34 @@ func FromEdges(edges []Edge) *Graph {
 	return &Graph{edges: edges}
 }
 
+// FromWeightedEdges builds a weighted graph that takes ownership of both
+// slices; weights[i] is the weight of edges[i]. A nil weights is the
+// unweighted graph (every edge weighs 1). Lengths must match.
+func FromWeightedEdges(edges []Edge, weights []float64) (*Graph, error) {
+	if weights != nil && len(weights) != len(edges) {
+		return nil, fmt.Errorf("graph: %d weights for %d edges", len(weights), len(edges))
+	}
+	return &Graph{edges: edges, weights: weights}, nil
+}
+
 // AddEdge appends a directed edge. Any cached views are invalidated.
 func (g *Graph) AddEdge(src, dst VertexID) {
 	g.edges = append(g.edges, Edge{Src: src, Dst: dst})
+	if g.weights != nil {
+		g.weights = append(g.weights, 1)
+	}
 	g.invalidate()
 }
 
-// AddEdges appends a batch of directed edges.
+// AddEdges appends a batch of directed edges (weight 1 each on a weighted
+// graph).
 func (g *Graph) AddEdges(edges ...Edge) {
 	g.edges = append(g.edges, edges...)
+	if g.weights != nil {
+		for range edges {
+			g.weights = append(g.weights, 1)
+		}
+	}
 	g.invalidate()
 }
 
@@ -158,6 +205,7 @@ func (g *Graph) invalidate() {
 	g.csrUndir = nil
 	g.fpOnce.reset()
 	g.fp = 0
+	g.fpEdges = 0
 }
 
 // fingerprintSeed starts every fingerprint chain; folding edges onto it is
@@ -174,14 +222,68 @@ func foldFingerprint(h uint64, edges []Edge) uint64 {
 	return h
 }
 
-// Fingerprint returns a 64-bit content fingerprint of the edge list —
+// foldFingerprintW chains weighted edges onto a running fingerprint. A nil
+// weights degrades to the unweighted fold, so unweighted graphs keep their
+// historical fingerprints.
+func foldFingerprintW(h uint64, edges []Edge, weights []float64) uint64 {
+	if weights == nil {
+		return foldFingerprint(h, edges)
+	}
+	for i, e := range edges {
+		h = rng.Combine2(h, rng.Combine2(uint64(e.Src), uint64(e.Dst)))
+		h = rng.Combine2(h, math.Float64bits(weights[i]))
+	}
+	return h
+}
+
+// foldFingerprintOnes folds an unweighted suffix onto a weighted chain:
+// every edge carries the implicit weight 1, folded exactly as
+// foldFingerprintW would fold an explicit 1.
+func foldFingerprintOnes(h uint64, edges []Edge) uint64 {
+	one := math.Float64bits(1)
+	for _, e := range edges {
+		h = rng.Combine2(h, rng.Combine2(uint64(e.Src), uint64(e.Dst)))
+		h = rng.Combine2(h, one)
+	}
+	return h
+}
+
+// tombstoneSeed separates the tombstone fold from the edge fold so a
+// shrunk graph can never collide with a grown one.
+const tombstoneSeed = 0x746f6d6273746e65 // "tombstne"
+
+// foldDeadFingerprint folds the tombstone set onto the edge fingerprint.
+// The fold visits dead positions in ascending order, making the result a
+// pure function of (edge list, dead set) — independent of the sequence of
+// Shrink calls that produced the set, so a decoded snapshot recomputes the
+// identical value.
+func foldDeadFingerprint(h uint64, dead []uint64, numDead int) uint64 {
+	if numDead == 0 {
+		return h
+	}
+	h = rng.Combine2(h, tombstoneSeed)
+	for w, word := range dead {
+		for word != 0 {
+			tz := bits.TrailingZeros64(word)
+			h = rng.Combine2(h, uint64(w*64+tz))
+			word &= word - 1
+		}
+	}
+	return h
+}
+
+// Fingerprint returns a 64-bit content fingerprint of the graph content —
 // unlike Version (a process-local mutation counter) it is a pure function
-// of the edges, so it identifies the same graph content across processes.
-// Persistence layers use it to pair durable artifacts with the graph they
-// were computed for and as the stable part of disk-tier cache keys. Built
-// lazily and cached; mutation invalidates it like any other derived view.
+// of the edges, their weights and the tombstone set, so it identifies the
+// same graph content across processes. Persistence layers use it to pair
+// durable artifacts with the graph they were computed for and as the
+// stable part of disk-tier cache keys. Built lazily and cached; mutation
+// invalidates it like any other derived view.
 func (g *Graph) Fingerprint() uint64 {
-	g.fpOnce.do(func() { g.fp = foldFingerprint(fingerprintSeed, g.edges) })
+	g.fpOnce.do(func() {
+		g.fpEdges = foldFingerprintW(fingerprintSeed, g.edges, g.weights)
+		g.fp = foldDeadFingerprint(g.fpEdges, g.dead, g.numDead)
+	})
 	return g.fp
 }
 
@@ -192,12 +294,53 @@ func (g *Graph) Fingerprint() uint64 {
 // superseded edge list are unreachable.
 func (g *Graph) Version() uint64 { return g.version.Load() }
 
-// NumEdges returns the number of directed edges, including duplicates and
-// self loops.
+// NumEdges returns the number of dense edge slots, including duplicates,
+// self loops and tombstoned edges. Per-edge artifacts (assignments,
+// endpoint indices) are aligned with this dense list; use NumLiveEdges for
+// the count of edges that are actually present.
 func (g *Graph) NumEdges() int { return len(g.edges) }
 
-// Edges returns the underlying edge slice. Callers must not modify it.
+// NumLiveEdges returns the number of edges that are not tombstoned.
+func (g *Graph) NumLiveEdges() int { return len(g.edges) - g.numDead }
+
+// NumDeadEdges returns the number of tombstoned edge slots.
+func (g *Graph) NumDeadEdges() int { return g.numDead }
+
+// EdgeAlive reports whether dense edge slot i is live (not tombstoned).
+func (g *Graph) EdgeAlive(i int) bool {
+	w := i >> 6
+	if w >= len(g.dead) {
+		return true
+	}
+	return g.dead[w]&(1<<(uint(i)&63)) == 0
+}
+
+// Tombstones returns the tombstone bitset over dense edge positions (bit i
+// set = edge i retracted); words beyond the slice are implicitly alive and
+// a nil return means no edge is tombstoned. Callers must not modify it.
+func (g *Graph) Tombstones() []uint64 { return g.dead }
+
+// Edges returns the underlying dense edge slice, including tombstoned
+// slots (check EdgeAlive, or Tombstones for bulk scans). Callers must not
+// modify it.
 func (g *Graph) Edges() []Edge { return g.edges }
+
+// Weighted reports whether the graph carries per-edge weights.
+func (g *Graph) Weighted() bool { return g.weights != nil }
+
+// Weights returns the per-edge weight slice aligned with Edges(), or nil
+// for an unweighted graph (every edge then weighs 1). Callers must not
+// modify it.
+func (g *Graph) Weights() []float64 { return g.weights }
+
+// EdgeWeight returns the weight of dense edge slot i (1 on an unweighted
+// graph).
+func (g *Graph) EdgeWeight(i int) float64 {
+	if g.weights == nil {
+		return 1
+	}
+	return g.weights[i]
+}
 
 // buildVerts computes the sorted unique vertex list by scanning the edge
 // list. The dense index map is a separate view (buildIndex) so generations
@@ -280,13 +423,17 @@ func (g *Graph) EdgeEndpointIndices() (src, dst []int32) {
 	return g.srcIdx, g.dstIdx
 }
 
-// buildDegrees computes in/out degree per dense vertex index.
+// buildDegrees computes in/out degree per dense vertex index. Tombstoned
+// edges do not count.
 func (g *Graph) buildDegrees() {
 	g.degOnce.do(func() {
 		g.buildVertexIndex()
 		out := make([]int32, len(g.verts))
 		in := make([]int32, len(g.verts))
-		for _, e := range g.edges {
+		for i, e := range g.edges {
+			if g.numDead != 0 && !g.EdgeAlive(i) {
+				continue
+			}
 			out[g.index[e.Src]]++
 			in[g.index[e.Dst]]++
 		}
@@ -339,29 +486,137 @@ func (g *Graph) Reverse() *Graph {
 		rev[i] = Edge{Src: e.Dst, Dst: e.Src}
 	}
 	out := FromEdges(rev)
+	out.weights = cloneWeights(g.weights)
+	out.dead = cloneDead(g.dead)
+	out.numDead = g.numDead
 	out.version.Store(nextGenerationVersion())
 	return out
 }
 
-// Clone returns a deep copy of the graph's edge list (views are rebuilt
-// lazily on the copy). Like Reverse, the copy starts at a fresh nonzero
-// version, never shared with any other graph in this process.
+// Clone returns a deep copy of the graph's edge list, weights and
+// tombstones (views are rebuilt lazily on the copy). Like Reverse, the
+// copy starts at a fresh nonzero version, never shared with any other
+// graph in this process.
 func (g *Graph) Clone() *Graph {
 	edges := make([]Edge, len(g.edges))
 	copy(edges, g.edges)
 	out := FromEdges(edges)
+	out.weights = cloneWeights(g.weights)
+	out.dead = cloneDead(g.dead)
+	out.numDead = g.numDead
 	out.version.Store(nextGenerationVersion())
 	return out
+}
+
+func cloneWeights(w []float64) []float64 {
+	if w == nil {
+		return nil
+	}
+	out := make([]float64, len(w))
+	copy(out, w)
+	return out
+}
+
+func cloneDead(d []uint64) []uint64 {
+	if d == nil {
+		return nil
+	}
+	out := make([]uint64, len(d))
+	copy(out, d)
+	return out
+}
+
+// popcount counts the set bits of a tombstone bitset.
+func popcount(words []uint64) int {
+	n := 0
+	for _, w := range words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// RestoreWeights attaches a decoded weight slice to the graph (persistence
+// layers reassemble graph state section by section). The weights must
+// align with the dense edge list and be finite and positive. Only the
+// fingerprint view is invalidated — weights change no structural view.
+func (g *Graph) RestoreWeights(weights []float64) error {
+	if weights == nil {
+		g.weights = nil
+		g.fpOnce.reset()
+		return nil
+	}
+	if len(weights) != len(g.edges) {
+		return fmt.Errorf("graph: %d weights for %d edges", len(weights), len(g.edges))
+	}
+	for i, w := range weights {
+		if !(w > 0) || math.IsInf(w, 1) {
+			return fmt.Errorf("graph: edge %d has invalid weight %v (must be finite and positive)", i, w)
+		}
+	}
+	g.weights = weights
+	g.fpOnce.reset()
+	return nil
+}
+
+// RestoreTombstones attaches a decoded tombstone bitset. The bitset must
+// fit the dense edge list (no bits at or beyond NumEdges) and numDead must
+// equal its popcount. The vertex set is unchanged by tombstones (dead
+// edges keep their endpoints listed), so only the views that skip dead
+// edges — degrees, CSRs, the fingerprint — are invalidated.
+func (g *Graph) RestoreTombstones(dead []uint64, numDead int) error {
+	if len(dead)*64 > (len(g.edges)+63)&^63 {
+		return fmt.Errorf("graph: tombstone bitset spans %d words for %d edges", len(dead), len(g.edges))
+	}
+	if tail := len(g.edges) & 63; tail != 0 && len(dead) == (len(g.edges)+63)/64 {
+		if dead[len(dead)-1]>>uint(tail) != 0 {
+			return fmt.Errorf("graph: tombstone bitset has bits beyond edge %d", len(g.edges)-1)
+		}
+	}
+	if pc := popcount(dead); pc != numDead {
+		return fmt.Errorf("graph: tombstone count %d disagrees with bitset popcount %d", numDead, pc)
+	}
+	g.dead = dead
+	g.numDead = numDead
+	g.degOnce.reset()
+	g.outDeg, g.inDeg = nil, nil
+	g.csrOutOnce.reset()
+	g.csrOut = nil
+	g.csrInOnce.reset()
+	g.csrIn = nil
+	g.csrUndirOnce.reset()
+	g.csrUndir = nil
+	g.fpOnce.reset()
+	return nil
 }
 
 // Validate checks internal consistency and returns an error describing the
 // first problem found. A valid graph has no negative vertex IDs (negative
 // IDs are legal for Graph itself but rejected by the generators and the
-// engine, which reserve them for internal sentinels).
+// engine, which reserve them for internal sentinels), weights aligned with
+// the dense edge list (finite, positive), and a tombstone bitset whose
+// popcount matches the recorded dead count with no bits beyond the list.
 func (g *Graph) Validate() error {
 	for i, e := range g.edges {
 		if e.Src < 0 || e.Dst < 0 {
 			return fmt.Errorf("graph: edge %d (%d -> %d) has negative vertex ID", i, e.Src, e.Dst)
+		}
+	}
+	if g.weights != nil {
+		if len(g.weights) != len(g.edges) {
+			return fmt.Errorf("graph: %d weights for %d edges", len(g.weights), len(g.edges))
+		}
+		for i, w := range g.weights {
+			if !(w > 0) || math.IsInf(w, 1) {
+				return fmt.Errorf("graph: edge %d has invalid weight %v (must be finite and positive)", i, w)
+			}
+		}
+	}
+	if pc := popcount(g.dead); pc != g.numDead {
+		return fmt.Errorf("graph: tombstone count %d disagrees with bitset popcount %d", g.numDead, pc)
+	}
+	for i := len(g.edges); i < len(g.dead)*64; i++ {
+		if !g.EdgeAlive(i) {
+			return fmt.Errorf("graph: tombstone bitset has bits beyond edge %d", len(g.edges)-1)
 		}
 	}
 	return nil
@@ -394,7 +649,10 @@ func (g *Graph) buildCSR(direction string, undirected, dedup bool) *csr {
 	add := func(a, b int32) {
 		counts[a+1]++
 	}
-	for _, e := range g.edges {
+	for i, e := range g.edges {
+		if g.numDead != 0 && !g.EdgeAlive(i) {
+			continue
+		}
 		s, d := g.index[e.Src], g.index[e.Dst]
 		if undirected {
 			if s == d {
@@ -420,7 +678,10 @@ func (g *Graph) buildCSR(direction string, undirected, dedup bool) *csr {
 		adj[offsets[a]+cursor[a]] = b
 		cursor[a]++
 	}
-	for _, e := range g.edges {
+	for i, e := range g.edges {
+		if g.numDead != 0 && !g.EdgeAlive(i) {
+			continue
+		}
 		s, d := g.index[e.Src], g.index[e.Dst]
 		if undirected {
 			if s == d {

@@ -5,26 +5,45 @@ import (
 	"slices"
 )
 
-// Delta describes one Grow step: the boundary between a parent graph and
-// the generation derived from it by appending an edge suffix. Incremental
-// consumers (the artifact store's delta chain, the partitioned-topology
-// patcher) use it to locate the suffix and to remap the parent's dense
+// Delta describes one generation step: the boundary between a parent graph
+// and the generation derived from it by appending an edge suffix and/or
+// tombstoning retracted edges. Incremental consumers (the artifact store's
+// delta chain, the partitioned-topology patcher) use it to locate the
+// suffix, to diff the tombstone sets, and to remap the parent's dense
 // vertex indices into the child's.
 type Delta struct {
-	// Old is the parent generation; New is Old plus the appended suffix.
+	// Old is the parent generation; New is Old plus the appended suffix
+	// and/or the retraction tombstones. Old == New means the step was a
+	// no-op (empty suffix, nothing retracted) and no new generation was
+	// minted.
 	Old, New *Graph
-	// OldLen is the parent's edge count: New.Edges()[:OldLen] is exactly
-	// Old.Edges(), and New.Edges()[OldLen:] is the appended suffix.
+	// OldLen is the parent's dense edge count: New.Edges()[:OldLen] is
+	// exactly Old.Edges() (value-wise; liveness may differ — diff the
+	// Tombstones bitsets for retractions), and New.Edges()[OldLen:] is the
+	// appended suffix. When Compacted is set the prefix relationship does
+	// not hold.
 	OldLen int
 	// OldVersion and NewVersion are the generations' version counters at
-	// the time of the Grow, so cache keys recorded against either side
+	// the time of the step, so cache keys recorded against either side
 	// stay pinned even if a graph is later mutated in place.
 	OldVersion, NewVersion uint64
 	// OldVerts is the parent's sorted vertex list, shared (not copied) with
 	// the parent. Callers must not modify it. RemapVertices turns it into a
 	// dense-index remap against any descendant generation.
 	OldVerts []VertexID
+	// Compacted reports that the step rewrote the dense edge list to drop
+	// accumulated tombstones: New's edge positions no longer align with
+	// Old's, so per-edge artifacts cannot be patched across this boundary.
+	// Delta consumers (the artifact store) skip compacted deltas, severing
+	// the derivation chain; the child's artifacts are computed fresh.
+	Compacted bool
 }
+
+// compactionThreshold is the tombstone density (dead/dense) at which a
+// generation step compacts the edge list instead of accumulating more
+// tombstones: once a quarter of the dense slots are dead, every scan pays
+// more for skipping than a one-time rewrite costs.
+const compactionThreshold = 4 // compact when numDead*compactionThreshold >= len(edges)
 
 // Grow returns a new Graph — the next generation of g, holding g's edges
 // followed by newEdges — without mutating g. The parent stays fully
@@ -42,30 +61,143 @@ type Delta struct {
 // generation can observe the other's mutations. The new generation starts
 // at a fresh process-unique version.
 //
+// An empty suffix is a no-op: Grow returns g itself (Delta.Old ==
+// Delta.New), never minting a content-identical generation that would
+// orphan every cached artifact key.
+//
 // Grow only reads g through its concurrency-safe view builders, so it may
 // run while other goroutines read g.
 func (g *Graph) Grow(newEdges []Edge) (*Graph, Delta) {
+	return g.advance(newEdges, nil, nil)
+}
+
+// GrowWeighted is Grow with per-edge weights for the appended suffix
+// (weights[i] belongs to newEdges[i]; nil means weight 1 each). Growing an
+// unweighted parent with a weighted suffix promotes the child to weighted
+// — the parent's edges keep weight 1.
+func (g *Graph) GrowWeighted(newEdges []Edge, weights []float64) (*Graph, Delta, error) {
+	if weights != nil && len(weights) != len(newEdges) {
+		return nil, Delta{}, fmt.Errorf("graph: %d weights for %d appended edges", len(weights), len(newEdges))
+	}
+	ng, d := g.advance(newEdges, weights, nil)
+	return ng, d, nil
+}
+
+// advance is the one generation-step primitive behind Grow, GrowWeighted,
+// Shrink, ShrinkBefore and SlideWindow: append suffix (with optional
+// weights) and tombstone the dense positions in removeIdx, producing a new
+// generation without mutating g. removeIdx must be sorted ascending,
+// deduplicated, in [0, len(g.edges)), and every listed position must be
+// live in g — callers resolve and validate. A step with nothing to do
+// returns g itself (Delta.Old == Delta.New). A step that pushes tombstone
+// density past the compaction threshold rewrites the dense list instead
+// (Delta.Compacted).
+func (g *Graph) advance(suffix []Edge, sufWeights []float64, removeIdx []int) (*Graph, Delta) {
 	oldLen := len(g.edges)
 	oldVerts := g.Vertices()
 
-	combined := make([]Edge, oldLen+len(newEdges))
-	copy(combined, g.edges)
-	copy(combined[oldLen:], newEdges)
-	ng := FromEdges(combined)
+	if len(suffix) == 0 && len(removeIdx) == 0 {
+		v := g.Version()
+		return g, Delta{
+			Old: g, New: g,
+			OldLen:     oldLen,
+			OldVersion: v, NewVersion: v,
+			OldVerts: oldVerts,
+		}
+	}
+
+	childWeighted := g.weights != nil || sufWeights != nil
+
+	var ng *Graph
+	if len(suffix) == 0 {
+		// Pure shrink: the dense list is unchanged, so the child shares the
+		// parent's edge slice (capacity-clamped — neither generation can
+		// append into the other) and, when weighted, the weight slice.
+		ng = FromEdges(g.edges[:oldLen:oldLen])
+		if childWeighted {
+			ng.weights = g.weights[:oldLen:oldLen]
+		}
+	} else {
+		combined := make([]Edge, oldLen+len(suffix))
+		copy(combined, g.edges)
+		copy(combined[oldLen:], suffix)
+		ng = FromEdges(combined)
+		if childWeighted {
+			w := make([]float64, oldLen+len(suffix))
+			if g.weights != nil {
+				copy(w, g.weights)
+			} else {
+				for i := 0; i < oldLen; i++ {
+					w[i] = 1
+				}
+			}
+			if sufWeights != nil {
+				copy(w[oldLen:], sufWeights)
+			} else {
+				for i := oldLen; i < len(w); i++ {
+					w[i] = 1
+				}
+			}
+			ng.weights = w
+		}
+	}
 	ng.version.Store(nextGenerationVersion())
+
+	// Tombstones: the parent's set plus this step's retractions.
+	if len(removeIdx) > 0 {
+		words := (removeIdx[len(removeIdx)-1] >> 6) + 1
+		if len(g.dead) > words {
+			words = len(g.dead)
+		}
+		dead := make([]uint64, words)
+		copy(dead, g.dead)
+		for _, i := range removeIdx {
+			dead[i>>6] |= 1 << (uint(i) & 63)
+		}
+		ng.dead = dead
+		ng.numDead = g.numDead + len(removeIdx)
+	} else if g.numDead > 0 {
+		ng.dead = g.dead // shared; both generations treat it as immutable
+		ng.numDead = g.numDead
+	}
+
+	// Past the compaction threshold, rewrite the dense list instead of
+	// handing out an ever-sparser generation.
+	if ng.numDead > 0 && ng.numDead*compactionThreshold >= len(ng.edges) {
+		compacted := ng.compact()
+		return compacted, Delta{
+			Old: g, New: compacted,
+			OldLen:     oldLen,
+			OldVersion: g.Version(), NewVersion: compacted.Version(),
+			OldVerts:  oldVerts,
+			Compacted: true,
+		}
+	}
 
 	// The content fingerprint chains sequentially over the edge list, so a
 	// parent's built fingerprint extends to the child by folding only the
-	// suffix.
-	if g.fpOnce.built() {
-		ng.fp = foldFingerprint(g.fp, newEdges)
+	// suffix and re-folding the tombstone set. The chain only holds when
+	// parent and child agree on weightedness (promoting to weighted
+	// re-folds the prefix with weights, so the view stays lazy then).
+	if g.fpOnce.built() && (g.weights != nil) == childWeighted {
+		switch {
+		case !childWeighted:
+			ng.fpEdges = foldFingerprint(g.fpEdges, suffix)
+		case sufWeights != nil:
+			ng.fpEdges = foldFingerprintW(g.fpEdges, suffix, sufWeights)
+		default:
+			ng.fpEdges = foldFingerprintOnes(g.fpEdges, suffix)
+		}
+		ng.fp = foldDeadFingerprint(ng.fpEdges, ng.dead, ng.numDead)
 		ng.fpOnce.markBuilt()
 	}
 
 	// New vertex IDs introduced by the suffix: endpoints absent from the
-	// parent's sorted list.
+	// parent's sorted list. Retraction never removes vertices — tombstoned
+	// edges keep their endpoints listed until compaction — so the vertex
+	// set can only grow.
 	var added []VertexID
-	for _, e := range newEdges {
+	for _, e := range suffix {
 		if _, ok := slices.BinarySearch(oldVerts, e.Src); !ok {
 			added = append(added, e.Src)
 		}
@@ -107,9 +239,9 @@ func (g *Graph) Grow(newEdges []Edge) (*Graph, Delta) {
 
 	// Dense endpoint indices of the suffix, shared by the degree and
 	// endpoint seeding below.
-	sufSrc := make([]int32, len(newEdges))
-	sufDst := make([]int32, len(newEdges))
-	for i, e := range newEdges {
+	sufSrc := make([]int32, len(suffix))
+	sufDst := make([]int32, len(suffix))
+	for i, e := range suffix {
 		si, _ := slices.BinarySearch(ng.verts, e.Src)
 		di, _ := slices.BinarySearch(ng.verts, e.Dst)
 		sufSrc[i], sufDst[i] = int32(si), int32(di)
@@ -128,26 +260,39 @@ func (g *Graph) Grow(newEdges []Edge) (*Graph, Delta) {
 				in[remap[i]] = g.inDeg[i]
 			}
 		}
-		for i := range newEdges {
+		for i := range suffix {
 			out[sufSrc[i]]++
 			in[sufDst[i]]++
+		}
+		for _, i := range removeIdx {
+			e := g.edges[i]
+			si, _ := slices.BinarySearch(ng.verts, e.Src)
+			di, _ := slices.BinarySearch(ng.verts, e.Dst)
+			out[si]--
+			in[di]--
 		}
 		ng.outDeg, ng.inDeg = out, in
 		ng.degOnce.markBuilt()
 	}
 	// Endpoint views are carried over only when old dense indices survive
-	// (remap == nil): the seed is then two memcpys. When indices shifted,
-	// the per-edge remap pass would cost more than most consumers save —
-	// the delta topology patcher only needs suffix endpoints, which it
-	// computes itself — so the view is left lazy instead.
+	// (remap == nil): the seed is then two memcpys — or, on a pure shrink,
+	// shared outright (tombstoned slots keep their endpoint entries, so
+	// the aligned view is unchanged). When indices shifted, the per-edge
+	// remap pass would cost more than most consumers save — the delta
+	// topology patcher only needs suffix endpoints, which it computes
+	// itself — so the view is left lazy instead.
 	if remap == nil && g.endpointOnce.built() {
-		src := make([]int32, len(combined))
-		dst := make([]int32, len(combined))
-		copy(src, g.srcIdx)
-		copy(dst, g.dstIdx)
-		copy(src[oldLen:], sufSrc)
-		copy(dst[oldLen:], sufDst)
-		ng.srcIdx, ng.dstIdx = src, dst
+		if len(suffix) == 0 {
+			ng.srcIdx, ng.dstIdx = g.srcIdx, g.dstIdx
+		} else {
+			src := make([]int32, len(ng.edges))
+			dst := make([]int32, len(ng.edges))
+			copy(src, g.srcIdx)
+			copy(dst, g.dstIdx)
+			copy(src[oldLen:], sufSrc)
+			copy(dst[oldLen:], sufDst)
+			ng.srcIdx, ng.dstIdx = src, dst
+		}
 		ng.endpointOnce.markBuilt()
 	}
 
@@ -159,13 +304,39 @@ func (g *Graph) Grow(newEdges []Edge) (*Graph, Delta) {
 	}
 }
 
+// compact rewrites the dense edge list of a tombstoned graph, dropping
+// dead slots (and their weights). The result is a fresh generation with no
+// tombstones and fully lazy views — vertices that only backed dead edges
+// disappear here, which is why per-edge artifacts cannot survive the
+// boundary.
+func (g *Graph) compact() *Graph {
+	edges := make([]Edge, 0, len(g.edges)-g.numDead)
+	var weights []float64
+	if g.weights != nil {
+		weights = make([]float64, 0, len(g.edges)-g.numDead)
+	}
+	for i, e := range g.edges {
+		if !g.EdgeAlive(i) {
+			continue
+		}
+		edges = append(edges, e)
+		if weights != nil {
+			weights = append(weights, g.weights[i])
+		}
+	}
+	out := FromEdges(edges)
+	out.weights = weights
+	out.version.Store(nextGenerationVersion())
+	return out
+}
+
 // RemapVertices returns the dense-index remap from a sorted ancestor
 // vertex list to a descendant generation: remap[oldDense] is the vertex's
 // dense index in target. A nil, nil return means identity — every old
 // vertex keeps its dense index (all vertices added since sort after the
-// old maximum). An old vertex missing from target is an error: growth
-// never removes vertices, so it signals a mismatched (ancestor, target)
-// pair.
+// old maximum). An old vertex missing from target is an error: generation
+// steps never remove vertices short of compaction, so it signals a
+// mismatched (ancestor, target) pair or a compaction boundary.
 func RemapVertices(oldVerts []VertexID, target *Graph) ([]int32, error) {
 	newVerts := target.Vertices()
 	if len(oldVerts) > len(newVerts) {

@@ -80,7 +80,13 @@ func TestGrowSeedsViewsConsistently(t *testing.T) {
 			if d.Old != g || d.New != ng || d.OldLen != len(tc.base) {
 				t.Fatalf("delta bookkeeping wrong: %+v", d)
 			}
-			if d.NewVersion == d.OldVersion || ng.Version() == 0 {
+			if len(tc.delta) == 0 {
+				// An empty suffix is a no-op: no fresh generation, no new
+				// version — the parent itself comes back.
+				if ng != g || d.NewVersion != d.OldVersion {
+					t.Fatalf("empty suffix minted a new generation: %+v", d)
+				}
+			} else if d.NewVersion == d.OldVersion || ng.Version() == 0 {
 				t.Fatalf("grown graph version %d not distinct from parent %d", d.NewVersion, d.OldVersion)
 			}
 			checkViewsEqual(t, ng)

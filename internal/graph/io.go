@@ -5,20 +5,32 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"slices"
 	"strconv"
 	"strings"
 )
 
 // WriteEdgeList writes the graph in SNAP-style text format: one "src dst"
-// pair per line, tab separated, with a leading comment header.
+// pair per live edge, tab separated, with a leading comment header.
+// Tombstoned edges are not written (the text format has no liveness
+// column); a weighted graph writes a third tab-separated weight field.
 func (g *Graph) WriteEdgeList(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := fmt.Fprintf(bw, "# cutfit edge list: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges()); err != nil {
+	if _, err := fmt.Fprintf(bw, "# cutfit edge list: %d vertices, %d edges\n", g.NumVertices(), g.NumLiveEdges()); err != nil {
 		return err
 	}
-	for _, e := range g.edges {
-		if _, err := fmt.Fprintf(bw, "%d\t%d\n", e.Src, e.Dst); err != nil {
+	for i, e := range g.edges {
+		if g.numDead != 0 && !g.EdgeAlive(i) {
+			continue
+		}
+		var err error
+		if g.weights != nil {
+			_, err = fmt.Fprintf(bw, "%d\t%d\t%g\n", e.Src, e.Dst, g.weights[i])
+		} else {
+			_, err = fmt.Fprintf(bw, "%d\t%d\n", e.Src, e.Dst)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -26,11 +38,15 @@ func (g *Graph) WriteEdgeList(w io.Writer) error {
 }
 
 // ReadEdgeList parses a SNAP-style text edge list: lines of "src dst"
-// separated by whitespace; lines starting with '#' or '%' are comments.
+// separated by whitespace, with an optional third field holding a
+// positive float64 edge weight; lines starting with '#' or '%' are
+// comments. If any line carries a weight the graph is weighted and
+// weight-less lines default to 1.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	g := New(1024)
+	var weights []float64
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -50,11 +66,30 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: bad destination vertex %q: %w", lineNo, fields[1], err)
 		}
+		if len(fields) >= 3 {
+			wt, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge weight %q: %w", lineNo, fields[2], err)
+			}
+			if !(wt > 0) || math.IsInf(wt, 1) {
+				return nil, fmt.Errorf("graph: line %d: edge weight %g must be finite and positive", lineNo, wt)
+			}
+			if weights == nil {
+				weights = make([]float64, len(g.edges), cap(g.edges))
+				for i := range weights {
+					weights[i] = 1
+				}
+			}
+			weights = append(weights, wt)
+		} else if weights != nil {
+			weights = append(weights, 1)
+		}
 		g.edges = append(g.edges, Edge{Src: VertexID(src), Dst: VertexID(dst)})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("graph: scanning edge list: %w", err)
 	}
+	g.weights = weights
 	g.invalidate()
 	return g, nil
 }

@@ -48,21 +48,27 @@ func (g *Graph) Characterize(diameterSamples int, seed uint64) Stats {
 // which the reverse edge (v,u) also exists. Self loops count as symmetric.
 // An empty graph reports 100.
 func (g *Graph) SymmetryPct() float64 {
-	if len(g.edges) == 0 {
+	if g.NumLiveEdges() == 0 {
 		return 100
 	}
 	type pair struct{ a, b VertexID }
 	set := make(map[pair]struct{}, len(g.edges))
-	for _, e := range g.edges {
+	for i, e := range g.edges {
+		if g.numDead != 0 && !g.EdgeAlive(i) {
+			continue
+		}
 		set[pair{e.Src, e.Dst}] = struct{}{}
 	}
 	recip := 0
-	for _, e := range g.edges {
+	for i, e := range g.edges {
+		if g.numDead != 0 && !g.EdgeAlive(i) {
+			continue
+		}
 		if _, ok := set[pair{e.Dst, e.Src}]; ok {
 			recip++
 		}
 	}
-	return 100 * float64(recip) / float64(len(g.edges))
+	return 100 * float64(recip) / float64(g.NumLiveEdges())
 }
 
 // ZeroDegreePct returns the percentages (0–100) of vertices with zero
@@ -186,7 +192,10 @@ func (g *Graph) ConnectedComponents() (labels []VertexID, count int) {
 			}
 		}
 	}
-	for _, e := range g.edges {
+	for i, e := range g.edges {
+		if g.numDead != 0 && !g.EdgeAlive(i) {
+			continue
+		}
 		union(g.index[e.Src], g.index[e.Dst])
 	}
 	// Minimum vertex ID per root. Because verts is sorted and roots are

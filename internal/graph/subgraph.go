@@ -1,15 +1,28 @@
 package graph
 
-// InducedSubgraph returns the subgraph induced by keep: every edge whose
-// endpoints both satisfy keep(v). Vertex IDs are preserved.
+// InducedSubgraph returns the subgraph induced by keep: every live edge
+// whose endpoints both satisfy keep(v). Vertex IDs (and edge weights, on a
+// weighted graph) are preserved; tombstoned edges are dropped.
 func (g *Graph) InducedSubgraph(keep func(v VertexID) bool) *Graph {
 	out := make([]Edge, 0, len(g.edges)/2)
-	for _, e := range g.edges {
+	var w []float64
+	if g.weights != nil {
+		w = make([]float64, 0, len(g.edges)/2)
+	}
+	for i, e := range g.edges {
+		if g.numDead != 0 && !g.EdgeAlive(i) {
+			continue
+		}
 		if keep(e.Src) && keep(e.Dst) {
 			out = append(out, e)
+			if w != nil {
+				w = append(w, g.weights[i])
+			}
 		}
 	}
-	return FromEdges(out)
+	sub := FromEdges(out)
+	sub.weights = w
+	return sub
 }
 
 // GiantComponent returns the subgraph induced by the largest weakly

@@ -45,9 +45,23 @@ type Result struct {
 	// partition sizes.
 	MaxEdges    int64
 	MaxVertices int64
-	// EdgesPerPart and VerticesPerPart are the per-partition sizes.
+	// EdgesPerPart and VerticesPerPart are the per-partition sizes
+	// (tombstoned edges never count).
 	EdgesPerPart    []int64
 	VerticesPerPart []int64
+
+	// Weighted counterparts, populated only when the graph carries edge
+	// weights (nil/zero otherwise — the unweighted path is untouched).
+	// WeightPerPart is the per-partition total live edge weight;
+	// WeightedBalance and MaxWeight are its max/mean ratio and maximum;
+	// WeightedCommCost scales each cut vertex's synchronization copies by
+	// the vertex's weighted degree, so hot (heavy-edge) vertices dominate
+	// the cost the way they dominate real superstep traffic. With all
+	// weights 1, WeightPerPart equals EdgesPerPart exactly.
+	WeightPerPart    []float64
+	WeightedBalance  float64
+	MaxWeight        float64
+	WeightedCommCost float64
 }
 
 // Compute derives the full metric set from a raw edge assignment. assign
@@ -73,18 +87,34 @@ func FromAssignment(a *partition.Assignment) (*Result, error) {
 	nv := g.NumVertices()
 	words := (numParts + 63) / 64
 	// replicaBits[v*words : (v+1)*words] is the partition bitset of dense
-	// vertex v.
+	// vertex v. Tombstoned edges replicate nothing.
 	replicaBits := make([]uint64, nv*words)
 	srcIdx, dstIdx := g.EdgeEndpointIndices()
+	weights := g.Weights()
+	var weightPerPart, wdeg []float64
+	if weights != nil {
+		weightPerPart = make([]float64, numParts)
+		wdeg = make([]float64, nv)
+	}
+	numDead := g.NumDeadEdges()
 	for i, p := range a.PIDs {
+		if numDead != 0 && !g.EdgeAlive(i) {
+			continue
+		}
 		w, b := int(p)/64, uint(p)%64
 		replicaBits[int(srcIdx[i])*words+w] |= 1 << b
 		replicaBits[int(dstIdx[i])*words+w] |= 1 << b
+		if weights != nil {
+			wt := weights[i]
+			weightPerPart[p] += wt
+			wdeg[srcIdx[i]] += wt
+			wdeg[dstIdx[i]] += wt
+		}
 	}
 
 	edgesPerPart := make([]int64, numParts)
 	copy(edgesPerPart, a.EdgesPerPart)
-	res := &Result{NumParts: numParts, EdgesPerPart: edgesPerPart}
+	res := &Result{NumParts: numParts, EdgesPerPart: edgesPerPart, WeightPerPart: weightPerPart}
 	vertsPerPart := make([]int64, numParts)
 	for v := 0; v < nv; v++ {
 		replicas := 0
@@ -104,6 +134,9 @@ func FromAssignment(a *partition.Assignment) (*Result, error) {
 		case replicas > 1:
 			res.Cut++
 			res.CommCost += int64(replicas)
+			if wdeg != nil {
+				res.WeightedCommCost += float64(replicas) * wdeg[v]
+			}
 		}
 	}
 	res.VerticesPerPart = vertsPerPart
@@ -149,6 +182,21 @@ func (r *Result) Finalize(numVertices int) {
 	} else {
 		r.ReplicationFactor = 0
 	}
+	if r.WeightPerPart != nil {
+		var wsum, wmax float64
+		for _, c := range r.WeightPerPart {
+			wsum += c
+			if c > wmax {
+				wmax = c
+			}
+		}
+		r.MaxWeight = wmax
+		if wmean := wsum / float64(r.NumParts); wmean > 0 {
+			r.WeightedBalance = wmax / wmean
+		} else {
+			r.WeightedBalance = 1
+		}
+	}
 }
 
 // ComputeFor partitions g with strategy s and computes the metrics in one
@@ -178,6 +226,10 @@ func (r *Result) MetricByName(name string) (float64, error) {
 		return r.PartStDev, nil
 	case "ReplicationFactor":
 		return r.ReplicationFactor, nil
+	case "WeightedBalance":
+		return r.WeightedBalance, nil
+	case "WeightedCommCost":
+		return r.WeightedCommCost, nil
 	}
 	return 0, fmt.Errorf("metrics: unknown metric %q", name)
 }

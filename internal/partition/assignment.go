@@ -26,11 +26,12 @@ type Assignment struct {
 	Strategy string
 	// NumParts is the partition count the assignment targets.
 	NumParts int
-	// PIDs holds one partition ID per edge, aligned with G.Edges(). Every
-	// entry is validated to be in [0, NumParts).
+	// PIDs holds one partition ID per dense edge slot, aligned with
+	// G.Edges() — tombstoned slots keep their (validated) assignment so the
+	// alignment survives retraction. Every entry is in [0, NumParts).
 	PIDs []PID
-	// EdgesPerPart is the per-partition edge histogram, counted once during
-	// validation.
+	// EdgesPerPart is the per-partition LIVE edge histogram, counted once
+	// during validation; tombstoned edges do not count.
 	EdgesPerPart []int64
 
 	// strategyKey is the producing strategy's cache identity
@@ -79,8 +80,9 @@ func (a *Assignment) takeStream() *StreamState {
 }
 
 // NewAssignment validates a raw per-edge assignment against g (length and
-// PID range) and wraps it, counting the per-partition edge histogram in the
-// same pass. The PIDs slice is retained, not copied.
+// PID range over the full dense list) and wraps it, counting the
+// per-partition live edge histogram in the same pass (tombstoned slots are
+// validated but not counted). The PIDs slice is retained, not copied.
 func NewAssignment(g *graph.Graph, strategy string, pids []PID, numParts int) (*Assignment, error) {
 	if err := checkParts(numParts); err != nil {
 		return nil, err
@@ -88,10 +90,14 @@ func NewAssignment(g *graph.Graph, strategy string, pids []PID, numParts int) (*
 	if ne := g.NumEdges(); len(pids) != ne {
 		return nil, fmt.Errorf("partition: assignment has %d entries for %d edges", len(pids), ne)
 	}
+	numDead := g.NumDeadEdges()
 	counts := make([]int64, numParts)
 	for i, p := range pids {
 		if p < 0 || int(p) >= numParts {
 			return nil, fmt.Errorf("partition: edge %d assigned to out-of-range partition %d", i, p)
+		}
+		if numDead != 0 && !g.EdgeAlive(i) {
+			continue
 		}
 		counts[p]++
 	}
@@ -131,8 +137,8 @@ func RestoreAssignmentCounted(g *graph.Graph, strategy, strategyKey string, pids
 		}
 		total += c
 	}
-	if total != int64(len(pids)) {
-		return nil, fmt.Errorf("partition: histogram sums to %d for %d edges", total, len(pids))
+	if total != int64(g.NumLiveEdges()) {
+		return nil, fmt.Errorf("partition: histogram sums to %d for %d live edges", total, g.NumLiveEdges())
 	}
 	return &Assignment{G: g, Strategy: strategy, strategyKey: strategyKey, NumParts: numParts, PIDs: pids, EdgesPerPart: counts, extendedFrom: -1}, nil
 }
@@ -174,7 +180,7 @@ func Assign(g *graph.Graph, s Strategy, numParts int) (*Assignment, error) {
 		}
 		edges := g.Edges()
 		pids = make([]PID, len(edges))
-		st.AssignEdges(edges, pids)
+		st.AssignWeightedEdges(edges, g.Weights(), pids)
 		retained = st
 	} else {
 		var err error

@@ -2,15 +2,20 @@ package partition
 
 import (
 	"fmt"
+	"math/bits"
 
 	"cutfit/internal/graph"
 )
 
 // Extend returns the Assignment of grown — a graph that contains exactly
-// this assignment's edges as a prefix, as produced by Graph.Grow (a new
-// generation) or by AddEdges on a.G itself (in-place growth) — under the
-// same strategy and partition count. The result is bit-for-bit identical
-// to Assign(grown, s, a.NumParts); only the cost differs:
+// this assignment's edges as a prefix, as produced by Graph.Grow, Shrink
+// or SlideWindow (a new generation) or by AddEdges on a.G itself
+// (in-place growth) — under the same strategy and partition count.
+// Retraction needs no strategy work at all: tombstoned slots keep their
+// assignment (the dense alignment is the whole point of tombstones), so a
+// shrink step reuses every PID and only subtracts the newly-dead edges
+// from the histogram. The result is bit-for-bit identical to
+// Assign(grown, s, a.NumParts); only the cost differs:
 //
 //   - stateless hash strategies (SuffixAssigner) assign just the suffix;
 //   - Resumable streaming strategies continue this assignment's retained
@@ -58,6 +63,10 @@ func (a *Assignment) Extend(grown *graph.Graph, s Strategy) (*Assignment, error)
 		}
 	case Resumable:
 		pids = inherit()
+		var wPrefix, wSuffix []float64
+		if w := grown.Weights(); w != nil {
+			wPrefix, wSuffix = w[:oldLen], w[oldLen:]
+		}
 		st := a.takeStream()
 		if st == nil {
 			// State already taken (or the assignment was hand-built):
@@ -67,10 +76,10 @@ func (a *Assignment) Extend(grown *graph.Graph, s Strategy) (*Assignment, error)
 			if err != nil {
 				return nil, err
 			}
-			fresh.AssignEdges(grown.Edges()[:oldLen], pids[:oldLen])
+			fresh.AssignWeightedEdges(grown.Edges()[:oldLen], wPrefix, pids[:oldLen])
 			st = fresh
 		}
-		st.AssignEdges(suffix, pids[oldLen:])
+		st.AssignWeightedEdges(suffix, wSuffix, pids[oldLen:])
 		retained = st
 	default:
 		full, err := s.Partition(grown, a.NumParts)
@@ -92,6 +101,7 @@ func (a *Assignment) Extend(grown *graph.Graph, s Strategy) (*Assignment, error)
 			}
 			counts[p]++
 		}
+		subtractRetractions(counts, pids, a.G, grown, oldLen)
 		na = &Assignment{G: grown, Strategy: s.Name(), strategyKey: KeyOf(s), NumParts: a.NumParts, PIDs: pids, EdgesPerPart: counts, extendedFrom: oldLen}
 	} else {
 		var err error
@@ -103,4 +113,33 @@ func (a *Assignment) Extend(grown *graph.Graph, s Strategy) (*Assignment, error)
 	}
 	na.stream = retained
 	return na, nil
+}
+
+// subtractRetractions walks the tombstone diff between old and grown over
+// the inherited prefix and removes each newly-dead edge from the copied
+// live histogram (its PID slot stays assigned — only the count changes).
+func subtractRetractions(counts []int64, pids []PID, old, grown *graph.Graph, oldLen int) {
+	newDead := grown.Tombstones()
+	if len(newDead) == 0 {
+		return
+	}
+	oldDead := old.Tombstones()
+	words := (oldLen + 63) / 64
+	if words > len(newDead) {
+		words = len(newDead)
+	}
+	for w := 0; w < words; w++ {
+		var ow uint64
+		if w < len(oldDead) {
+			ow = oldDead[w]
+		}
+		diff := newDead[w] &^ ow
+		for diff != 0 {
+			i := w*64 + bits.TrailingZeros64(diff)
+			if i < oldLen {
+				counts[pids[i]]--
+			}
+			diff &= diff - 1
+		}
+	}
 }

@@ -53,11 +53,15 @@ const (
 )
 
 // streamVertex is one vertex's retained streaming state: the partitions it
-// has been replicated to and the partial degrees observed so far.
+// has been replicated to and the partial degrees observed so far. Degrees
+// and loads are float64 so weighted edges stream through the same tables;
+// unweighted edges contribute exactly 1.0, and float64 addition over
+// integers below 2^53 is exact, so the unweighted path stays bit-identical
+// to the historical integer tables.
 type streamVertex struct {
 	replicas []PID
-	deg      int64 // total partial degree (HDRF's θ)
-	inDeg    int64 // partial in-degree (Hybrid's threshold)
+	deg      float64 // total partial (weighted) degree (HDRF's θ)
+	inDeg    int64   // partial in-degree edge count (Hybrid's threshold)
 }
 
 // StreamState is the retained state of a streaming partitioner run: which
@@ -76,8 +80,8 @@ type StreamState struct {
 	lambda    float64 // HDRF balance weight
 	threshold int64   // Hybrid in-degree cutoff
 
-	load         []int64
-	maxLoad      int64
+	load         []float64
+	maxLoad      float64
 	verts        map[graph.VertexID]*streamVertex
 	replicaSlots int64 // Σ len(replicas), for footprint accounting
 }
@@ -89,7 +93,7 @@ func newStreamState(kind streamKind, numParts int) (*StreamState, error) {
 	return &StreamState{
 		kind:     kind,
 		numParts: numParts,
-		load:     make([]int64, numParts),
+		load:     make([]float64, numParts),
 		verts:    make(map[graph.VertexID]*streamVertex),
 	}, nil
 }
@@ -97,19 +101,33 @@ func newStreamState(kind streamKind, numParts int) (*StreamState, error) {
 // NumParts returns the partition count the state targets.
 func (st *StreamState) NumParts() int { return st.numParts }
 
-// AssignEdges streams edges through the state in order, writing one PID
-// per edge into out (len(out) == len(edges)). Calling it repeatedly over
-// consecutive chunks of one edge list is equivalent to a single call over
-// the whole list.
+// AssignEdges streams unweighted edges through the state in order, writing
+// one PID per edge into out (len(out) == len(edges)). Calling it
+// repeatedly over consecutive chunks of one edge list is equivalent to a
+// single call over the whole list.
 func (st *StreamState) AssignEdges(edges []graph.Edge, out []PID) {
+	st.AssignWeightedEdges(edges, nil, out)
+}
+
+// AssignWeightedEdges streams edges with per-edge weights (weights[i]
+// belongs to edges[i]; nil means weight 1 each) through the degree and
+// load tables. An all-ones weighting is bit-identical to AssignEdges.
+func (st *StreamState) AssignWeightedEdges(edges []graph.Edge, weights []float64, out []PID) {
+	w := 1.0
 	switch st.kind {
 	case streamGreedy:
 		for i, e := range edges {
-			out[i] = st.assignGreedy(e)
+			if weights != nil {
+				w = weights[i]
+			}
+			out[i] = st.assignGreedy(e, w)
 		}
 	case streamHDRF:
 		for i, e := range edges {
-			out[i] = st.assignHDRF(e)
+			if weights != nil {
+				w = weights[i]
+			}
+			out[i] = st.assignHDRF(e, w)
 		}
 	case streamHybrid:
 		for i, e := range edges {
@@ -151,10 +169,10 @@ func (st *StreamState) place(sv *streamVertex, p PID) {
 	}
 }
 
-func (st *StreamState) commit(s, d *streamVertex, p PID) PID {
+func (st *StreamState) commit(s, d *streamVertex, p PID, w float64) PID {
 	st.place(s, p)
 	st.place(d, p)
-	st.load[p]++
+	st.load[p] += w
 	if st.load[p] > st.maxLoad {
 		st.maxLoad = st.load[p]
 	}
@@ -205,34 +223,34 @@ func intersect(a, b []PID) []PID {
 	return out
 }
 
-func (st *StreamState) assignGreedy(e graph.Edge) PID {
+func (st *StreamState) assignGreedy(e graph.Edge, w float64) PID {
 	sv, dv := st.vert(e.Src), st.vert(e.Dst)
 	rs, rd := sv.replicas, dv.replicas
 	if both := intersect(rs, rd); len(both) > 0 {
-		return st.commit(sv, dv, st.leastLoaded(both))
+		return st.commit(sv, dv, st.leastLoaded(both), w)
 	}
 	if len(rs) > 0 && len(rd) > 0 {
 		// Cut the vertex whose replicas live on more-loaded partitions:
 		// choose least loaded among the union.
 		union := append(append([]PID(nil), rs...), rd...)
-		return st.commit(sv, dv, st.leastLoaded(union))
+		return st.commit(sv, dv, st.leastLoaded(union), w)
 	}
 	if len(rs) > 0 {
-		return st.commit(sv, dv, st.leastLoaded(rs))
+		return st.commit(sv, dv, st.leastLoaded(rs), w)
 	}
 	if len(rd) > 0 {
-		return st.commit(sv, dv, st.leastLoaded(rd))
+		return st.commit(sv, dv, st.leastLoaded(rd), w)
 	}
-	return st.commit(sv, dv, st.leastLoadedAll(rng.Combine2(uint64(e.Src), uint64(e.Dst))))
+	return st.commit(sv, dv, st.leastLoadedAll(rng.Combine2(uint64(e.Src), uint64(e.Dst))), w)
 }
 
-func (st *StreamState) assignHDRF(e graph.Edge) PID {
+func (st *StreamState) assignHDRF(e graph.Edge, w float64) PID {
 	sv, dv := st.vert(e.Src), st.vert(e.Dst)
 	// Partial degrees: count the current edge first, so a first-seen
-	// endpoint has degree 1 and θ is always well defined.
-	sv.deg++
-	dv.deg++
-	degS, degD := float64(sv.deg), float64(dv.deg)
+	// endpoint has degree w and θ is always well defined.
+	sv.deg += w
+	dv.deg += w
+	degS, degD := sv.deg, dv.deg
 	// Normalized "partial degrees" θ: the lower-degree endpoint should be
 	// kept whole; the higher-degree one is cheap to replicate.
 	thetaS := degS / (degS + degD)
@@ -240,7 +258,7 @@ func (st *StreamState) assignHDRF(e graph.Edge) PID {
 
 	var bestP PID
 	bestScore := -1.0
-	spread := float64(st.maxLoad - st.minLoadVal())
+	spread := st.maxLoad - st.minLoadVal()
 	if spread == 0 {
 		spread = 1
 	}
@@ -253,13 +271,13 @@ func (st *StreamState) assignHDRF(e graph.Edge) PID {
 		if dv.has(pid) {
 			score += 1 + thetaS
 		}
-		score += st.lambda * float64(st.maxLoad-st.load[p]) / spread
+		score += st.lambda * (st.maxLoad - st.load[p]) / spread
 		if score > bestScore {
 			bestScore = score
 			bestP = pid
 		}
 	}
-	return st.commit(sv, dv, bestP)
+	return st.commit(sv, dv, bestP, w)
 }
 
 // assignHybrid applies the PowerLyra rule on the in-degree observed so
@@ -275,7 +293,7 @@ func (st *StreamState) assignHybrid(e graph.Edge) PID {
 	return PID(rng.Mix64(uint64(e.Dst)) % uint64(st.numParts))
 }
 
-func (st *StreamState) minLoadVal() int64 {
+func (st *StreamState) minLoadVal() float64 {
 	m := st.load[0]
 	for _, l := range st.load[1:] {
 		if l < m {
@@ -294,7 +312,7 @@ func streamPartition(r Resumable, g *graph.Graph, numParts int) ([]PID, error) {
 	}
 	edges := g.Edges()
 	out := make([]PID, len(edges))
-	st.AssignEdges(edges, out)
+	st.AssignWeightedEdges(edges, g.Weights(), out)
 	return out, nil
 }
 

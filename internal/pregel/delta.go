@@ -4,18 +4,27 @@ import (
 	"fmt"
 	"slices"
 
+	"cutfit/internal/graph"
 	"cutfit/internal/partition"
 )
 
-// ApplyDelta derives the partitioned topology of a grown graph from this
-// already-built topology plus the appended edge suffix, without re-running
-// the sort-heavy full build. a must be the (extended) assignment of the
-// grown graph — its PID prefix must equal this topology's assignment
-// bit-for-bit (verified; strategies whose prefix moved under growth, like
-// Range, fail the check and the caller falls back to a full build). remap
-// maps this topology's dense vertex indices to the grown graph's, as
-// produced by graph.RemapVertices; nil means identity (every vertex added
-// since sorts after the old maximum).
+// ApplyDelta derives the partitioned topology of an advanced graph — grown
+// by an appended edge suffix, shrunk by tombstoned retractions, or both in
+// one SlideWindow step — from this already-built topology, without
+// re-running the sort-heavy full build. a must be the (extended) assignment
+// of the advanced graph — its PID prefix must equal this topology's
+// assignment bit-for-bit (verified; strategies whose prefix moved under
+// growth, like Range, fail the check and the caller falls back to a full
+// build; so does a compacted generation, whose dense positions no longer
+// align). remap maps this topology's dense vertex indices to the advanced
+// graph's, as produced by graph.RemapVertices; nil means identity (every
+// vertex added since sorts after the old maximum).
+//
+// Retractions are patched out by diffing the two generations' tombstone
+// bitsets over the old dense span: a newly-dead edge is dropped from its
+// partition's span, and mirrors left with no referencing edge are dropped
+// from the LocalVerts table — exactly what the full rebuild over the live
+// edge set produces.
 //
 // The derived topology is structurally identical to what
 // NewPartitionedGraphFromAssignment would build from scratch — same
@@ -63,15 +72,28 @@ func (pg *PartitionedGraph) ApplyDelta(a *partition.Assignment, remap []int32) (
 		sufSrc[i], sufDst[i] = int32(si), int32(di)
 	}
 
-	// Per-partition span sizes: old counts from the built partitions, delta
-	// counts from the suffix (already range-validated by the Assignment).
+	// Retractions this step introduced, as positions in each partition's old
+	// (live) edge list; nil when the step retracted nothing.
+	removed := retractionPositions(pg, a.G, oldLen)
+
+	// Per-partition span sizes: old counts from the built partitions minus
+	// this step's retractions, delta counts from the suffix (already
+	// range-validated by the Assignment; appended edges are live, but skip
+	// dead suffix slots defensively for hand-built generations).
 	oldCounts := make([]int64, numParts)
 	for p, part := range pg.Parts {
 		oldCounts[p] = int64(len(part.edges))
+		if removed != nil {
+			oldCounts[p] -= int64(len(removed[p]))
+		}
 	}
+	sufDead := a.G.NumDeadEdges()
 	newCounts := make([]int64, numParts)
-	for _, p := range a.PIDs[oldLen:] {
-		newCounts[p]++
+	for i := oldLen; i < ne; i++ {
+		if sufDead != 0 && !a.G.EdgeAlive(i) {
+			continue
+		}
+		newCounts[a.PIDs[i]]++
 	}
 	partStart := make([]int64, numParts+1)
 	for p := 0; p < numParts; p++ {
@@ -81,12 +103,15 @@ func (pg *PartitionedGraph) ApplyDelta(a *partition.Assignment, remap []int32) (
 	// Stage the suffix: scatter the new edges — with their *grown-graph*
 	// dense endpoint indices — into the tail of each partition's span, in
 	// global edge order (sequential pass, per-partition cursors).
-	edgeBuf := make([]localEdge, ne)
+	edgeBuf := make([]localEdge, partStart[numParts])
 	cursors := make([]int64, numParts)
 	for p := 0; p < numParts; p++ {
 		cursors[p] = partStart[p] + oldCounts[p]
 	}
 	for i := oldLen; i < ne; i++ {
+		if sufDead != 0 && !a.G.EdgeAlive(i) {
+			continue
+		}
 		p := a.PIDs[i]
 		edgeBuf[cursors[p]] = localEdge{src: sufSrc[i-oldLen], dst: sufDst[i-oldLen]}
 		cursors[p]++
@@ -103,8 +128,12 @@ func (pg *PartitionedGraph) ApplyDelta(a *partition.Assignment, remap []int32) (
 	npg.Parts = parts
 	err := pg.forEachPart(func(p int) {
 		old := pg.Parts[p]
+		var rm []int32
+		if removed != nil {
+			rm = removed[p]
+		}
 		span := edgeBuf[partStart[p]:partStart[p+1]:partStart[p+1]]
-		parts[p] = &Partition{LocalVerts: patchPartition(old, span, remap), edges: span}
+		parts[p] = &Partition{LocalVerts: patchPartition(old, span, remap, rm), edges: span}
 	})
 	if err != nil {
 		return nil, err
@@ -113,7 +142,55 @@ func (pg *PartitionedGraph) ApplyDelta(a *partition.Assignment, remap []int32) (
 	return npg, nil
 }
 
-// patchPartition derives one partition of the grown topology and returns
+// retractionPositions diffs the tombstone bitsets of the built generation
+// and the advanced one over the old dense span and returns, per partition,
+// the ascending positions (in the old partition's live edge list) of the
+// edges this step retracted. nil when nothing was retracted.
+func retractionPositions(pg *PartitionedGraph, ng *graph.Graph, oldLen int) [][]int32 {
+	newDead := ng.Tombstones()
+	if len(newDead) == 0 {
+		return nil
+	}
+	og := pg.G
+	oldDead := og.Tombstones()
+	// Quick reject: any bit newly dead within the old span?
+	any := false
+	for w := 0; w*64 < oldLen && w < len(newDead); w++ {
+		var ow uint64
+		if w < len(oldDead) {
+			ow = oldDead[w]
+		}
+		diff := newDead[w] &^ ow
+		if rem := oldLen - w*64; rem < 64 {
+			diff &= 1<<uint(rem) - 1
+		}
+		if diff != 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	// One ascending pass tracks each partition's running position in its old
+	// live edge list (the order the build scattered them in).
+	removed := make([][]int32, pg.NumParts)
+	pos := make([]int32, pg.NumParts)
+	ogDead := og.NumDeadEdges()
+	for i := 0; i < oldLen; i++ {
+		if ogDead != 0 && !og.EdgeAlive(i) {
+			continue
+		}
+		p := pg.assign[i]
+		if !ng.EdgeAlive(i) {
+			removed[p] = append(removed[p], pos[p])
+		}
+		pos[p]++
+	}
+	return removed
+}
+
+// patchPartition derives one partition of the advanced topology and returns
 // its new LocalVerts table:
 //
 //  1. the old LocalVerts table is remapped to grown-graph dense indices
@@ -126,9 +203,15 @@ func (pg *PartitionedGraph) ApplyDelta(a *partition.Assignment, remap []int32) (
 //  4. the staged suffix edges (global indices) are rewritten in place to
 //     local indices by binary search, as in the full build.
 //
-// It is called per partition on the worker pool; span is the partition's
-// region of the new shared edge buffer, whose tail holds the staged suffix.
-func patchPartition(old *Partition, span []localEdge, remap []int32) []int32 {
+// removed lists the positions (ascending, in old.edges) of the edges this
+// step retracted; a non-empty list takes the retraction path, which also
+// drops mirrors left with no referencing edge. It is called per partition
+// on the worker pool; span is the partition's region of the new shared edge
+// buffer, whose tail holds the staged suffix.
+func patchPartition(old *Partition, span []localEdge, remap, removed []int32) []int32 {
+	if len(removed) != 0 {
+		return patchPartitionRetract(old, span, remap, removed)
+	}
 	merged, shift := mergedMirrors(old, span, remap)
 	oldEdges := old.edges
 	if shift == nil {
@@ -143,6 +226,117 @@ func patchPartition(old *Partition, span []localEdge, remap []int32) []int32 {
 		src, _ := slices.BinarySearch(merged, e.src)
 		dst, _ := slices.BinarySearch(merged, e.dst)
 		span[j] = localEdge{src: int32(src), dst: int32(dst)}
+	}
+	return merged
+}
+
+// patchPartitionRetract is the retraction path of patchPartition: drop the
+// removed edge positions, drop mirrors no surviving or suffix edge
+// references, merge-insert fresh suffix mirrors, and rewrite both edge
+// halves to the merged table's local indices. Everything is O(part size)
+// scans plus sorting only the (small) fresh mirror set — no per-partition
+// endpoint re-sort — and the resulting table is exactly what the full
+// rebuild's sort+dedup over the surviving edges produces.
+func patchPartitionRetract(old *Partition, span []localEdge, remap, removed []int32) []int32 {
+	lv := old.LocalVerts
+	at := func(i int32) int32 {
+		if remap == nil {
+			return lv[i]
+		}
+		return remap[lv[i]]
+	}
+	// find locates an advanced-graph dense index in the remapped view of the
+	// old table (monotone remap keeps it sorted) without materializing it.
+	find := func(v int32) (int32, bool) {
+		lo, hi := int32(0), int32(len(lv))
+		for lo < hi {
+			mid := int32(uint32(lo+hi) >> 1)
+			if at(mid) < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < int32(len(lv)) && at(lo) == v {
+			return lo, true
+		}
+		return 0, false
+	}
+	nOldSurvive := len(old.edges) - len(removed)
+	// Mirrors referenced by surviving old edges.
+	ref := make([]bool, len(lv))
+	ri := 0
+	for j, e := range old.edges {
+		if ri < len(removed) && int32(j) == removed[ri] {
+			ri++
+			continue
+		}
+		ref[e.src] = true
+		ref[e.dst] = true
+	}
+	// Suffix endpoints: an existing mirror is kept alive, an unknown one is
+	// a fresh mirror to insert.
+	var fresh []int32
+	for _, e := range span[nOldSurvive:] {
+		if l, ok := find(e.src); ok {
+			ref[l] = true
+		} else {
+			fresh = append(fresh, e.src)
+		}
+		if e.dst != e.src {
+			if l, ok := find(e.dst); ok {
+				ref[l] = true
+			} else {
+				fresh = append(fresh, e.dst)
+			}
+		}
+	}
+	slices.Sort(fresh)
+	fresh = slices.Compact(fresh)
+	// Merge referenced old mirrors with the fresh ones; both runs are sorted
+	// and disjoint. shift[l] is old local l's index in the merged table (only
+	// read for referenced mirrors).
+	nRef := 0
+	for _, r := range ref {
+		if r {
+			nRef++
+		}
+	}
+	if nRef+len(fresh) == 0 {
+		return nil
+	}
+	merged := make([]int32, 0, nRef+len(fresh))
+	shift := make([]int32, len(lv))
+	i, j := int32(0), 0
+	for int(i) < len(lv) || j < len(fresh) {
+		if j == len(fresh) || (int(i) < len(lv) && at(i) < fresh[j]) {
+			if ref[i] {
+				shift[i] = int32(len(merged))
+				merged = append(merged, at(i))
+			}
+			i++
+		} else {
+			merged = append(merged, fresh[j])
+			j++
+		}
+	}
+	// Surviving old edges compact into the span head with rewritten locals.
+	ri, w := 0, 0
+	for j2, e := range old.edges {
+		if ri < len(removed) && int32(j2) == removed[ri] {
+			ri++
+			continue
+		}
+		span[w] = localEdge{src: shift[e.src], dst: shift[e.dst]}
+		w++
+	}
+	// Staged suffix edges rewrite to locals by binary search, as in the full
+	// build.
+	for j2 := nOldSurvive; j2 < len(span); j2++ {
+		e := span[j2]
+		src, _ := slices.BinarySearch(merged, e.src)
+		dst, _ := slices.BinarySearch(merged, e.dst)
+		span[j2] = localEdge{src: int32(src), dst: int32(dst)}
 	}
 	return merged
 }

@@ -31,6 +31,11 @@ func NewPartitionedGraphFromAssignment(a *partition.Assignment, opts BuildOption
 //
 // Any path that builds the topology anyway (run-after-measure, the bench
 // grid) should read metrics here instead of calling metrics.Compute.
+//
+// On a weighted graph one extra O(|E|) pass over the retained assignment
+// accumulates the weighted counterparts (WeightPerPart, WeightedCommCost) in
+// the same ascending-edge order metrics.FromAssignment uses, so the float
+// sums are bit-for-bit identical too.
 func (pg *PartitionedGraph) Metrics() *metrics.Result {
 	numParts := pg.NumParts
 	res := &metrics.Result{
@@ -43,6 +48,22 @@ func (pg *PartitionedGraph) Metrics() *metrics.Result {
 		res.VerticesPerPart[p] = int64(part.NumLocalVertices())
 	}
 	nv := pg.G.NumVertices()
+	var wdeg []float64
+	if weights := pg.G.Weights(); weights != nil {
+		srcIdx, dstIdx := pg.G.EdgeEndpointIndices()
+		numDead := pg.G.NumDeadEdges()
+		res.WeightPerPart = make([]float64, numParts)
+		wdeg = make([]float64, nv)
+		for i, p := range pg.assign {
+			if numDead != 0 && !pg.G.EdgeAlive(i) {
+				continue
+			}
+			wt := weights[i]
+			res.WeightPerPart[p] += wt
+			wdeg[srcIdx[i]] += wt
+			wdeg[dstIdx[i]] += wt
+		}
+	}
 	for v := 0; v < nv; v++ {
 		replicas := pg.routingOffsets[v+1] - pg.routingOffsets[v]
 		switch {
@@ -51,6 +72,9 @@ func (pg *PartitionedGraph) Metrics() *metrics.Result {
 		case replicas > 1:
 			res.Cut++
 			res.CommCost += replicas
+			if wdeg != nil {
+				res.WeightedCommCost += float64(replicas) * wdeg[v]
+			}
 		}
 	}
 	res.Finalize(nv)

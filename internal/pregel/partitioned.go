@@ -197,10 +197,13 @@ func NewPartitionedGraphOpts(g *graph.Graph, assign []partition.PID, numParts in
 
 // buildSortScatter populates Parts from the edge assignment: parallel
 // counting sort of edges into one contiguous buffer, then per-partition
-// local vertex tables by sort + dedup.
+// local vertex tables by sort + dedup. Tombstoned edges are validated (the
+// assignment stays dense-aligned) but never scattered: partitions hold live
+// edges only, exactly as a rebuild over the compacted list would produce.
 func (pg *PartitionedGraph) buildSortScatter() error {
 	g, assign, numParts := pg.G, pg.assign, pg.NumParts
 	ne := len(assign)
+	numDead := g.NumDeadEdges()
 	srcIdx, dstIdx := g.EdgeEndpointIndices()
 
 	shards := pg.Parallelism
@@ -237,6 +240,9 @@ func (pg *PartitionedGraph) buildSortScatter() error {
 					badMu.Unlock()
 					return
 				}
+				if numDead != 0 && !g.EdgeAlive(i) {
+					continue
+				}
 				counts[p]++
 			}
 		}(s, lo, hi)
@@ -270,7 +276,9 @@ func (pg *PartitionedGraph) buildSortScatter() error {
 
 	// Pass 2: scatter. Edges are staged with their *global* dense endpoint
 	// indices; the localize pass rewrites them in place to local indices.
-	edgeBuf := make([]localEdge, ne)
+	// The buffer holds live edges only — the count pass skipped tombstones
+	// with the same predicate, so the cursors line up exactly.
+	edgeBuf := make([]localEdge, partStart[numParts])
 	for s := 0; s < shards; s++ {
 		lo, hi := s*chunk, (s+1)*chunk
 		if hi > ne {
@@ -281,6 +289,9 @@ func (pg *PartitionedGraph) buildSortScatter() error {
 			defer wg.Done()
 			cur := cursors[s*numParts : (s+1)*numParts]
 			for i := lo; i < hi; i++ {
+				if numDead != 0 && !g.EdgeAlive(i) {
+					continue
+				}
 				p := assign[i]
 				edgeBuf[cur[p]] = localEdge{src: srcIdx[i], dst: dstIdx[i]}
 				cur[p]++
@@ -404,11 +415,15 @@ func newPartitionedGraphMaps(g *graph.Graph, assign []partition.PID, numParts in
 	for p := range parts {
 		parts[p] = &Partition{}
 	}
+	numDead := g.NumDeadEdges()
 	counts := make([]int, numParts)
 	for i := range edges {
 		p := assign[i]
 		if p < 0 || int(p) >= numParts {
 			return nil, fmt.Errorf("pregel: edge %d assigned to out-of-range partition %d", i, p)
+		}
+		if numDead != 0 && !g.EdgeAlive(i) {
+			continue
 		}
 		counts[p]++
 	}
@@ -418,6 +433,9 @@ func newPartitionedGraphMaps(g *graph.Graph, assign []partition.PID, numParts in
 		seen[p] = make(vset)
 	}
 	for i, e := range edges {
+		if numDead != 0 && !g.EdgeAlive(i) {
+			continue
+		}
 		p := assign[i]
 		si, _ := g.Index(e.Src)
 		di, _ := g.Index(e.Dst)
@@ -441,6 +459,9 @@ func newPartitionedGraphMaps(g *graph.Graph, assign []partition.PID, numParts in
 		parts[p].edges = make([]localEdge, 0, counts[p])
 	}
 	for i, e := range edges {
+		if numDead != 0 && !g.EdgeAlive(i) {
+			continue
+		}
 		p := assign[i]
 		si, _ := g.Index(e.Src)
 		di, _ := g.Index(e.Dst)

@@ -98,22 +98,29 @@ func FromRawTables(g *graph.Graph, rt RawTables, opts BuildOptions) (*Partitione
 	if len(rt.Assign) != ne {
 		return nil, fmt.Errorf("pregel: restored assignment has %d entries for %d edges", len(rt.Assign), ne)
 	}
-	if len(rt.EdgeSrc) != ne || len(rt.EdgeDst) != ne {
-		return nil, fmt.Errorf("pregel: restored edge tables have %d/%d entries for %d edges", len(rt.EdgeSrc), len(rt.EdgeDst), ne)
+	// The scattered edge tables hold live edges only; the assignment stays
+	// dense-aligned with tombstoned slots included.
+	numDead := g.NumDeadEdges()
+	live := g.NumLiveEdges()
+	if len(rt.EdgeSrc) != live || len(rt.EdgeDst) != live {
+		return nil, fmt.Errorf("pregel: restored edge tables have %d/%d entries for %d live edges", len(rt.EdgeSrc), len(rt.EdgeDst), live)
 	}
-	if err := checkOffsets("PartStart", rt.PartStart, numParts, int64(ne)); err != nil {
+	if err := checkOffsets("PartStart", rt.PartStart, numParts, int64(live)); err != nil {
 		return nil, err
 	}
 	if err := checkOffsets("LocalVertsOffsets", rt.LocalVertsOffsets, numParts, int64(len(rt.LocalVerts))); err != nil {
 		return nil, err
 	}
-	// Per-partition edge counts must match the assignment exactly (this
-	// also validates every PID's range).
+	// Per-partition live edge counts must match the assignment exactly (this
+	// also validates every PID's range, including tombstoned slots).
 	counts := make([]int64, numParts)
 	for i, p := range rt.Assign {
 		// One unsigned compare covers both negative and too-large PIDs.
 		if uint32(p) >= uint32(numParts) {
 			return nil, fmt.Errorf("pregel: restored edge %d assigned to out-of-range partition %d", i, p)
+		}
+		if numDead != 0 && !g.EdgeAlive(i) {
+			continue
 		}
 		counts[p]++
 	}
@@ -170,7 +177,7 @@ func FromRawTables(g *graph.Graph, rt RawTables, opts BuildOptions) (*Partitione
 	}
 	// Assemble the edge buffer, validating each localized endpoint against
 	// its partition's mirror-table size in the same pass.
-	edgeBuf := make([]localEdge, ne)
+	edgeBuf := make([]localEdge, live)
 	for p := 0; p < numParts; p++ {
 		lo, hi := rt.LocalVertsOffsets[p], rt.LocalVertsOffsets[p+1]
 		n := int32(hi - lo)

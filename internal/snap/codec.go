@@ -18,12 +18,19 @@ const (
 
 	secGraphVerts = 2
 	secGraphEdges = 3
+	// Optional trailing sections, written only when the graph carries the
+	// feature — an unweighted, untombstoned graph encodes byte-identically
+	// to format-version-1 snapshots that predate them.
+	secGraphWeights    = 4
+	secGraphTombstones = 5
 
 	secAssignPIDs = 2
 	secAssignHist = 3
 
 	secMetricsEdges = 2
 	secMetricsVerts = 3
+	// Optional: weighted counterparts, written only for weighted graphs.
+	secMetricsWeights = 4
 
 	secTopoAssign       = 2
 	secTopoPartStart    = 3
@@ -140,6 +147,26 @@ func encodeI64s(vals []int64) []byte {
 	return out
 }
 
+func encodeF64s(vals []float64) []byte {
+	out := make([]byte, 0, 8*len(vals))
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	return out
+}
+
+func decodeF64s(p []byte, name string) ([]float64, error) {
+	if len(p)%8 != 0 {
+		return nil, fmt.Errorf("snap: %s section length %d not a multiple of 8", name, len(p))
+	}
+	out := make([]float64, len(p)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[:8]))
+		p = p[8:]
+	}
+	return out, nil
+}
+
 func decodeI64s(p []byte, name string) ([]int64, error) {
 	if len(p)%8 != 0 {
 		return nil, fmt.Errorf("snap: %s section length %d not a multiple of 8", name, len(p))
@@ -228,10 +255,14 @@ func decodePIDsValidated(p []byte, numParts int, counts []int64) ([]partition.PI
 // ---- graph codec -----------------------------------------------------------
 
 // EncodeGraph encodes g as a KindGraph container: a meta section (vertex
-// and edge counts, content fingerprint), the sorted vertex list (delta
-// uvarints) and the edge list (graph.EncodeEdges delta varints). The
-// process-local Version is deliberately not persisted — restored graphs
-// start at a fresh generation version of their own.
+// and dense edge counts, content fingerprint), the sorted vertex list
+// (delta uvarints) and the full dense edge list (graph.EncodeEdges delta
+// varints, tombstoned slots included so positions survive the round trip).
+// Per-edge weights and the tombstone bitset ride in optional trailing
+// sections written only when present, so unweighted fully-live graphs keep
+// their original byte encoding. The process-local Version is deliberately
+// not persisted — restored graphs start at a fresh generation version of
+// their own.
 func EncodeGraph(g *graph.Graph) []byte {
 	verts := g.Vertices()
 	var meta []byte
@@ -252,6 +283,17 @@ func EncodeGraph(g *graph.Graph) []byte {
 	b.Section(secMeta, meta)
 	b.Section(secGraphVerts, vsec)
 	b.Section(secGraphEdges, graph.EncodeEdges(nil, g.Edges()))
+	if w := g.Weights(); w != nil {
+		b.Section(secGraphWeights, encodeF64s(w))
+	}
+	if g.NumDeadEdges() > 0 {
+		var tsec []byte
+		tsec = binary.LittleEndian.AppendUint64(tsec, uint64(g.NumDeadEdges()))
+		for _, word := range g.Tombstones() {
+			tsec = binary.LittleEndian.AppendUint64(tsec, word)
+		}
+		b.Section(secGraphTombstones, tsec)
+	}
 	return b.Bytes()
 }
 
@@ -323,6 +365,41 @@ func decodeGraphContainer(c *Container) (*graph.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
+	if wsec, ok := c.Section(secGraphWeights); ok {
+		weights, err := decodeF64s(wsec, "edge weights")
+		if err != nil {
+			return nil, err
+		}
+		if err := g.RestoreWeights(weights); err != nil {
+			return nil, err
+		}
+	}
+	if tsec, ok := c.Section(secGraphTombstones); ok {
+		tr := &fieldReader{b: tsec}
+		numDead := tr.u64()
+		if tr.err != nil {
+			return nil, tr.err
+		}
+		rest := len(tsec) - tr.off
+		if rest%8 != 0 {
+			return nil, fmt.Errorf("snap: tombstone bitset length %d not a multiple of 8", rest)
+		}
+		dead := make([]uint64, rest/8)
+		for i := range dead {
+			dead[i] = tr.u64()
+		}
+		if err := tr.finish(); err != nil {
+			return nil, err
+		}
+		if numDead > uint64(len(edges)) {
+			return nil, fmt.Errorf("snap: %d tombstoned edges exceeds %d edges", numDead, len(edges))
+		}
+		if err := g.RestoreTombstones(dead, int(numDead)); err != nil {
+			return nil, err
+		}
+	}
+	// The fingerprint is canonical over edges, weights and the tombstone
+	// set, so recomputing it here proves all three sections round-tripped.
 	if g.Fingerprint() != fp {
 		return nil, fmt.Errorf("snap: graph fingerprint mismatch: decoded %016x, recorded %016x", g.Fingerprint(), fp)
 	}
@@ -431,9 +508,23 @@ func decodeAssignmentContainer(c *Container, g *graph.Graph, wantStrategyKey str
 		return nil, err
 	}
 	// One fused pass: convert, range-validate and recount the histogram.
+	// The recorded histogram counts live edges only, so on a tombstoned
+	// graph the recount runs separately and skips dead slots.
 	counts := make([]int64, numParts)
-	pids, err := decodePIDsValidated(psec, int(numParts), counts)
-	if err != nil {
+	var pids []partition.PID
+	if g.NumDeadEdges() != 0 {
+		if pids, err = decodePIDsValidated(psec, int(numParts), nil); err != nil {
+			return nil, err
+		}
+		if len(pids) != g.NumEdges() {
+			return nil, fmt.Errorf("snap: PID section holds %d entries, graph has %d edges", len(pids), g.NumEdges())
+		}
+		for i, p := range pids {
+			if g.EdgeAlive(i) {
+				counts[p]++
+			}
+		}
+	} else if pids, err = decodePIDsValidated(psec, int(numParts), counts); err != nil {
 		return nil, err
 	}
 	hsec, err := section(c, secAssignHist, "histogram")
@@ -476,6 +567,14 @@ func EncodeMetrics(m *metrics.Result, g *graph.Graph, strategyKey string) []byte
 	b.Section(secMeta, meta)
 	b.Section(secMetricsEdges, encodeI64s(m.EdgesPerPart))
 	b.Section(secMetricsVerts, encodeI64s(m.VerticesPerPart))
+	if m.WeightPerPart != nil {
+		// Optional trailing section: WeightedCommCost followed by the
+		// per-partition weight totals. The weighted derived fields
+		// (WeightedBalance, MaxWeight) are recomputed by Finalize on decode.
+		wsec := binary.LittleEndian.AppendUint64(nil, math.Float64bits(m.WeightedCommCost))
+		wsec = append(wsec, encodeF64s(m.WeightPerPart)...)
+		b.Section(secMetricsWeights, wsec)
+	}
 	return b.Bytes()
 }
 
@@ -558,8 +657,10 @@ func decodeMetricsContainer(c *Container, g *graph.Graph, wantStrategyKey string
 		edgeSum += edgesPerPart[p]
 		mirrorSum += vertsPerPart[p]
 	}
-	if edgeSum != int64(g.NumEdges()) {
-		return nil, fmt.Errorf("snap: per-partition edges sum to %d, graph has %d", edgeSum, g.NumEdges())
+	// Metrics count live edges only, so on a tombstoned graph the
+	// per-partition totals sum below the dense edge count.
+	if edgeSum != int64(g.NumLiveEdges()) {
+		return nil, fmt.Errorf("snap: per-partition edges sum to %d, graph has %d live edges", edgeSum, g.NumLiveEdges())
 	}
 	if mirrorSum != int64(commCost+nonCut) {
 		return nil, fmt.Errorf("snap: %d mirror slots but CommCost+NonCut = %d", mirrorSum, commCost+nonCut)
@@ -571,6 +672,22 @@ func decodeMetricsContainer(c *Container, g *graph.Graph, wantStrategyKey string
 		CommCost:        int64(commCost),
 		EdgesPerPart:    edgesPerPart,
 		VerticesPerPart: vertsPerPart,
+	}
+	if wsec, ok := c.Section(secMetricsWeights); ok {
+		wvals, err := decodeF64s(wsec, "weighted metrics")
+		if err != nil {
+			return nil, err
+		}
+		if len(wvals) != numParts+1 {
+			return nil, fmt.Errorf("snap: weighted metrics section holds %d values, want %d", len(wvals), numParts+1)
+		}
+		for i, v := range wvals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return nil, fmt.Errorf("snap: weighted metrics value %d is not finite and non-negative", i)
+			}
+		}
+		res.WeightedCommCost = wvals[0]
+		res.WeightPerPart = wvals[1:]
 	}
 	res.Finalize(int(numVerts))
 	return res, nil

@@ -234,6 +234,121 @@ func TestStoreBundleRoundTrip(t *testing.T) {
 	}
 }
 
+// weightedShrunkGraph builds a weighted graph and tombstones two edges via
+// Shrink, giving every optional snapshot section something to carry.
+func weightedShrunkGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	base := testGraph(t)
+	weights := make([]float64, base.NumEdges())
+	for i := range weights {
+		weights[i] = float64(i%5) + 0.5
+	}
+	g, err := graph.FromWeightedEdges(append([]graph.Edge(nil), base.Edges()...), weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, d, err := g.Shrink([]graph.Edge{g.Edges()[3], g.Edges()[9]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Compacted || ng.NumDeadEdges() != 2 {
+		t.Fatalf("want 2 tombstones without compaction, got %d (compacted=%v)", ng.NumDeadEdges(), d.Compacted)
+	}
+	return ng
+}
+
+// TestWeightedShrunkRoundTrip: a weighted generation carrying tombstones
+// round-trips through every artifact kind with zero recomputation — the
+// restored graph keeps its weights and tombstone set, and the dependent
+// assignment, metrics and topology artifacts decode against the restored
+// graph with their recorded numbers intact.
+func TestWeightedShrunkRoundTrip(t *testing.T) {
+	g := weightedShrunkGraph(t)
+	back, err := DecodeGraph(EncodeGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Edges(), g.Edges()) {
+		t.Fatal("edges differ after round trip")
+	}
+	if !reflect.DeepEqual(back.Weights(), g.Weights()) {
+		t.Fatal("weights differ after round trip")
+	}
+	if !reflect.DeepEqual(back.Tombstones(), g.Tombstones()) || back.NumDeadEdges() != g.NumDeadEdges() {
+		t.Fatal("tombstone set differs after round trip")
+	}
+	if back.Fingerprint() != g.Fingerprint() {
+		t.Fatal("fingerprint differs after round trip")
+	}
+
+	for _, s := range []partition.Strategy{partition.EdgePartition2D(), partition.Greedy(), partition.Hybrid(2)} {
+		a := testAssignment(t, g, s, 4)
+		ba, err := DecodeAssignment(EncodeAssignment(a), back, "")
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if !reflect.DeepEqual(ba.PIDs, a.PIDs) || !reflect.DeepEqual(ba.EdgesPerPart, a.EdgesPerPart) {
+			t.Fatalf("%s: assignment differs after round trip", s.Name())
+		}
+
+		m, err := metrics.FromAssignment(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.WeightPerPart == nil {
+			t.Fatalf("%s: weighted graph must yield weighted metrics", s.Name())
+		}
+		bm, err := DecodeMetrics(EncodeMetrics(m, g, s.Name()), back, s.Name())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if !reflect.DeepEqual(bm, m) {
+			t.Fatalf("%s: metrics differ after round trip:\n got %+v\nwant %+v", s.Name(), bm, m)
+		}
+
+		pg, err := pregel.NewPartitionedGraphFromAssignment(a, pregel.BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bpg, err := DecodeTopology(EncodeTopology(pg, s.Name()), back, s.Name(), pregel.BuildOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if !reflect.DeepEqual(bpg.RawTables(), pg.RawTables()) {
+			t.Fatalf("%s: raw tables differ after round trip", s.Name())
+		}
+		if !reflect.DeepEqual(bpg.Metrics(), pg.Metrics()) {
+			t.Fatalf("%s: topology metrics differ after round trip", s.Name())
+		}
+	}
+}
+
+// TestUnweightedEncodingUnchanged: optional sections must not change the
+// byte encoding of unweighted fully-live artifacts — a graph stripped of its
+// optional features encodes exactly like one that never had them.
+func TestUnweightedEncodingUnchanged(t *testing.T) {
+	g := testGraph(t)
+	if got, want := EncodeGraph(g), EncodeGraph(graph.FromEdges(append([]graph.Edge(nil), g.Edges()...))); !bytes.Equal(got, want) {
+		t.Fatal("plain graph encoding is not canonical")
+	}
+	a := testAssignment(t, g, partition.EdgePartition2D(), 4)
+	m, err := metrics.FromAssignment(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WeightPerPart != nil {
+		t.Fatal("unweighted graph must not yield weighted metrics")
+	}
+	data := EncodeMetrics(m, g, "2D")
+	c, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Section(secMetricsWeights); ok {
+		t.Fatal("unweighted metrics container carries a weighted section")
+	}
+}
+
 func TestWriteReadGraph(t *testing.T) {
 	g := testGraph(t)
 	var buf bytes.Buffer

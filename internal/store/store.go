@@ -231,7 +231,11 @@ func New(cfg Config) *Store {
 // generations they pin — dropping a record only severs the derivation
 // chain there; later requests fall back to full computation.
 func (st *Store) RecordDelta(d graph.Delta) {
-	if d.Old == nil || d.New == nil || d.Old == d.New {
+	// A no-op step (Old == New) records nothing; neither does a compacted
+	// step — compaction rewrites dense edge positions, so the prefix
+	// alignment every delta derivation relies on is gone and descendants
+	// must recompute from scratch.
+	if d.Old == nil || d.New == nil || d.Old == d.New || d.Compacted {
 		return
 	}
 	st.mu.Lock()
@@ -414,15 +418,22 @@ func (st *Store) assignmentViaDelta(g *graph.Graph, s partition.Strategy, numPar
 }
 
 // refreshCost re-prices an existing cache entry (no-op if the key is
-// absent). Shrinking never triggers eviction; growth is handled by the
-// next insert's eviction pass.
+// absent). A growth re-price can push the cache past its byte bound with no
+// insert coming to run the eviction pass — a graph served only through
+// delta derivations may never insert again — so the pass runs here too,
+// spilling any evictions to the disk tier outside the lock.
 func (st *Store) refreshCost(k key, cost int64) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
+	var evicted []*entry
 	if e, ok := st.entries[k]; ok {
 		st.bytes += cost - e.cost
 		e.cost = cost
+		if st.maxBytes >= 0 && st.bytes > st.maxBytes {
+			evicted = st.evictOverBudget()
+		}
 	}
+	st.mu.Unlock()
+	st.spill(evicted)
 }
 
 // builtViaDelta derives g's topology by patching the nearest cached
@@ -605,6 +616,13 @@ func (st *Store) insert(k key, v any, cost int64) []*entry {
 	if st.maxBytes < 0 {
 		return nil
 	}
+	return st.evictOverBudget()
+}
+
+// evictOverBudget drops LRU-tail entries until the cache fits the byte
+// bound (always keeping at least one entry) and returns them for the
+// caller to spill after releasing the lock. Callers must hold st.mu.
+func (st *Store) evictOverBudget() []*entry {
 	var evicted []*entry
 	for st.bytes > st.maxBytes && st.lru.Len() > 1 {
 		tail := st.lru.Back()

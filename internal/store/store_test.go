@@ -324,3 +324,53 @@ func TestInvalidateGraph(t *testing.T) {
 		t.Fatalf("unrelated graph recomputed: %d calls, want 1", got)
 	}
 }
+
+// TestRefreshCostEvictsOverBudget: a growth re-price (Extend moving
+// retained streaming state between assignments) must run the eviction pass
+// itself. A graph served only through delta derivations may never insert
+// again, so deferring eviction to "the next insert" can leave the cache
+// over its byte budget indefinitely.
+func TestRefreshCostEvictsOverBudget(t *testing.T) {
+	st := New(Config{MaxBytes: 1000})
+	mk := func(id int) key {
+		return key{strategy: "s", numParts: id, kind: kindAssignment}
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := st.do(mk(i), func() (any, int64, error) { return i, 200, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.Stats().Bytes; got != 800 {
+		t.Fatalf("setup bytes = %d, want 800", got)
+	}
+	// Re-price the most recent entry far past the budget: the eviction pass
+	// must run now, not on a next insert that may never come.
+	st.refreshCost(mk(3), 900)
+	stats := st.Stats()
+	if stats.Bytes > 1000 {
+		t.Fatalf("cache holds %d bytes after refreshCost, budget is 1000", stats.Bytes)
+	}
+	if stats.Evictions == 0 {
+		t.Fatal("over-budget refreshCost evicted nothing")
+	}
+	if _, ok := st.peek(mk(3)); !ok {
+		t.Fatal("the re-priced (most recently used) entry was evicted")
+	}
+}
+
+// TestRecordDeltaSkipsCompacted: a compacted generation rewrites dense edge
+// positions, so recording its delta would let derivations patch against a
+// misaligned prefix. The record must be dropped, severing the chain.
+func TestRecordDeltaSkipsCompacted(t *testing.T) {
+	st := New(Config{})
+	g := testGraph(t, 50, 200, 7)
+	ng, d := g.Grow([]graph.Edge{{Src: 1, Dst: 2}})
+	d.Compacted = true
+	st.RecordDelta(d)
+	st.mu.Lock()
+	_, ok := st.deltas[ng]
+	st.mu.Unlock()
+	if ok {
+		t.Fatal("compacted delta was recorded")
+	}
+}

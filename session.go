@@ -197,6 +197,85 @@ func (se *Session) AppendEdges(g *Graph, edges []Edge) (*Graph, error) {
 	return ng, nil
 }
 
+// AppendWeightedEdges is AppendEdges with per-edge weights for the batch
+// (weights[i] belongs to edges[i]; nil means weight 1 each). Appending a
+// weighted batch to an unweighted graph promotes the new generation to
+// weighted — the existing edges keep weight 1.
+func (se *Session) AppendWeightedEdges(g *Graph, edges []Edge, weights []float64) (*Graph, error) {
+	if weights == nil {
+		return se.AppendEdges(g, edges)
+	}
+	for i, e := range edges {
+		if e.Src < 0 || e.Dst < 0 {
+			return nil, fmt.Errorf("cutfit: appended edge %d (%d -> %d) has negative vertex ID", i, e.Src, e.Dst)
+		}
+	}
+	if len(edges) == 0 {
+		return g, nil
+	}
+	ng, d, err := g.GrowWeighted(edges, weights)
+	if err != nil {
+		return nil, err
+	}
+	if se.st != nil {
+		se.st.RecordDelta(d)
+	}
+	return ng, nil
+}
+
+// RemoveEdges returns the next generation of g with the given edges
+// retracted (graph.Shrink): each element removes the oldest live occurrence
+// of that edge value, positions are tombstoned rather than spliced, and g
+// itself is never mutated — in-flight requests against g keep running, the
+// same race-free contract AppendEdges has. Retracting a value not in the
+// graph is an error; surplus retractions of an already-removed value are
+// skipped, so replayed batches are idempotent. A batch netting zero
+// retractions returns g unchanged, minting no generation.
+//
+// The session records the generation delta, so artifacts of the shrunk
+// graph are patched from g's cached ones (assignments subtract the
+// retracted edges, topologies drop them in place) instead of recomputed.
+// Once tombstones pass the compaction threshold the generation rewrites its
+// dense list; that severs the delta chain, so the next request pays one
+// full partition pass — never a wrong answer, just a cold one.
+func (se *Session) RemoveEdges(g *Graph, edges []Edge) (*Graph, error) {
+	if len(edges) == 0 {
+		return g, nil
+	}
+	ng, d, err := g.Shrink(edges)
+	if err != nil {
+		return nil, err
+	}
+	if se.st != nil && ng != g {
+		se.st.RecordDelta(d)
+	}
+	return ng, nil
+}
+
+// SlideWindow advances g one sliding-window step: append edges (with
+// optional per-edge weights, as in AppendWeightedEdges) and expire every
+// live edge older than the expireBefore-th append, in ONE generation (one
+// new version, one recorded delta) — the serving shape for time-windowed
+// graphs, where each batch both adds fresh interactions and retires the
+// oldest ones. expireBefore counts dense positions of g (append order); it
+// is clamped to g's edge count and never expires the suffix appended by the
+// same step. A step netting zero change returns g unchanged.
+func (se *Session) SlideWindow(g *Graph, edges []Edge, weights []float64, expireBefore int) (*Graph, error) {
+	for i, e := range edges {
+		if e.Src < 0 || e.Dst < 0 {
+			return nil, fmt.Errorf("cutfit: appended edge %d (%d -> %d) has negative vertex ID", i, e.Src, e.Dst)
+		}
+	}
+	ng, d, err := g.SlideWindow(edges, weights, expireBefore)
+	if err != nil {
+		return nil, err
+	}
+	if se.st != nil && ng != g {
+		se.st.RecordDelta(d)
+	}
+	return ng, nil
+}
+
 // Snapshot writes the session's whole artifact cache to w as one
 // versioned, CRC-checked snapshot: every cached graph and every cached
 // assignment, metric set and built topology. cutfit.RestoreSession reads

@@ -1,0 +1,79 @@
+package cutfit_test
+
+import (
+	"testing"
+
+	"cutfit"
+	"cutfit/internal/datasets"
+)
+
+// BenchmarkRemoveEdges compares the two ways a serving system can absorb
+// a retraction batch (1% of the youtube analog, 128 partitions, 2D):
+//
+//   - delta: the session tombstones the batch and patches the parent's
+//     artifacts — retracted slots masked out of the assignment, orphaned
+//     mirrors dropped from the topology;
+//   - rebuild: the historical path — the shrunk generation shares nothing
+//     with the cache, so it pays the full pipeline (vertex index, endpoint
+//     views, strategy pass, sort/scatter build) from scratch.
+//
+// The acceptance bar for the delta path is ≥ 5× over rebuild.
+func BenchmarkRemoveEdges(b *testing.B) {
+	spec, err := datasets.ByName("youtube")
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := spec.BuildCached()
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := full.Edges()
+	batch := append([]cutfit.Edge(nil), edges[len(edges)-len(edges)/100:]...)
+	s := cutfit.EdgePartition2D()
+	const parts = 128
+
+	b.Run("delta", func(b *testing.B) {
+		se := cutfit.NewSession(cutfit.SessionOptions{})
+		g := cutfit.FromEdges(append([]cutfit.Edge(nil), edges...))
+		if _, err := se.Partition(g, s, parts); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ng, err := se.RemoveEdges(g, batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := se.Partition(ng, s, parts); err != nil {
+				b.Fatal(err)
+			}
+			// Drop the derived generation (the base stays warm): each
+			// iteration measures one retraction absorbed by a bounded cache.
+			se.Forget(ng)
+		}
+	})
+
+	b.Run("rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			// A warm server that shrinks outside the session: no delta is
+			// recorded, so the shrunk generation computes everything cold.
+			se := cutfit.NewSession(cutfit.SessionOptions{})
+			g := cutfit.FromEdges(append([]cutfit.Edge(nil), edges...))
+			if _, err := se.Partition(g, s, parts); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			ng, _, err := g.Shrink(batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := se.Partition(ng, s, parts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
