@@ -11,11 +11,11 @@ GO ?= go
 #   make bench-compare BENCH_OUT=new.txt
 #   benchstat old.txt new.txt
 # The default filter is the guarded set the CI benchmark gate enforces.
-BENCH ?= BenchmarkSelectEmpirically|BenchmarkMeasureThenRun|BenchmarkPartitionBuild|BenchmarkAppendEdges|BenchmarkRemoveEdges|BenchmarkRestoreVsRebuild
+BENCH ?= BenchmarkSelectEmpirically|BenchmarkMeasureThenRun|BenchmarkPartitionBuild|BenchmarkAppendEdges|BenchmarkRemoveEdges|BenchmarkRestoreVsRebuild|BenchmarkSparseFrontier|BenchmarkScalingSweep
 BENCH_COUNT ?= 10
 BENCH_OUT ?= bench.txt
 
-.PHONY: all build test vet lint race bench bench-smoke bench-compare fuzz fuzz-smoke compat check
+.PHONY: all build test vet lint race bench bench-smoke bench-compare scalebench fuzz fuzz-smoke compat check
 
 all: check
 
@@ -50,11 +50,21 @@ race:
 	$(GO) test -race . ./cmd/cutfitd/... ./internal/graph/... ./internal/pregel/... ./internal/testutil/... ./internal/partition/... ./internal/store/... ./internal/snap/...
 
 # Hot-path benchmarks: partition construction (old vs new, and across
-# dataset analogs × strategies), per-superstep allocation footprint, and
-# the single-pass selection pipeline.
+# dataset analogs × strategies), the sparse-frontier scan payoff,
+# per-superstep allocation footprint, the single-pass selection pipeline
+# and the compact worker sweep.
 bench:
-	$(GO) test -run='^$$' -bench=BenchmarkPartitionBuild -benchmem ./internal/pregel/
-	$(GO) test -run='^$$' -bench='BenchmarkPartitionBuild|BenchmarkSuperstepAllocs|BenchmarkSelectEmpirically|BenchmarkMeasureThenRun' -benchmem .
+	$(GO) test -run='^$$' -bench='BenchmarkPartitionBuild|BenchmarkSparseFrontier' -benchmem ./internal/pregel/
+	$(GO) test -run='^$$' -bench='BenchmarkPartitionBuild|BenchmarkSuperstepAllocs|BenchmarkSelectEmpirically|BenchmarkMeasureThenRun|BenchmarkScalingSweep' -benchmem .
+
+# Full multi-core scaling sweep: worker ladder × components × dataset
+# analogs, JSON for the benchgate efficiency gate plus a markdown table.
+# The nightly workflow archives both artifacts.
+SCALE_JSON ?= scalebench.json
+SCALE_MD ?= scalebench.md
+scalebench:
+	$(GO) run ./cmd/scalebench -reps 5 -json $(SCALE_JSON) -md $(SCALE_MD)
+	@cat $(SCALE_MD)
 
 # One-iteration pass over the concurrent-serving benchmarks: fast enough
 # for CI, still executes the pooled/fresh and hit/miss paths end to end.
@@ -65,18 +75,20 @@ bench-smoke:
 # $(BENCH_COUNT) times into $(BENCH_OUT) so two runs can be compared with
 # `benchstat old.txt new.txt`.
 bench-compare:
-	$(GO) test -run='^$$' -bench='$(BENCH)' -benchmem -count=$(BENCH_COUNT) . | tee $(BENCH_OUT)
+	$(GO) test -run='^$$' -bench='$(BENCH)' -benchmem -count=$(BENCH_COUNT) . ./internal/pregel/ | tee $(BENCH_OUT)
 
 # Longer fuzz session: the edge-list ingest path, the incremental topology
 # patchers (delta append and shrink/slide-window, each cross-checked
-# against a full rebuild), and the snapshot decoders (container parsing +
-# the assignment codec, seeded from the golden corpus). FUZZTIME is per
-# target; the nightly workflow raises it.
+# against a full rebuild), the dense/sparse/auto engine scan equivalence
+# (including density-threshold crossovers mid-run), and the snapshot
+# decoders (container parsing + the assignment codec, seeded from the
+# golden corpus). FUZZTIME is per target; the nightly workflow raises it.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -run='^$$' -fuzz=FuzzApplyDelta -fuzztime=$(FUZZTIME) ./internal/pregel/
 	$(GO) test -run='^$$' -fuzz=FuzzApplyShrink -fuzztime=$(FUZZTIME) ./internal/pregel/
+	$(GO) test -run='^$$' -fuzz=FuzzFrontierScanEquivalence -fuzztime=$(FUZZTIME) ./internal/pregel/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeSnapshot -fuzztime=$(FUZZTIME) ./internal/snap/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeAssignment -fuzztime=$(FUZZTIME) ./internal/snap/
 
@@ -87,6 +99,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=5s ./internal/graph/
 	$(GO) test -run='^$$' -fuzz=FuzzApplyDelta -fuzztime=5s ./internal/pregel/
 	$(GO) test -run='^$$' -fuzz=FuzzApplyShrink -fuzztime=5s ./internal/pregel/
+	$(GO) test -run='^$$' -fuzz=FuzzFrontierScanEquivalence -fuzztime=5s ./internal/pregel/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeSnapshot -fuzztime=5s ./internal/snap/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeAssignment -fuzztime=5s ./internal/snap/
 

@@ -8,12 +8,19 @@
 // Usage:
 //
 //	benchgate -base old.txt -head new.txt [-threshold 0.25] [-filter regex]
+//	benchgate -scale-base old.json -scale-head new.json [-scale-threshold 0.2]
 //
 // Both files should contain repeated samples (go test -count=N); the gate
 // compares per-benchmark medians of ns/op, which tolerates the odd noisy
 // sample the way benchstat does. Benchmarks present in only one file are
 // reported but never fail the gate (new benchmarks must not break the PR
 // that introduces them).
+//
+// The second form compares two cmd/scalebench JSON reports instead: every
+// multi-worker (dataset, component, workers) cell present in both must
+// keep its parallel efficiency within -scale-threshold (relative), so a
+// change that serializes a hot loop fails the PR even when single-threaded
+// ns/op is unchanged.
 package main
 
 import (
@@ -26,6 +33,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"cutfit/internal/scale"
 )
 
 // benchLine matches one benchmark result line, e.g.
@@ -160,12 +169,57 @@ func run(basePath, headPath, filterExpr string, threshold float64, w io.Writer) 
 	return 0, nil
 }
 
+// runScale compares two scalebench JSON reports and fails (exit 1) when
+// any shared multi-worker cell lost more than threshold of its parallel
+// efficiency. Reports swept on different machines (different MaxWorkers)
+// are compared over whatever cells they share — the worker ladder is part
+// of the cell key, so a missing rung simply isn't gated.
+func runScale(basePath, headPath string, threshold float64, w io.Writer) (int, error) {
+	base, err := scale.ReadJSONFile(basePath)
+	if err != nil {
+		return 2, fmt.Errorf("benchgate: %w", err)
+	}
+	head, err := scale.ReadJSONFile(headPath)
+	if err != nil {
+		return 2, fmt.Errorf("benchgate: %w", err)
+	}
+	if base.MaxWorkers != head.MaxWorkers {
+		fmt.Fprintf(w, "note: sweeps ran at different widths (base GOMAXPROCS=%d, head %d); comparing shared cells only\n",
+			base.MaxWorkers, head.MaxWorkers)
+	}
+	scale.WriteMarkdown(w, head)
+	failed := scale.Compare(base, head, threshold)
+	if len(failed) > 0 {
+		fmt.Fprintf(w, "\nEFFICIENCY REGRESSION beyond -%.0f%%:\n", threshold*100)
+		for _, r := range failed {
+			fmt.Fprintf(w, "  %s\n", r)
+		}
+		return 1, nil
+	}
+	fmt.Fprintf(w, "\nOK: no scaling cell lost more than %.0f%% parallel efficiency\n", threshold*100)
+	return 0, nil
+}
+
 func main() {
 	basePath := flag.String("base", "", "bench output of the base commit")
 	headPath := flag.String("head", "", "bench output of the head commit")
 	threshold := flag.Float64("threshold", 0.25, "maximum tolerated ns/op regression (0.25 = +25%)")
 	filter := flag.String("filter", "", "regexp restricting which benchmarks are guarded (default: all)")
+	scaleBase := flag.String("scale-base", "", "scalebench JSON report of the base commit")
+	scaleHead := flag.String("scale-head", "", "scalebench JSON report of the head commit")
+	scaleThreshold := flag.Float64("scale-threshold", 0.2, "maximum tolerated parallel-efficiency drop (0.2 = -20%)")
 	flag.Parse()
+	if (*scaleBase != "") != (*scaleHead != "") {
+		fmt.Fprintln(os.Stderr, "usage: benchgate -scale-base old.json -scale-head new.json [-scale-threshold 0.2]")
+		os.Exit(2)
+	}
+	if *scaleBase != "" {
+		code, err := runScale(*scaleBase, *scaleHead, *scaleThreshold, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(code)
+	}
 	if *basePath == "" || *headPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: benchgate -base old.txt -head new.txt [-threshold 0.25] [-filter regex]")
 		os.Exit(2)

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"cutfit/internal/scale"
 )
 
 const baseBench = `goos: linux
@@ -100,6 +102,69 @@ func TestGateNoMatches(t *testing.T) {
 	var out strings.Builder
 	code, err := run(base, head, "NoSuchBenchmark", 0.25, &out)
 	if code != 2 || err == nil {
+		t.Fatalf("code=%d err=%v, want 2 with error", code, err)
+	}
+}
+
+// scaleReport renders a minimal scalebench JSON report: one cc sweep on
+// rmat whose 4-worker time is t4 against a 800ns single-worker baseline.
+func scaleReport(t *testing.T, name string, t4 float64) string {
+	t.Helper()
+	r := &scale.Report{MaxWorkers: 4, Reps: 5, Results: []scale.Measurement{
+		{Dataset: "rmat", Component: "cc", Workers: 1, NsOp: 800},
+		{Dataset: "rmat", Component: "cc", Workers: 4, NsOp: t4},
+	}}
+	scale.Finalize(r)
+	var buf strings.Builder
+	if err := scale.WriteJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return writeTemp(t, name, buf.String())
+}
+
+// TestScaleGateFailsOnEfficiencyRegression: a synthetic sweep whose
+// 4-worker efficiency drops 0.8 → 0.4 must fail the gate and name the
+// cell, even though its single-worker ns/op is identical.
+func TestScaleGateFailsOnEfficiencyRegression(t *testing.T) {
+	base := scaleReport(t, "old.json", 250) // speedup 3.2, efficiency 0.8
+	head := scaleReport(t, "new.json", 500) // speedup 1.6, efficiency 0.4
+	var out strings.Builder
+	code, err := runScale(base, head, 0.2, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\n%s", code, out.String())
+	}
+	if s := out.String(); !strings.Contains(s, "EFFICIENCY REGRESSION") || !strings.Contains(s, "rmat/cc@w4") {
+		t.Fatalf("regression not named:\n%s", s)
+	}
+}
+
+func TestScaleGatePassesWithinThreshold(t *testing.T) {
+	base := scaleReport(t, "old.json", 250) // efficiency 0.8
+	head := scaleReport(t, "new.json", 280) // efficiency ~0.71: -11%, under the 20% gate
+	var out strings.Builder
+	code, err := runScale(base, head, 0.2, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\n%s", code, out.String())
+	}
+	if s := out.String(); !strings.Contains(s, "OK:") || !strings.Contains(s, "| cc | 4 |") {
+		t.Fatalf("missing table or verdict:\n%s", s)
+	}
+}
+
+func TestScaleGateBadFile(t *testing.T) {
+	good := scaleReport(t, "good.json", 250)
+	bad := writeTemp(t, "bad.json", "not json")
+	var out strings.Builder
+	if code, err := runScale(bad, good, 0.2, &out); code != 2 || err == nil {
+		t.Fatalf("code=%d err=%v, want 2 with error", code, err)
+	}
+	if code, err := runScale(good, filepath.Join(t.TempDir(), "missing.json"), 0.2, &out); code != 2 || err == nil {
 		t.Fatalf("code=%d err=%v, want 2 with error", code, err)
 	}
 }

@@ -1,0 +1,307 @@
+// Command scalebench runs the multi-core scaling sweep: every engine-side
+// component — topology build, strategy assignment and three algorithm
+// profiles — timed across a worker ladder (1/2/4/8/GOMAXPROCS by default)
+// over three dataset analogs (uniform random, skewed RMAT, fragmented
+// road grid). It writes the internal/scale JSON report for the benchgate
+// efficiency gate and a markdown scaling table for humans; the nightly
+// workflow archives both.
+//
+// Usage:
+//
+//	scalebench [-json report.json] [-md report.md] [-workers 1,2,4,8,max]
+//	           [-reps 5] [-scale 1.0]
+//
+// Topology build and the engine phases take the worker count through
+// their Parallelism option; the hash assignment pass has no such knob (it
+// shards over GOMAXPROCS by design), so the sweep pins GOMAXPROCS around
+// it and restores the previous value after each run.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cutfit/internal/algorithms"
+	"cutfit/internal/gen"
+	"cutfit/internal/graph"
+	"cutfit/internal/par"
+	"cutfit/internal/partition"
+	"cutfit/internal/pregel"
+	"cutfit/internal/scale"
+)
+
+// dataset is one graph analog of the sweep, built once and shared by every
+// (component, workers) cell.
+type dataset struct {
+	name string
+	g    *graph.Graph
+}
+
+// buildDatasets materializes the three analogs, sized by the -scale factor
+// (1.0 ≈ a few hundred thousand edges total, minutes of sweep).
+func buildDatasets(factor float64) ([]dataset, error) {
+	n := func(base int) int {
+		v := int(float64(base) * factor)
+		if v < 16 {
+			v = 16
+		}
+		return v
+	}
+	random, err := gen.ErdosRenyi(n(20000), n(160000), 11)
+	if err != nil {
+		return nil, fmt.Errorf("random analog: %w", err)
+	}
+	// RMAT sizes exponentially in its scale parameter; shift it by
+	// log2(factor) so -scale moves all three analogs together.
+	rmatScale := 14
+	for f := factor; f < 1 && rmatScale > 8; f *= 2 {
+		rmatScale--
+	}
+	for f := factor; f >= 2 && rmatScale < 20; f /= 2 {
+		rmatScale++
+	}
+	rmat, err := gen.RMAT(gen.DefaultRMAT(rmatScale, 8, 42))
+	if err != nil {
+		return nil, fmt.Errorf("rmat analog: %w", err)
+	}
+	rows := n(120)
+	road, err := gen.Road(gen.RoadConfig{Rows: rows, Cols: rows, EdgeProb: 0.95, DiagProb: 0.1, Fragments: 4, Seed: 7})
+	if err != nil {
+		return nil, fmt.Errorf("road analog: %w", err)
+	}
+	return []dataset{
+		{"random", random},
+		{"rmat", rmat},
+		{"road", road},
+	}, nil
+}
+
+// component is one timed stage of the sweep at a given worker count. Each
+// run must perform the full operation; the harness medians wall time over
+// the sweep's repetitions.
+type component struct {
+	name string
+	run  func(ctx context.Context, d dataset, workers int) error
+}
+
+// withGOMAXPROCS pins the process worker limit around fn — the only
+// parallelism knob the hash assignment pass has.
+func withGOMAXPROCS(workers int, fn func() error) error {
+	prev := runtime.GOMAXPROCS(workers)
+	defer runtime.GOMAXPROCS(prev)
+	return fn()
+}
+
+const numParts = 16
+
+// components returns the sweep's timed stages. The build and algorithm
+// components reuse cached inputs (one assignment per dataset, one topology
+// per dataset×workers) populated by the untimed warm-up run, so each cell
+// times only its own stage.
+func components(assign func(d dataset) (*partition.Assignment, error), topo func(d dataset, workers int) (*pregel.PartitionedGraph, error)) []component {
+	return []component{
+		{"assign", func(_ context.Context, d dataset, workers int) error {
+			return withGOMAXPROCS(workers, func() error {
+				_, err := partition.Assign(d.g, partition.EdgePartition2D(), numParts)
+				return err
+			})
+		}},
+		{"build", func(_ context.Context, d dataset, workers int) error {
+			a, err := assign(d)
+			if err != nil {
+				return err
+			}
+			_, err = pregel.NewPartitionedGraphFromAssignment(a, pregel.BuildOptions{Parallelism: workers})
+			return err
+		}},
+		{"pagerank", func(ctx context.Context, d dataset, workers int) error {
+			pg, err := topo(d, workers)
+			if err != nil {
+				return err
+			}
+			_, _, err = algorithms.PageRank(ctx, pg, 10, 0.15)
+			return err
+		}},
+		{"cc", func(ctx context.Context, d dataset, workers int) error {
+			pg, err := topo(d, workers)
+			if err != nil {
+				return err
+			}
+			_, _, err = algorithms.ConnectedComponents(ctx, pg, 50)
+			return err
+		}},
+		{"dynamicpr", func(ctx context.Context, d dataset, workers int) error {
+			pg, err := topo(d, workers)
+			if err != nil {
+				return err
+			}
+			_, _, err = algorithms.DynamicPageRank(ctx, pg, 1e-3, 0.15, 30)
+			return err
+		}},
+	}
+}
+
+// parseWorkers expands the -workers flag ("1,2,4,8,max") into a sorted,
+// deduplicated ladder clamped to GOMAXPROCS.
+func parseWorkers(spec string, maxWorkers int) ([]int, error) {
+	seen := make(map[int]bool)
+	var out []int
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		w := maxWorkers
+		if tok != "max" {
+			var err error
+			w, err = strconv.Atoi(tok)
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("scalebench: bad worker count %q", tok)
+			}
+		}
+		if w > maxWorkers {
+			w = maxWorkers
+		}
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scalebench: empty -workers")
+	}
+	sort.Ints(out)
+	if out[0] != 1 {
+		return nil, fmt.Errorf("scalebench: -workers must include 1 (the efficiency baseline)")
+	}
+	return out, nil
+}
+
+func sweep(ctx context.Context, datasets []dataset, ladder []int, reps int) (*scale.Report, error) {
+	report := &scale.Report{MaxWorkers: par.DefaultParallelism(), Reps: reps}
+
+	// Cached inputs: one assignment per dataset (the build component's
+	// input), one topology per (dataset, workers) (the algorithm
+	// components' input). Algorithm cells therefore time their runs, not
+	// the build — the build has its own component.
+	assignCache := make(map[string]*partition.Assignment)
+	assign := func(d dataset) (*partition.Assignment, error) {
+		if a, ok := assignCache[d.name]; ok {
+			return a, nil
+		}
+		a, err := partition.Assign(d.g, partition.EdgePartition2D(), numParts)
+		if err != nil {
+			return nil, err
+		}
+		assignCache[d.name] = a
+		return a, nil
+	}
+	type topoKey struct {
+		name    string
+		workers int
+	}
+	topoCache := make(map[topoKey]*pregel.PartitionedGraph)
+	topo := func(d dataset, workers int) (*pregel.PartitionedGraph, error) {
+		k := topoKey{d.name, workers}
+		if pg, ok := topoCache[k]; ok {
+			return pg, nil
+		}
+		a, err := assign(d)
+		if err != nil {
+			return nil, err
+		}
+		pg, err := pregel.NewPartitionedGraphFromAssignment(a, pregel.BuildOptions{Parallelism: workers, ReuseBuffers: true})
+		if err != nil {
+			return nil, err
+		}
+		topoCache[k] = pg
+		return pg, nil
+	}
+
+	for _, d := range datasets {
+		for _, c := range components(assign, topo) {
+			for _, w := range ladder {
+				// Warm once (builds the cached topology, faults pages) so
+				// the timed repetitions measure steady state.
+				if err := c.run(ctx, d, w); err != nil {
+					return nil, fmt.Errorf("scalebench: %s/%s@w%d: %w", d.name, c.name, w, err)
+				}
+				samples := make([]float64, 0, reps)
+				for rep := 0; rep < reps; rep++ {
+					start := time.Now()
+					if err := c.run(ctx, d, w); err != nil {
+						return nil, fmt.Errorf("scalebench: %s/%s@w%d: %w", d.name, c.name, w, err)
+					}
+					samples = append(samples, float64(time.Since(start).Nanoseconds()))
+				}
+				report.Results = append(report.Results, scale.Measurement{
+					Dataset: d.name, Component: c.name, Workers: w,
+					NsOp: scale.Median(samples),
+				})
+			}
+		}
+	}
+	scale.Finalize(report)
+	return report, nil
+}
+
+func main() {
+	jsonPath := flag.String("json", "", "write the scale JSON report here (benchgate -scale-base/-scale-head input)")
+	mdPath := flag.String("md", "", "write the markdown scaling table here (default stdout)")
+	workersSpec := flag.String("workers", "1,2,4,8,max", "comma-separated worker ladder; 'max' = GOMAXPROCS; must include 1")
+	reps := flag.Int("reps", 5, "repetitions per cell (median reported)")
+	factor := flag.Float64("scale", 1.0, "dataset size factor")
+	flag.Parse()
+	if *reps < 1 {
+		fmt.Fprintln(os.Stderr, "scalebench: -reps must be >= 1")
+		os.Exit(2)
+	}
+
+	ladder, err := parseWorkers(*workersSpec, par.DefaultParallelism())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	datasets, err := buildDatasets(*factor)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scalebench:", err)
+		os.Exit(1)
+	}
+
+	report, err := sweep(context.Background(), datasets, ladder, *reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalebench:", err)
+			os.Exit(1)
+		}
+		if err := scale.WriteJSON(f, report); err != nil {
+			fmt.Fprintln(os.Stderr, "scalebench:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	out := os.Stdout
+	if *mdPath != "" {
+		f, err := os.Create(*mdPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalebench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	scale.WriteMarkdown(out, report)
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"cutfit/internal/graph"
+)
+
+func TestParseWorkers(t *testing.T) {
+	cases := []struct {
+		spec string
+		max  int
+		want []int
+	}{
+		{"1,2,4,8,max", 8, []int{1, 2, 4, 8}},
+		{"1,2,4,8,max", 6, []int{1, 2, 4, 6}},
+		{"1, max", 16, []int{1, 16}},
+		{"1,2,4,8,max", 1, []int{1}}, // single-CPU box: everything clamps to 1
+		{"max,1", 4, []int{1, 4}},
+	}
+	for _, tc := range cases {
+		got, err := parseWorkers(tc.spec, tc.max)
+		if err != nil {
+			t.Fatalf("parseWorkers(%q, %d): %v", tc.spec, tc.max, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("parseWorkers(%q, %d) = %v, want %v", tc.spec, tc.max, got, tc.want)
+		}
+	}
+}
+
+func TestParseWorkersErrors(t *testing.T) {
+	for _, spec := range []string{"", "2,4", "0,1", "one", "1,-2"} {
+		if _, err := parseWorkers(spec, 8); err == nil {
+			t.Fatalf("parseWorkers(%q) accepted", spec)
+		}
+	}
+}
+
+// TestSweepCoversMatrix runs the full harness over a toy dataset and checks
+// every (dataset, component, workers) cell lands in the report with a
+// positive timing and a computed baseline efficiency.
+func TestSweepCoversMatrix(t *testing.T) {
+	edges := make([]graph.Edge, 0, 300)
+	for i := 0; i < 300; i++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(i % 40), Dst: graph.VertexID((i * 7) % 40)})
+	}
+	datasets := []dataset{{name: "toy", g: graph.FromEdges(edges)}}
+	report, err := sweep(context.Background(), datasets, []int{1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Reps != 2 {
+		t.Fatalf("reps = %d, want 2", report.Reps)
+	}
+	type key struct {
+		component string
+		workers   int
+	}
+	got := make(map[key]bool)
+	for _, m := range report.Results {
+		if m.Dataset != "toy" {
+			t.Fatalf("unexpected dataset %q", m.Dataset)
+		}
+		if m.NsOp <= 0 {
+			t.Fatalf("%s@w%d: non-positive timing %v", m.Component, m.Workers, m.NsOp)
+		}
+		if m.Workers == 1 && m.Efficiency != 1 {
+			t.Fatalf("%s@w1: baseline efficiency %v, want 1", m.Component, m.Efficiency)
+		}
+		got[key{m.Component, m.Workers}] = true
+	}
+	for _, c := range []string{"assign", "build", "pagerank", "cc", "dynamicpr"} {
+		for _, w := range []int{1, 2} {
+			if !got[key{c, w}] {
+				t.Fatalf("missing cell %s@w%d", c, w)
+			}
+		}
+	}
+}

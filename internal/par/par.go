@@ -1,0 +1,19 @@
+// Package par holds the one process-wide default-parallelism fallback.
+//
+// Every layer that fans work over goroutines — the partition build, the
+// engine phases, the sharded hash assignment, restored topologies — accepts
+// an explicit worker count and needs a fallback when the caller passes
+// none (< 1). Before this package each call site called
+// runtime.GOMAXPROCS(0) independently; routing them all through
+// DefaultParallelism makes the session-level default
+// (cutfit.SessionOptions.Parallelism, cutfitd -parallelism) the single
+// override point: a caller that sets an explicit count wins, everything
+// else degrades to one shared definition of "the machine's parallelism".
+package par
+
+import "runtime"
+
+// DefaultParallelism returns the worker count used when a caller does not
+// set one explicitly: the process's GOMAXPROCS at call time (respecting
+// runtime.GOMAXPROCS overrides, e.g. the scalebench sweep).
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }

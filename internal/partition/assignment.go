@@ -2,10 +2,10 @@ package partition
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"cutfit/internal/graph"
+	"cutfit/internal/par"
 )
 
 // Assignment is the first-class artifact of one partitioning pass: the
@@ -210,7 +210,7 @@ const parallelAssignThreshold = 1 << 14
 // index-addressed, so the result is identical to the sequential loop
 // regardless of scheduling.
 func assignHashParallel(edges []graph.Edge, out []PID, fn EdgeHashFunc, numParts int) error {
-	shards := runtime.GOMAXPROCS(0)
+	shards := par.DefaultParallelism()
 	if len(edges) < parallelAssignThreshold || shards < 2 {
 		return assignHashRange(edges, out, fn, numParts, 0, len(edges))
 	}
@@ -247,7 +247,10 @@ func assignHashRange(edges []graph.Edge, out []PID, fn EdgeHashFunc, numParts, l
 	for i := lo; i < hi; i++ {
 		e := edges[i]
 		p := fn(e.Src, e.Dst, numParts)
-		if p < 0 || int(p) >= numParts {
+		// One unsigned compare covers both negative and too-large PIDs: a
+		// negative PID wraps past every valid numParts. Keeps the validation
+		// branch-free of a second test in this per-edge hot loop.
+		if uint32(p) >= uint32(numParts) {
 			return fmt.Errorf("hash produced out-of-range partition %d for edge %d", p, i)
 		}
 		out[i] = p

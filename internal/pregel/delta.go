@@ -133,7 +133,12 @@ func (pg *PartitionedGraph) ApplyDelta(a *partition.Assignment, remap []int32) (
 			rm = removed[p]
 		}
 		span := edgeBuf[partStart[p]:partStart[p+1]:partStart[p+1]]
-		parts[p] = &Partition{LocalVerts: patchPartition(old, span, remap, rm), edges: span}
+		np := &Partition{LocalVerts: patchPartition(old, span, remap, rm), edges: span}
+		// The frontier index is a pure function of the patched edge list, so
+		// it is rebuilt rather than patched — O(part size) counting sort,
+		// already dominated by the copy/merge passes above.
+		buildEdgeIndex(np)
+		parts[p] = np
 	})
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"cutfit/internal/graph"
@@ -43,6 +44,46 @@ func (d EdgeDirection) String() string {
 	return fmt.Sprintf("EdgeDirection(%d)", int(d))
 }
 
+// ScanPolicy selects how the compute phase visits a partition's triplets.
+type ScanPolicy int
+
+const (
+	// ScanAuto (the default) picks per partition per superstep: when fewer
+	// than 1/8 of the partition's local vertices are on the frontier, the
+	// sparse path walks only edges incident to frontier vertices through the
+	// partition's frontier index; otherwise the dense scan visits every
+	// edge. Both paths deliver messages in identical (ascending edge) order,
+	// so the choice never changes results — only the work done.
+	ScanAuto ScanPolicy = iota
+	// ScanDense forces the full edge scan every superstep.
+	ScanDense
+	// ScanSparse forces the frontier-index path regardless of density
+	// (AllEdges programs still scan densely: every edge is live by
+	// definition). Useful for tests and benchmarks; production callers
+	// should prefer ScanAuto.
+	ScanSparse
+)
+
+// String implements fmt.Stringer.
+func (sp ScanPolicy) String() string {
+	switch sp {
+	case ScanAuto:
+		return "Auto"
+	case ScanDense:
+		return "Dense"
+	case ScanSparse:
+		return "Sparse"
+	}
+	return fmt.Sprintf("ScanPolicy(%d)", int(sp))
+}
+
+// sparseDenominator is ScanAuto's density threshold: the sparse path runs
+// when active*sparseDenominator < localVertices (frontier below 12.5%).
+// Below it the gather+scan cost (Σ deg(active) mark operations plus one
+// word-skip pass over the edge bitmap) undercuts the dense per-edge
+// activity tests; above it the dense scan's linear locality wins.
+const sparseDenominator = 8
+
 // Triplet presents one edge together with the current values of its
 // endpoints to the send-message function.
 type Triplet[V any] struct {
@@ -80,6 +121,9 @@ type Program[V, M any] struct {
 	MaxIterations int
 	// ActiveDirection selects which triplets are scanned (default Out).
 	ActiveDirection EdgeDirection
+	// ScanPolicy selects dense vs. frontier-index triplet scanning
+	// (default ScanAuto). Results are identical under every policy.
+	ScanPolicy ScanPolicy
 
 	// StateBytes sizes a vertex value for traffic accounting (default: a
 	// constant 8 bytes).
@@ -124,17 +168,31 @@ func (p *Program[V, M]) validate() error {
 // Run with matching V/M types, so steady-state supersteps allocate only
 // the two per-superstep stat slices that escape into RunStats.
 type engineScratch[V, M any] struct {
-	// Master state, indexed by global dense vertex.
-	masterVals []V
-	changed    []bool
-	masterMsg  []M
-	masterHas  []bool
+	// Master state, indexed by global dense vertex. changedBits is the
+	// frontier as a bitset (bit v set ⇔ vertex v changed last superstep);
+	// broadcast and apply shard over whole words so every word has exactly
+	// one writer.
+	masterVals  []V
+	changedBits []uint64
+	masterMsg   []M
+	masterHas   []bool
 
 	// Mirror state, indexed by [partition][local vertex].
 	vals   [][]V
-	active [][]bool
 	msgAcc [][]M
 	msgHas [][]bool
+
+	// frontier[p] is partition p's mirror-side frontier bitset (one bit per
+	// local vertex), derived from changedBits at the start of every compute
+	// phase by the partition's own worker — never written by broadcast, so
+	// no two workers ever touch the same word. edgeMask[p] is the sparse
+	// path's candidate-edge bitmap (one bit per partition edge): the gather
+	// pass sets bits through the frontier index, the scan pass consumes
+	// words in ascending order and clears them, so the mask is all-zero
+	// between supersteps (and between runs). Both allocate lazily — an
+	// AllEdges program (PageRank) never touches either.
+	frontier [][]uint64
+	edgeMask [][]uint64
 
 	// emitters[p] is partition p's reusable message emitter; its acc/has
 	// point into msgAcc/msgHas. Slots are cache-line padded: workers scan
@@ -148,6 +206,7 @@ type engineScratch[V, M any] struct {
 	applyCounts    []int64 // apply, per shard
 	scanned        []int64 // compute, per partition
 	emitted        []int64
+	visited        []int64 // edges actually examined, per partition
 	computePerPart []float64
 	applyPerShard  []float64
 }
@@ -156,20 +215,20 @@ func newEngineScratch[V, M any](pg *PartitionedGraph, shards int) *engineScratch
 	nv := pg.G.NumVertices()
 	numParts := pg.NumParts
 	s := &engineScratch[V, M]{
-		masterVals: make([]V, nv),
-		changed:    make([]bool, nv),
-		masterMsg:  make([]M, nv),
-		masterHas:  make([]bool, nv),
-		vals:       make([][]V, numParts),
-		active:     make([][]bool, numParts),
-		msgAcc:     make([][]M, numParts),
-		msgHas:     make([][]bool, numParts),
-		emitters:   make([]emitterSlot[M], numParts),
+		masterVals:  make([]V, nv),
+		changedBits: make([]uint64, (nv+63)/64),
+		masterMsg:   make([]M, nv),
+		masterHas:   make([]bool, nv),
+		vals:        make([][]V, numParts),
+		msgAcc:      make([][]M, numParts),
+		msgHas:      make([][]bool, numParts),
+		frontier:    make([][]uint64, numParts),
+		edgeMask:    make([][]uint64, numParts),
+		emitters:    make([]emitterSlot[M], numParts),
 	}
 	for p := 0; p < numParts; p++ {
 		n := len(pg.Parts[p].LocalVerts)
 		s.vals[p] = make([]V, n)
-		s.active[p] = make([]bool, n)
 		s.msgAcc[p] = make([]M, n)
 		s.msgHas[p] = make([]bool, n)
 	}
@@ -191,20 +250,27 @@ func (s *engineScratch[V, M]) sizeCounters(numParts, shards int) {
 	if len(s.scanned) != numParts {
 		s.scanned = make([]int64, numParts)
 		s.emitted = make([]int64, numParts)
+		s.visited = make([]int64, numParts)
 		s.computePerPart = make([]float64, numParts)
 	}
 }
 
 // reset clears the flag arrays a revived scratch inherits from its previous
 // run. Value and message buffers need no clearing: every slot is rewritten
-// before it is read (superstep 0 initializes all masters, broadcast
-// populates mirrors, the has-flags gate the accumulators).
+// before it is read (superstep 0 initializes all masters and all changed
+// words, broadcast populates mirrors, the has-flags gate the accumulators,
+// the frontier is rebuilt word-by-word each compute phase). The edge masks
+// are all-zero by the scan pass's clear-as-you-go invariant; they are
+// cleared again here only as cheap defense against a future path that
+// parks a scratch mid-superstep.
 func (s *engineScratch[V, M]) reset(numParts, shards int) {
 	s.sizeCounters(numParts, shards)
 	clear(s.masterHas)
-	for p := range s.active {
-		clear(s.active[p])
+	for p := range s.msgHas {
 		clear(s.msgHas[p])
+	}
+	for p := range s.edgeMask {
+		clear(s.edgeMask[p])
 	}
 }
 
@@ -258,6 +324,9 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 	verts := g.Vertices()
 	nv := len(verts)
 	numParts := pg.NumParts
+	// The frontier bitset spans nv bits; broadcast and apply shard over its
+	// words so each word has exactly one writer per phase.
+	nw := (nv + 63) / 64
 
 	shards := pg.Parallelism
 	if shards < 1 {
@@ -266,11 +335,10 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 
 	sc := scratchFor[V, M](pg, shards)
 	masterVals := sc.masterVals
-	changed := sc.changed
+	changedBits := sc.changedBits
 	masterMsg := sc.masterMsg
 	masterHas := sc.masterHas
 	vals := sc.vals
-	active := sc.active
 	msgAcc := sc.msgAcc
 	msgHas := sc.msgHas
 	for p := 0; p < numParts; p++ {
@@ -282,11 +350,24 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 	}
 
 	// Superstep 0: every vertex applies the initial message at the master.
-	if err := pg.forEachShard(nv, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			id := verts[v]
-			masterVals[v] = prog.VProg(id, prog.Init(id), prog.InitialMsg)
-			changed[v] = true
+	// Sharded over bitset words, so every changedBits word is written whole
+	// by exactly one shard.
+	if err := pg.forEachShard(nw, func(lo, hi int) {
+		for wi := lo; wi < hi; wi++ {
+			base := wi << 6
+			end := base + 64
+			if end > nv {
+				end = nv
+			}
+			for v := base; v < end; v++ {
+				id := verts[v]
+				masterVals[v] = prog.VProg(id, prog.Init(id), prog.InitialMsg)
+			}
+			if end-base == 64 {
+				changedBits[wi] = ^uint64(0)
+			} else {
+				changedBits[wi] = 1<<uint(end-base) - 1
+			}
 		}
 	}); err != nil {
 		return nil, nil, err
@@ -307,29 +388,38 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 			ActiveVertices: activeCount,
 		}
 
-		// Phase 1: broadcast changed master values to mirrors. Each mirror
-		// slot is written by exactly one vertex, so sharding over vertices
-		// is race-free.
+		// Phase 1: broadcast changed master values to mirrors. Sharded over
+		// frontier words: a zero word skips 64 vertices in one compare, and
+		// each mirror slot is still written by exactly one vertex. The
+		// routing CSR walk hoists the offset pair once per vertex and ranges
+		// over one subslice, so the inner loop carries no per-ref bounds
+		// checks.
 		bMsgs := sc.bMsgs
 		bBytes := sc.bBytes
 		for sh := 0; sh < shards; sh++ {
 			bMsgs[sh], bBytes[sh] = 0, 0
 		}
-		shardSize := (nv + shards - 1) / shards
-		if err := pg.forEachShard(nv, func(lo, hi int) {
-			sh := lo / shardSize
+		offs := pg.routingOffsets
+		routRefs := pg.routingRefs
+		wShard := (nw + shards - 1) / shards
+		if wShard < 1 {
+			wShard = 1
+		}
+		if err := pg.forEachShard(nw, func(lo, hi int) {
+			sh := lo / wShard
 			var msgs, bytes int64
-			for v := lo; v < hi; v++ {
-				if !changed[v] {
-					continue
-				}
-				val := masterVals[v]
-				sz := int64(stateBytes(val))
-				for _, ref := range pg.mirrorsOf(int32(v)) {
-					vals[ref.part][ref.local] = val
-					active[ref.part][ref.local] = true
-					msgs++
-					bytes += sz
+			for wi := lo; wi < hi; wi++ {
+				w := changedBits[wi]
+				for w != 0 {
+					v := wi<<6 + bits.TrailingZeros64(w)
+					w &= w - 1
+					val := masterVals[v]
+					sz := int64(stateBytes(val))
+					for _, ref := range routRefs[offs[v]:offs[v+1]] {
+						vals[ref.part][ref.local] = val
+						msgs++
+						bytes += sz
+					}
 				}
 			}
 			bMsgs[sh] += msgs
@@ -342,49 +432,173 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 			ss.BroadcastBytes += bBytes[sh]
 		}
 
-		// Phase 2: compute. Each partition scans its active triplets and
-		// combines messages locally through its reusable emitter.
+		// Phase 2: compute. Each partition derives its frontier bitset from
+		// the master changed bitset (its own worker writes it — broadcast
+		// never touches it, so no word is shared), then visits triplets
+		// either densely or through the frontier index. Both paths deliver
+		// messages in ascending edge order, so results are identical; only
+		// the number of edges examined differs.
+		dir := prog.ActiveDirection
 		scanned := sc.scanned
 		emitted := sc.emitted
+		visited := sc.visited
 		if err := pg.forEachPart(func(p int) {
 			part := pg.Parts[p]
 			pv := vals[p]
-			pa := active[p]
+			lv := part.LocalVerts
+			edges := part.edges
 			em := &sc.emitters[p].partEmitter
 			em.emitted = 0
 			var cost float64
-			var nScan int64
+			var nScan, nVisited int64
 			var t Triplet[V]
-			for _, e := range part.edges {
-				srcA, dstA := pa[e.src], pa[e.dst]
-				var scan bool
-				switch prog.ActiveDirection {
-				case Out:
-					scan = srcA
-				case In:
-					scan = dstA
-				case Either:
-					scan = srcA || dstA
-				case Both:
-					scan = srcA && dstA
-				case AllEdges:
-					scan = true
+
+			if dir == AllEdges {
+				// Always-active programs (PageRank): unconditional scan, no
+				// frontier, no per-edge activity test — today's fast path.
+				for i := range edges {
+					e := edges[i]
+					nScan++
+					t.SrcID = verts[lv[e.src]]
+					t.DstID = verts[lv[e.dst]]
+					t.SrcVal = pv[e.src]
+					t.DstVal = pv[e.dst]
+					em.srcLocal = e.src
+					em.dstLocal = e.dst
+					prog.SendMsg(&t, em)
+					cost += edgeCost(&t)
 				}
-				if !scan {
-					continue
+				nVisited = int64(len(edges))
+			} else {
+				fw := sc.frontier[p]
+				if fw == nil {
+					fw = make([]uint64, (len(lv)+63)/64)
+					sc.frontier[p] = fw
 				}
-				nScan++
-				t.SrcID = verts[part.LocalVerts[e.src]]
-				t.DstID = verts[part.LocalVerts[e.dst]]
-				t.SrcVal = pv[e.src]
-				t.DstVal = pv[e.dst]
-				em.srcLocal = e.src
-				em.dstLocal = e.dst
-				prog.SendMsg(&t, em)
-				cost += edgeCost(&t)
+				// Frontier bitset: bit l ⇔ local vertex l's master changed
+				// last round. Built branch-free, one changed-bit gather per
+				// local vertex; popcount gives the density decision.
+				act := 0
+				for wi := range fw {
+					var w uint64
+					base := wi << 6
+					end := base + 64
+					if end > len(lv) {
+						end = len(lv)
+					}
+					for l := base; l < end; l++ {
+						gi := lv[l]
+						w |= (changedBits[gi>>6] >> (uint32(gi) & 63) & 1) << uint(l-base)
+					}
+					fw[wi] = w
+					act += bits.OnesCount64(w)
+				}
+				sparse := prog.ScanPolicy == ScanSparse ||
+					(prog.ScanPolicy == ScanAuto && act*sparseDenominator < len(lv))
+				if !sparse {
+					// Dense scan: every edge, activity by two frontier bit
+					// tests.
+					for i := range edges {
+						e := edges[i]
+						srcA := fw[e.src>>6]>>(uint32(e.src)&63)&1 != 0
+						dstA := fw[e.dst>>6]>>(uint32(e.dst)&63)&1 != 0
+						var scan bool
+						switch dir {
+						case Out:
+							scan = srcA
+						case In:
+							scan = dstA
+						case Either:
+							scan = srcA || dstA
+						case Both:
+							scan = srcA && dstA
+						}
+						if !scan {
+							continue
+						}
+						nScan++
+						t.SrcID = verts[lv[e.src]]
+						t.DstID = verts[lv[e.dst]]
+						t.SrcVal = pv[e.src]
+						t.DstVal = pv[e.dst]
+						em.srcLocal = e.src
+						em.dstLocal = e.dst
+						prog.SendMsg(&t, em)
+						cost += edgeCost(&t)
+					}
+					nVisited = int64(len(edges))
+				} else {
+					// Sparse scan. Gather: walk the frontier index of each
+					// live vertex (zero frontier words skip 64 vertices at a
+					// time) and set the candidate edges' bits in the edge
+					// bitmap — Out gathers by source, In by destination,
+					// Either by both (the bitmap dedups shared candidates),
+					// Both by source with a destination re-check at visit
+					// time. Scan: consume bitmap words in ascending order,
+					// clearing as we go, so candidates are visited in exactly
+					// the dense scan's edge order — float message merges
+					// combine in the same sequence and results stay
+					// bit-identical.
+					mask := sc.edgeMask[p]
+					if mask == nil {
+						mask = make([]uint64, (len(edges)+63)/64)
+						sc.edgeMask[p] = mask
+					}
+					gather := func(off, pos []int32) {
+						for wi, w := range fw {
+							if w == 0 {
+								continue
+							}
+							base := int32(wi << 6)
+							for w != 0 {
+								l := base + int32(bits.TrailingZeros64(w))
+								w &= w - 1
+								for _, j := range pos[off[l]:off[l+1]] {
+									mask[j>>6] |= 1 << (uint32(j) & 63)
+								}
+							}
+						}
+					}
+					switch dir {
+					case Out, Both:
+						gather(part.srcOff, part.srcPos)
+					case In:
+						gather(part.dstOff, part.dstPos)
+					case Either:
+						gather(part.srcOff, part.srcPos)
+						gather(part.dstOff, part.dstPos)
+					}
+					for wi := range mask {
+						w := mask[wi]
+						if w == 0 {
+							continue
+						}
+						mask[wi] = 0
+						nVisited += int64(bits.OnesCount64(w))
+						base := wi << 6
+						for w != 0 {
+							j := base + bits.TrailingZeros64(w)
+							w &= w - 1
+							e := edges[j]
+							if dir == Both && fw[e.dst>>6]>>(uint32(e.dst)&63)&1 == 0 {
+								continue
+							}
+							nScan++
+							t.SrcID = verts[lv[e.src]]
+							t.DstID = verts[lv[e.dst]]
+							t.SrcVal = pv[e.src]
+							t.DstVal = pv[e.dst]
+							em.srcLocal = e.src
+							em.dstLocal = e.dst
+							prog.SendMsg(&t, em)
+							cost += edgeCost(&t)
+						}
+					}
+				}
 			}
 			scanned[p] = nScan
 			emitted[p] = em.emitted
+			visited[p] = nVisited
 			sc.computePerPart[p] = cost
 		}); err != nil {
 			return nil, nil, fmt.Errorf("pregel: superstep %d compute: %w", step, err)
@@ -392,6 +606,7 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 		for p := 0; p < numParts; p++ {
 			ss.EdgesScanned += scanned[p]
 			ss.MsgsEmitted += emitted[p]
+			ss.ActiveEdges += visited[p]
 		}
 		ss.ComputePerPart = append([]float64(nil), sc.computePerPart...)
 
@@ -445,32 +660,41 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 			ss.ReduceBytes += rBytes[sh]
 		}
 
-		// Clear per-partition activity and accumulators for the next round.
+		// Clear per-partition accumulators for the next round. (The frontier
+		// bitsets are rebuilt word-by-word each compute phase and the edge
+		// bitmaps self-clear during the scan, so neither needs a pass here.)
 		if err := pg.forEachPart(func(p int) {
-			clear(active[p])
 			clear(msgHas[p])
 		}); err != nil {
 			return nil, nil, fmt.Errorf("pregel: superstep %d: %w", step, err)
 		}
 
-		// Phase 4: apply at the master.
+		// Phase 4: apply at the master. Sharded over frontier words, so
+		// every changedBits word is rebuilt whole by exactly one shard.
 		counts := sc.applyCounts
 		applyPerShard := sc.applyPerShard
 		for sh := 0; sh < shards; sh++ {
 			counts[sh], applyPerShard[sh] = 0, 0
 		}
-		if err := pg.forEachShard(nv, func(lo, hi int) {
-			sh := lo / shardSize
+		if err := pg.forEachShard(nw, func(lo, hi int) {
+			sh := lo / wShard
 			var n int64
-			for v := lo; v < hi; v++ {
-				if masterHas[v] {
-					masterVals[v] = prog.VProg(verts[v], masterVals[v], masterMsg[v])
-					masterHas[v] = false
-					changed[v] = true
-					n++
-				} else {
-					changed[v] = false
+			for wi := lo; wi < hi; wi++ {
+				var w uint64
+				base := wi << 6
+				end := base + 64
+				if end > nv {
+					end = nv
 				}
+				for v := base; v < end; v++ {
+					if masterHas[v] {
+						masterVals[v] = prog.VProg(verts[v], masterVals[v], masterMsg[v])
+						masterHas[v] = false
+						w |= 1 << uint(v-base)
+						n++
+					}
+				}
+				changedBits[wi] = w
 			}
 			counts[sh] += n
 			applyPerShard[sh] += float64(n) * applyCost

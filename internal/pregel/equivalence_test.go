@@ -2,6 +2,7 @@ package pregel
 
 import (
 	"fmt"
+	"slices"
 	"testing"
 
 	"cutfit/internal/graph"
@@ -32,6 +33,15 @@ func checkEquivalent(a, b *PartitionedGraph) error {
 			if pa.edges[j] != pb.edges[j] {
 				return fmt.Errorf("partition %d: edge %d %v != %v", p, j, pa.edges[j], pb.edges[j])
 			}
+		}
+		// The frontier index is derived on every construction path (full
+		// build, hash-map oracle, delta patch, snapshot restore); equivalent
+		// topologies must carry identical indexes.
+		if !slices.Equal(pa.srcOff, pb.srcOff) || !slices.Equal(pa.srcPos, pb.srcPos) {
+			return fmt.Errorf("partition %d: source frontier index differs", p)
+		}
+		if !slices.Equal(pa.dstOff, pb.dstOff) || !slices.Equal(pa.dstPos, pb.dstPos) {
+			return fmt.Errorf("partition %d: destination frontier index differs", p)
 		}
 	}
 	if len(a.routingRefs) != len(b.routingRefs) {

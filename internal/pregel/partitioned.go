@@ -45,11 +45,11 @@ package pregel
 
 import (
 	"fmt"
-	"runtime"
 	"slices"
 	"sync"
 
 	"cutfit/internal/graph"
+	"cutfit/internal/par"
 	"cutfit/internal/partition"
 )
 
@@ -64,6 +64,18 @@ type Partition struct {
 	// sorted ascending by global index.
 	LocalVerts []int32
 	edges      []localEdge
+
+	// srcOff/srcPos and dstOff/dstPos are the frontier index: two CSR
+	// groupings of the partition's edge positions by local source and local
+	// destination vertex. Edges of local vertex l are
+	// srcPos[srcOff[l]:srcOff[l+1]] (positions into edges, ascending within
+	// each group because the grouping pass is a stable counting sort). The
+	// engine's sparse compute path walks only the groups of frontier-active
+	// vertices instead of scanning every edge; the groupings are built once
+	// per topology (full build, delta patch, snapshot restore) and never
+	// change afterwards.
+	srcOff, srcPos []int32
+	dstOff, dstPos []int32
 }
 
 // NumEdges returns the number of edges in the partition.
@@ -176,22 +188,23 @@ func NewPartitionedGraphOpts(g *graph.Graph, assign []partition.PID, numParts in
 	if len(assign) != ne {
 		return nil, fmt.Errorf("pregel: assignment has %d entries for %d edges", len(assign), ne)
 	}
-	par := opts.Parallelism
-	if par < 1 {
-		par = runtime.GOMAXPROCS(0)
+	workers := opts.Parallelism
+	if workers < 1 {
+		workers = par.DefaultParallelism()
 	}
 
 	pg := &PartitionedGraph{
 		G:            g,
 		NumParts:     numParts,
 		assign:       assign,
-		Parallelism:  par,
+		Parallelism:  workers,
 		ReuseBuffers: opts.ReuseBuffers,
 	}
 	if err := pg.buildSortScatter(); err != nil {
 		return nil, err
 	}
 	pg.buildRouting()
+	pg.buildEdgeIndexes()
 	return pg, nil
 }
 
@@ -328,6 +341,49 @@ func (pg *PartitionedGraph) buildSortScatter() error {
 	}
 	wg.Wait()
 	return nil
+}
+
+// buildEdgeIndex builds the partition's frontier index: stable counting
+// sorts of the edge positions grouped by local source and by local
+// destination. O(|edges| + |LocalVerts|), no comparison sort. The offset
+// tables double as scatter cursors (shifted one slot during the fill,
+// restored by a final copy-down), as in buildRouting.
+func buildEdgeIndex(part *Partition) {
+	n := len(part.LocalVerts)
+	m := len(part.edges)
+	srcOff := make([]int32, n+1)
+	dstOff := make([]int32, n+1)
+	for _, e := range part.edges {
+		srcOff[e.src+1]++
+		dstOff[e.dst+1]++
+	}
+	for i := 0; i < n; i++ {
+		srcOff[i+1] += srcOff[i]
+		dstOff[i+1] += dstOff[i]
+	}
+	srcPos := make([]int32, m)
+	dstPos := make([]int32, m)
+	for j, e := range part.edges {
+		srcPos[srcOff[e.src]] = int32(j)
+		srcOff[e.src]++
+		dstPos[dstOff[e.dst]] = int32(j)
+		dstOff[e.dst]++
+	}
+	copy(srcOff[1:], srcOff[:n])
+	srcOff[0] = 0
+	copy(dstOff[1:], dstOff[:n])
+	dstOff[0] = 0
+	part.srcOff, part.srcPos = srcOff, srcPos
+	part.dstOff, part.dstPos = dstOff, dstPos
+}
+
+// buildEdgeIndexes builds every partition's frontier index on the worker
+// pool.
+func (pg *PartitionedGraph) buildEdgeIndexes() {
+	// The per-partition builder touches only its own partition and cannot
+	// panic on validated topologies; the error path exists only for the
+	// worker-pool plumbing.
+	_ = pg.forEachPart(func(p int) { buildEdgeIndex(pg.Parts[p]) })
 }
 
 // localizePartition builds part.LocalVerts by sorting and deduplicating the
@@ -475,9 +531,10 @@ func newPartitionedGraphMaps(g *graph.Graph, assign []partition.PID, numParts in
 		NumParts:    numParts,
 		Parts:       parts,
 		assign:      assign,
-		Parallelism: runtime.GOMAXPROCS(0),
+		Parallelism: par.DefaultParallelism(),
 	}
 	pg.buildRouting()
+	pg.buildEdgeIndexes()
 	return pg, nil
 }
 
@@ -521,6 +578,9 @@ func (pg *PartitionedGraph) MemoryFootprint() int64 {
 	b += int64(len(pg.routingRefs)) * 8
 	for _, part := range pg.Parts {
 		b += int64(len(part.edges))*8 + int64(len(part.LocalVerts))*4
+		// Frontier index: two position arrays and two offset tables.
+		b += int64(len(part.srcPos))*4 + int64(len(part.srcOff))*4
+		b += int64(len(part.dstPos))*4 + int64(len(part.dstOff))*4
 	}
 	return b
 }

@@ -2,9 +2,9 @@ package pregel
 
 import (
 	"fmt"
-	"runtime"
 
 	"cutfit/internal/graph"
+	"cutfit/internal/par"
 	"cutfit/internal/partition"
 )
 
@@ -163,16 +163,16 @@ func FromRawTables(g *graph.Graph, rt RawTables, opts BuildOptions) (*Partitione
 		}
 	}
 
-	par := opts.Parallelism
-	if par < 1 {
-		par = runtime.GOMAXPROCS(0)
+	workers := opts.Parallelism
+	if workers < 1 {
+		workers = par.DefaultParallelism()
 	}
 	pg := &PartitionedGraph{
 		G:            g,
 		NumParts:     numParts,
 		Parts:        make([]*Partition, numParts),
 		assign:       rt.Assign,
-		Parallelism:  par,
+		Parallelism:  workers,
 		ReuseBuffers: opts.ReuseBuffers,
 	}
 	// Assemble the edge buffer, validating each localized endpoint against
@@ -193,6 +193,9 @@ func FromRawTables(g *graph.Graph, rt RawTables, opts BuildOptions) (*Partitione
 			edges:      edgeBuf[rt.PartStart[p]:rt.PartStart[p+1]:rt.PartStart[p+1]],
 		}
 	}
+	// The frontier index, like the routing CSR below, is derived rather
+	// than persisted: it is a pure function of the (validated) edge tables.
+	pg.buildEdgeIndexes()
 	// No routing supplied: derive it from the (already validated) mirror
 	// tables — cheaper than validating a persisted copy, and correct by
 	// construction.

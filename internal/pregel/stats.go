@@ -18,8 +18,15 @@ type SuperstepStats struct {
 	ReduceMsgs int64
 	// ReduceBytes is the byte volume of the reduce phase.
 	ReduceBytes int64
-	// EdgesScanned is the number of triplets examined across partitions.
+	// EdgesScanned is the number of triplets whose SendMsg ran (triplets
+	// satisfying the program's ActiveDirection predicate).
 	EdgesScanned int64
+	// ActiveEdges is the number of edges the compute phase actually
+	// examined: every partition edge on a dense scan, only the frontier
+	// index's candidate edges on a sparse scan. ActiveEdges ≥ EdgesScanned;
+	// the ratio ActiveEdges / Σ partition edges is the per-superstep work
+	// saved by the sparse path.
+	ActiveEdges int64
 	// MsgsEmitted is the number of sendMsg emissions before local combine.
 	MsgsEmitted int64
 	// ComputePerPart is the abstract compute cost (cost-model units)
@@ -103,6 +110,16 @@ func (r *RunStats) TotalEdgesScanned() int64 {
 	var t int64
 	for i := range r.Supersteps {
 		t += r.Supersteps[i].EdgesScanned
+	}
+	return t
+}
+
+// TotalActiveEdges sums the edges the compute phase actually examined over
+// the run (see SuperstepStats.ActiveEdges).
+func (r *RunStats) TotalActiveEdges() int64 {
+	var t int64
+	for i := range r.Supersteps {
+		t += r.Supersteps[i].ActiveEdges
 	}
 	return t
 }

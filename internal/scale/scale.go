@@ -1,0 +1,177 @@
+// Package scale defines the scaling-sweep report shared by cmd/scalebench
+// (which produces it) and cmd/benchgate (which gates on it): per
+// (dataset, component, workers) timings with derived speedup and parallel
+// efficiency, JSON on the wire, markdown for humans.
+package scale
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Measurement is one cell of the sweep: the median wall time of one
+// component on one dataset at one worker count, with speedup and parallel
+// efficiency derived from the same component's single-worker baseline.
+type Measurement struct {
+	Dataset   string `json:"dataset"`
+	Component string `json:"component"`
+	Workers   int    `json:"workers"`
+	// NsOp is the median wall nanoseconds of one operation across the
+	// sweep's repetitions.
+	NsOp float64 `json:"nsOp"`
+	// Speedup is t(1 worker) / t(Workers); 1.0 at the baseline row.
+	Speedup float64 `json:"speedup"`
+	// Efficiency is Speedup / Workers: 1.0 is perfect linear scaling.
+	Efficiency float64 `json:"efficiency"`
+}
+
+// Report is the artifact scalebench writes and benchgate compares.
+type Report struct {
+	// MaxWorkers records the machine's GOMAXPROCS at sweep time, so two
+	// reports compared by the gate can be recognized as differently sized.
+	MaxWorkers int `json:"maxWorkers"`
+	// Reps is the repetition count each median was taken over.
+	Reps    int           `json:"reps"`
+	Results []Measurement `json:"results"`
+}
+
+// Median returns the median of v (0 when empty). The sweep uses medians so
+// one noisy repetition cannot tilt a cell.
+func Median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Finalize fills in Speedup and Efficiency for every row from its
+// (dataset, component) group's workers==1 baseline and sorts the rows for
+// stable output. Rows without a baseline keep zero speedup/efficiency.
+func Finalize(r *Report) {
+	base := make(map[string]float64)
+	for _, m := range r.Results {
+		if m.Workers == 1 && m.NsOp > 0 {
+			base[m.Dataset+"\x00"+m.Component] = m.NsOp
+		}
+	}
+	for i := range r.Results {
+		m := &r.Results[i]
+		t1 := base[m.Dataset+"\x00"+m.Component]
+		if t1 > 0 && m.NsOp > 0 {
+			m.Speedup = t1 / m.NsOp
+			m.Efficiency = m.Speedup / float64(m.Workers)
+		}
+	}
+	sort.Slice(r.Results, func(i, j int) bool {
+		a, b := r.Results[i], r.Results[j]
+		if a.Dataset != b.Dataset {
+			return a.Dataset < b.Dataset
+		}
+		if a.Component != b.Component {
+			return a.Component < b.Component
+		}
+		return a.Workers < b.Workers
+	})
+}
+
+// WriteJSON writes the report as indented JSON.
+func WriteJSON(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadJSON parses a report produced by WriteJSON.
+func ReadJSON(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("scale: decoding report: %w", err)
+	}
+	return &r, nil
+}
+
+// ReadJSONFile parses a report from a file path.
+func ReadJSONFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+// WriteMarkdown renders the scaling-efficiency table, one section per
+// dataset, one row per (component, workers) cell.
+func WriteMarkdown(w io.Writer, r *Report) {
+	fmt.Fprintf(w, "# Scaling sweep (GOMAXPROCS=%d, median of %d reps)\n", r.MaxWorkers, r.Reps)
+	var dataset string
+	for _, m := range r.Results {
+		if m.Dataset != dataset {
+			dataset = m.Dataset
+			fmt.Fprintf(w, "\n## %s\n\n", dataset)
+			fmt.Fprintf(w, "| component | workers | ms/op | speedup | efficiency |\n")
+			fmt.Fprintf(w, "|---|---:|---:|---:|---:|\n")
+		}
+		fmt.Fprintf(w, "| %s | %d | %.2f | %.2fx | %.0f%% |\n",
+			m.Component, m.Workers, m.NsOp/1e6, m.Speedup, m.Efficiency*100)
+	}
+}
+
+// Regression is one gated cell whose parallel efficiency dropped beyond
+// the comparison threshold.
+type Regression struct {
+	Dataset    string
+	Component  string
+	Workers    int
+	Base, Head float64 // efficiencies
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s/%s@w%d efficiency %.0f%% -> %.0f%%",
+		r.Dataset, r.Component, r.Workers, r.Base*100, r.Head*100)
+}
+
+// Compare gates head against base: every multi-worker cell present in both
+// reports must keep its parallel efficiency within threshold (relative —
+// 0.2 tolerates a 20% drop, e.g. 0.80 → 0.64). Cells present in only one
+// report never fail the gate, mirroring benchgate's treatment of new
+// benchmarks; single-worker cells carry no efficiency signal and are
+// skipped.
+func Compare(base, head *Report, threshold float64) []Regression {
+	type key struct {
+		dataset, component string
+		workers            int
+	}
+	baseEff := make(map[key]float64)
+	for _, m := range base.Results {
+		if m.Workers > 1 && m.Efficiency > 0 {
+			baseEff[key{m.Dataset, m.Component, m.Workers}] = m.Efficiency
+		}
+	}
+	var failed []Regression
+	for _, m := range head.Results {
+		if m.Workers <= 1 || m.Efficiency <= 0 {
+			continue
+		}
+		b, ok := baseEff[key{m.Dataset, m.Component, m.Workers}]
+		if !ok {
+			continue
+		}
+		if m.Efficiency < b*(1-threshold) {
+			failed = append(failed, Regression{
+				Dataset: m.Dataset, Component: m.Component, Workers: m.Workers,
+				Base: b, Head: m.Efficiency,
+			})
+		}
+	}
+	return failed
+}

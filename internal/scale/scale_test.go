@@ -1,0 +1,129 @@
+package scale
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sweep(nsByWorkers map[int]float64) []Measurement {
+	var out []Measurement
+	for w, ns := range nsByWorkers {
+		out = append(out, Measurement{Dataset: "rmat", Component: "cc", Workers: w, NsOp: ns})
+	}
+	return out
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median(nil); got != 0 {
+		t.Fatalf("empty median = %v", got)
+	}
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Fatalf("odd median = %v, want 3", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %v, want 2.5", got)
+	}
+}
+
+func TestFinalizeDerivesEfficiency(t *testing.T) {
+	r := &Report{Results: sweep(map[int]float64{1: 800, 2: 500, 4: 250})}
+	Finalize(r)
+	want := map[int]struct{ speedup, eff float64 }{
+		1: {1, 1},
+		2: {1.6, 0.8},
+		4: {3.2, 0.8},
+	}
+	for _, m := range r.Results {
+		w := want[m.Workers]
+		if m.Speedup != w.speedup || m.Efficiency != w.eff {
+			t.Fatalf("w=%d: speedup %v efficiency %v, want %v %v", m.Workers, m.Speedup, m.Efficiency, w.speedup, w.eff)
+		}
+	}
+	// Sorted by dataset, component, workers.
+	for i := 1; i < len(r.Results); i++ {
+		if r.Results[i-1].Workers > r.Results[i].Workers {
+			t.Fatal("results not sorted by workers")
+		}
+	}
+}
+
+func TestFinalizeWithoutBaseline(t *testing.T) {
+	r := &Report{Results: sweep(map[int]float64{2: 500})}
+	Finalize(r)
+	if m := r.Results[0]; m.Speedup != 0 || m.Efficiency != 0 {
+		t.Fatalf("no-baseline row got speedup %v efficiency %v, want zeros", m.Speedup, m.Efficiency)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := &Report{MaxWorkers: 8, Reps: 5, Results: sweep(map[int]float64{1: 800, 4: 250})}
+	Finalize(r)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxWorkers != 8 || got.Reps != 5 || len(got.Results) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Results[1].Efficiency != r.Results[1].Efficiency {
+		t.Fatal("efficiency not preserved")
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	r := &Report{MaxWorkers: 8, Reps: 5, Results: sweep(map[int]float64{1: 8e6, 4: 25e5})}
+	Finalize(r)
+	var buf bytes.Buffer
+	WriteMarkdown(&buf, r)
+	out := buf.String()
+	for _, want := range []string{"## rmat", "| cc | 4 |", "80%", "| component | workers |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareFlagsEfficiencyRegression(t *testing.T) {
+	base := &Report{Results: sweep(map[int]float64{1: 800, 4: 250})} // eff 0.8
+	head := &Report{Results: sweep(map[int]float64{1: 800, 4: 500})} // eff 0.4
+	Finalize(base)
+	Finalize(head)
+	failed := Compare(base, head, 0.2)
+	if len(failed) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(failed), failed)
+	}
+	if got := failed[0].String(); !strings.Contains(got, "rmat/cc@w4") {
+		t.Fatalf("unexpected regression row %q", got)
+	}
+}
+
+func TestCompareToleratesWithinThreshold(t *testing.T) {
+	base := &Report{Results: sweep(map[int]float64{1: 800, 4: 250})} // eff 0.8
+	head := &Report{Results: sweep(map[int]float64{1: 800, 4: 280})} // eff ~0.71, -11%
+	Finalize(base)
+	Finalize(head)
+	if failed := Compare(base, head, 0.2); len(failed) != 0 {
+		t.Fatalf("within-threshold drop flagged: %v", failed)
+	}
+}
+
+func TestCompareIgnoresUnmatchedAndSerialCells(t *testing.T) {
+	base := &Report{Results: []Measurement{
+		{Dataset: "road", Component: "build", Workers: 1, NsOp: 100},
+		{Dataset: "road", Component: "build", Workers: 2, NsOp: 60},
+	}}
+	head := &Report{Results: []Measurement{
+		{Dataset: "road", Component: "build", Workers: 1, NsOp: 900}, // serial slowdown: not this gate's job
+		{Dataset: "rmat", Component: "pagerank", Workers: 4, NsOp: 10},
+	}}
+	Finalize(base)
+	Finalize(head)
+	if failed := Compare(base, head, 0.2); len(failed) != 0 {
+		t.Fatalf("unmatched/serial cells flagged: %v", failed)
+	}
+}

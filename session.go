@@ -20,8 +20,12 @@ type SessionOptions struct {
 	// topologies, metric sets) by their approximate retained bytes;
 	// 0 means the default (512 MiB), negative means unbounded.
 	MaxCacheBytes int64
-	// Parallelism is the worker count for topology builds and engine
-	// phases; values < 1 default to GOMAXPROCS.
+	// Parallelism is the session-wide worker-count default: it is carried
+	// into every topology the session builds (cache hits included — the
+	// option is part of the build) and governs the partition build and all
+	// four engine phases of every run on those topologies. Values < 1
+	// default to the process's GOMAXPROCS. cmd/cutfitd surfaces it as the
+	// -parallelism flag.
 	Parallelism int
 	// Cluster is the simulated cluster configuration Run reports use for
 	// SimSecs; nil means ConfigI with NumPartitions overridden per run.
@@ -415,6 +419,8 @@ func (se *Session) Run(ctx context.Context, g *Graph, s Strategy, numParts int, 
 	rep.Halted = stats.Halted
 	rep.BroadcastMsgs = stats.TotalBroadcastMsgs()
 	rep.ReduceMsgs = stats.TotalReduceMsgs()
+	rep.ActiveEdges = stats.TotalActiveEdges()
+	rep.Frontier = frontierTrace(stats)
 
 	var cfg ClusterConfig
 	if se.cluster != nil {
@@ -543,20 +549,55 @@ type VertexRank struct {
 	Rank   float64  `json:"rank"`
 }
 
+// FrontierStep is one superstep's frontier accounting in a RunReport: how
+// many vertices were active, how many edges the compute phase actually
+// examined (all partition edges on a dense scan, only frontier-incident
+// candidates on a sparse scan), and how many messages the scan emitted.
+// The activeEdges column shrinking while the graph stays fixed is the
+// sparse path's win made observable per superstep.
+type FrontierStep struct {
+	Superstep      int   `json:"superstep"`
+	ActiveVertices int64 `json:"activeVertices"`
+	ActiveEdges    int64 `json:"activeEdges"`
+	MsgsEmitted    int64 `json:"msgsEmitted"`
+}
+
+// frontierTrace flattens per-superstep frontier stats for the run report.
+func frontierTrace(stats *RunStats) []FrontierStep {
+	if len(stats.Supersteps) == 0 {
+		return nil
+	}
+	trace := make([]FrontierStep, len(stats.Supersteps))
+	for i := range stats.Supersteps {
+		ss := &stats.Supersteps[i]
+		trace[i] = FrontierStep{
+			Superstep:      ss.Superstep,
+			ActiveVertices: ss.ActiveVertices,
+			ActiveEdges:    ss.ActiveEdges,
+			MsgsEmitted:    ss.MsgsEmitted,
+		}
+	}
+	return trace
+}
+
 // RunReport is the JSON encoding of one algorithm execution: engine
 // accounting, the simulated cluster time, and the algorithm's headline
 // result (only the matching result field is populated).
 type RunReport struct {
-	Graph         string  `json:"graph,omitempty"`
-	Algorithm     string  `json:"algorithm"`
-	Strategy      string  `json:"strategy"`
-	Parts         int     `json:"parts"`
-	Supersteps    int     `json:"supersteps"`
-	Converged     bool    `json:"converged"`
-	Halted        bool    `json:"halted,omitempty"`
-	BroadcastMsgs int64   `json:"broadcastMsgs"`
-	ReduceMsgs    int64   `json:"reduceMsgs"`
-	SimSecs       float64 `json:"simSecs"`
+	Graph         string `json:"graph,omitempty"`
+	Algorithm     string `json:"algorithm"`
+	Strategy      string `json:"strategy"`
+	Parts         int    `json:"parts"`
+	Supersteps    int    `json:"supersteps"`
+	Converged     bool   `json:"converged"`
+	Halted        bool   `json:"halted,omitempty"`
+	BroadcastMsgs int64  `json:"broadcastMsgs"`
+	ReduceMsgs    int64  `json:"reduceMsgs"`
+	// ActiveEdges totals the edges the compute phase examined over the run;
+	// Frontier breaks it down per superstep.
+	ActiveEdges int64          `json:"activeEdges"`
+	Frontier    []FrontierStep `json:"frontier,omitempty"`
+	SimSecs     float64        `json:"simSecs"`
 
 	TopRanks   []VertexRank `json:"topRanks,omitempty"`
 	Components int          `json:"components,omitempty"`
