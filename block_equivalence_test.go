@@ -1,0 +1,229 @@
+package cutfit_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"cutfit"
+	"cutfit/internal/graph"
+	"cutfit/internal/testutil"
+)
+
+// equivEdges generates a deterministic skewed edge stream with a weighted
+// minority, sized to span many 256-edge blocks.
+func equivEdges(n int, seed uint64) ([]cutfit.Edge, []float64) {
+	edges := make([]cutfit.Edge, n)
+	weights := make([]float64, n)
+	x := seed | 1
+	for i := range edges {
+		x = x*6364136223846793005 + 1442695040888963407
+		src := (x >> 33) % 1500
+		x = x*6364136223846793005 + 1442695040888963407
+		dst := (x >> 33) % 1500
+		if i%3 == 0 { // skew: a third of edges hit a small hub set
+			dst %= 40
+		}
+		edges[i] = cutfit.Edge{Src: cutfit.VertexID(src), Dst: cutfit.VertexID(dst)}
+		weights[i] = 1
+		if i%11 == 0 {
+			weights[i] = 0.25 + float64(i%7)
+		}
+	}
+	return edges, weights
+}
+
+// blockGraphOf rebuilds g's exact edge content (weights included) into a
+// fresh block-backed graph with small blocks, so every scan crosses many
+// block boundaries.
+func blockGraphOf(t *testing.T, edges []cutfit.Edge, weights []float64) *cutfit.Graph {
+	t.Helper()
+	bb := graph.NewBlockBuilder(256)
+	bb.Append(edges, weights)
+	return graph.FromBlocks(bb.Finish())
+}
+
+// generations derives base → grown → shrunk → slid pairs of a dense and a
+// block-backed graph through identical mutation sequences. Every block
+// generation must keep its block tier — otherwise the suite would silently
+// compare dense against dense.
+func generations(t *testing.T) map[string][2]*cutfit.Graph {
+	t.Helper()
+	const n = 8192
+	edges, weights := equivEdges(n, 42)
+
+	dense, err := cutfit.FromWeightedEdges(append([]cutfit.Edge(nil), edges...), append([]float64(nil), weights...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := blockGraphOf(t, edges, weights)
+
+	suffix, sufW := equivEdges(1024, 99)
+	dGrown, _, err := dense.GrowWeighted(suffix, sufW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bGrown, _, err := block.GrowWeighted(suffix, sufW)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	retract := []cutfit.Edge{edges[10], edges[777], edges[5000], suffix[3]}
+	dShrunk, _, err := dGrown.Shrink(retract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bShrunk, _, err := bGrown.Shrink(retract)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	more, moreW := equivEdges(512, 7)
+	dSlid, _, err := dShrunk.SlideWindow(more, moreW, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bSlid, _, err := bShrunk.SlideWindow(more, moreW, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gens := map[string][2]*cutfit.Graph{
+		"base":   {dense, block},
+		"grown":  {dGrown, bGrown},
+		"shrunk": {dShrunk, bShrunk},
+		"slid":   {dSlid, bSlid},
+	}
+	for name, pair := range gens {
+		if pair[0].BlockBacked() {
+			t.Fatalf("%s: dense twin is block-backed", name)
+		}
+		if !pair[1].BlockBacked() {
+			t.Fatalf("%s: block twin lost its block tier", name)
+		}
+	}
+	return gens
+}
+
+// TestBlockDenseEquivalence: a block-backed graph is bit-identical to its
+// dense twin through the whole pipeline — fingerprint, assignment PIDs,
+// the full metric set, PageRank and connected components — across
+// base/grown/shrunk/slid generations and hash, streaming and hybrid
+// strategies. Runs under `make race`, so it also exercises the parallel
+// block scatter pass and concurrent block decode for data races.
+func TestBlockDenseEquivalence(t *testing.T) {
+	strategies := map[string]cutfit.Strategy{}
+	for _, name := range []string{"2D", "Greedy", "HDRF", "Hybrid"} {
+		s, err := cutfit.StrategyByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		strategies[name] = s
+	}
+	const numParts = 16
+	ctx := context.Background()
+
+	for gen, pair := range generations(t) {
+		dense, block := pair[0], pair[1]
+		t.Run(gen, func(t *testing.T) {
+			if df, bf := dense.Fingerprint(), block.Fingerprint(); df != bf {
+				t.Fatalf("fingerprint: dense %016x, block %016x", df, bf)
+			}
+			for name, s := range strategies {
+				t.Run(name, func(t *testing.T) {
+					da, err := cutfit.PartitionAssignment(dense, s, numParts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ba, err := cutfit.PartitionAssignment(block, s, numParts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(da.PIDs, ba.PIDs) {
+						t.Fatal("assignment PIDs differ")
+					}
+
+					dm, err := cutfit.MeasureAssignment(da)
+					if err != nil {
+						t.Fatal(err)
+					}
+					bm, err := cutfit.MeasureAssignment(ba)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(dm, bm) {
+						t.Fatalf("metrics differ:\ndense %+v\nblock %+v", dm, bm)
+					}
+
+					dpg, err := cutfit.PartitionFromAssignment(da, cutfit.PartitionOptions{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					bpg, err := cutfit.PartitionFromAssignment(ba, cutfit.PartitionOptions{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := testutil.CheckPartitionInvariants(block, ba.PIDs, numParts, bpg); err != nil {
+						t.Fatal(err)
+					}
+
+					dRanks, _, err := cutfit.RunPageRank(ctx, dpg, 5)
+					if err != nil {
+						t.Fatal(err)
+					}
+					bRanks, _, err := cutfit.RunPageRank(ctx, bpg, 5)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(dRanks, bRanks) {
+						t.Fatal("PageRank ranks differ")
+					}
+
+					dCC, _, err := cutfit.RunConnectedComponents(ctx, dpg, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					bCC, _, err := cutfit.RunConnectedComponents(ctx, bpg, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(dCC, bCC) {
+						t.Fatal("connected-components labels differ")
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestBlockAssignAllocsOBlocks: one-pass streamed assignment over a block
+// store allocates O(blocks), never O(E) — the per-block decode goes
+// through pooled scratch and the only O(E) allocation is the PID slice
+// itself. The stateless 2D hash strategy is used so the measurement
+// isolates block-tier decode overhead from any per-vertex strategy state.
+func TestBlockAssignAllocsOBlocks(t *testing.T) {
+	const n = 1 << 15 // 128 blocks of 256
+	edges, _ := equivEdges(n, 5)
+	bb := graph.NewBlockBuilder(256)
+	bb.Append(edges, nil)
+	g := graph.FromBlocks(bb.Finish())
+	s, err := cutfit.StrategyByName("2D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm lazily-built views (vertex index, degrees) out of the measured
+	// region; they are one-time costs, not per-assignment ones.
+	if _, err := cutfit.PartitionAssignment(g, s, 16); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := cutfit.PartitionAssignment(g, s, 16); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// O(blocks) budget: a handful of allocations per 256-edge block would
+	// pass; one allocation per edge (O(E) ≈ 32768) must fail loudly.
+	if limit := float64(g.Blocks().NumBlocks() * 8); allocs > limit {
+		t.Fatalf("streamed assignment made %.0f allocations for %d blocks (limit %.0f)", allocs, g.Blocks().NumBlocks(), limit)
+	}
+}

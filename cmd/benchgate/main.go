@@ -7,14 +7,18 @@
 //
 // Usage:
 //
-//	benchgate -base old.txt -head new.txt [-threshold 0.25] [-filter regex]
+//	benchgate -base old.txt -head new.txt [-threshold 0.25] [-mem-threshold 0.25] [-filter regex]
 //	benchgate -scale-base old.json -scale-head new.json [-scale-threshold 0.2]
 //
 // Both files should contain repeated samples (go test -count=N); the gate
-// compares per-benchmark medians of ns/op, which tolerates the odd noisy
-// sample the way benchstat does. Benchmarks present in only one file are
-// reported but never fail the gate (new benchmarks must not break the PR
-// that introduces them).
+// compares per-benchmark medians, which tolerates the odd noisy sample the
+// way benchstat does. Three metrics are guarded: ns/op against -threshold,
+// and the two memory metrics — B/op and the peak-heap-MB metric reported
+// by the out-of-core scale benchmarks — against -mem-threshold, so a
+// change that keeps wall clock flat but reintroduces an O(E) allocation
+// still fails the PR. Benchmarks present in only one file are reported but
+// never fail the gate (new benchmarks must not break the PR that
+// introduces them).
 //
 // The second form compares two cmd/scalebench JSON reports instead: every
 // multi-worker (dataset, component, workers) cell present in both must
@@ -28,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -40,12 +45,19 @@ import (
 // benchLine matches one benchmark result line, e.g.
 //
 //	BenchmarkAppendEdges/delta-8   720   1628496 ns/op   3718640 B/op   689 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.+)$`)
 
-// parseBench collects ns/op samples per benchmark name from one bench
-// output stream.
-func parseBench(r io.Reader) (map[string][]float64, error) {
-	out := make(map[string][]float64)
+// gatedUnits are the metrics the gate guards, in display order. Every
+// other unit on a bench line (allocs/op, MB/s, custom metrics) is parsed
+// and ignored.
+var gatedUnits = []string{"ns/op", "B/op", "peak-heap-MB"}
+
+// parseBench collects per-benchmark, per-unit samples from one bench
+// output stream. Bench lines carry (value, unit) pairs after the
+// iteration count; all pairs are collected so memory metrics gate
+// alongside ns/op.
+func parseBench(r io.Reader) (map[string]map[string][]float64, error) {
+	out := make(map[string]map[string][]float64)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -53,11 +65,31 @@ func parseBench(r io.Reader) (map[string][]float64, error) {
 		if m == nil {
 			continue
 		}
-		v, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
+		fields := strings.Fields(m[2])
+		if len(fields)%2 != 0 {
+			continue // not a (value, unit)* tail: some other Benchmark-prefixed line
 		}
-		out[m[1]] = append(out[m[1]], v)
+		samples := make(map[string]float64, len(fields)/2)
+		ok := true
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			samples[fields[i+1]] = v
+		}
+		if !ok || len(samples) == 0 {
+			continue
+		}
+		units := out[m[1]]
+		if units == nil {
+			units = make(map[string][]float64)
+			out[m[1]] = units
+		}
+		for unit, v := range samples {
+			units[unit] = append(units[unit], v)
+		}
 	}
 	return out, sc.Err()
 }
@@ -72,16 +104,18 @@ func median(v []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
-// result is one benchmark's comparison row.
+// result is one (benchmark, unit) comparison row.
 type result struct {
 	name       string
-	base, head float64 // median ns/op; <= 0 when missing on that side
+	unit       string
+	base, head float64 // medians; NaN when missing on that side
 	ratio      float64
 }
 
-// compare joins base and head samples into sorted comparison rows,
-// restricted to names matching filter (nil = all).
-func compare(base, head map[string][]float64, filter *regexp.Regexp) []result {
+// compare joins base and head samples into sorted comparison rows — one
+// per (benchmark, gated unit) present on either side — restricted to
+// names matching filter (nil = all).
+func compare(base, head map[string]map[string][]float64, filter *regexp.Regexp) []result {
 	names := make(map[string]bool)
 	for n := range base {
 		names[n] = true
@@ -94,46 +128,80 @@ func compare(base, head map[string][]float64, filter *regexp.Regexp) []result {
 		if filter != nil && !filter.MatchString(n) {
 			continue
 		}
-		r := result{name: n, base: -1, head: -1}
-		if v := base[n]; len(v) > 0 {
-			r.base = median(v)
+		for _, unit := range gatedUnits {
+			bs, hs := base[n][unit], head[n][unit]
+			if len(bs) == 0 && len(hs) == 0 {
+				continue
+			}
+			r := result{name: n, unit: unit, base: math.NaN(), head: math.NaN()}
+			if len(bs) > 0 {
+				r.base = median(bs)
+			}
+			if len(hs) > 0 {
+				r.head = median(hs)
+			}
+			if !math.IsNaN(r.base) && !math.IsNaN(r.head) {
+				if r.base == 0 {
+					if r.head == 0 {
+						r.ratio = 1
+					} else {
+						r.ratio = math.Inf(1) // 0 → nonzero is an unambiguous regression
+					}
+				} else {
+					r.ratio = r.head / r.base
+				}
+			}
+			rows = append(rows, r)
 		}
-		if v := head[n]; len(v) > 0 {
-			r.head = median(v)
-		}
-		if r.base > 0 && r.head > 0 {
-			r.ratio = r.head / r.base
-		}
-		rows = append(rows, r)
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].name != rows[j].name {
+			return rows[i].name < rows[j].name
+		}
+		return unitOrder(rows[i].unit) < unitOrder(rows[j].unit)
+	})
 	return rows
 }
 
-// gate renders the comparison and returns the names of benchmarks whose
-// median regressed beyond threshold (e.g. 0.25 = +25%).
-func gate(w io.Writer, rows []result, threshold float64) []string {
+func unitOrder(unit string) int {
+	for i, u := range gatedUnits {
+		if u == unit {
+			return i
+		}
+	}
+	return len(gatedUnits)
+}
+
+// gate renders the comparison and returns the "name unit" labels of rows
+// whose median regressed beyond that unit's threshold: ns/op is judged
+// against threshold, the memory units (B/op, peak-heap-MB) against
+// memThreshold.
+func gate(w io.Writer, rows []result, threshold, memThreshold float64) []string {
 	var failed []string
-	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark", "base ns/op", "head ns/op", "delta")
+	fmt.Fprintf(w, "%-60s %-14s %14s %14s %8s\n", "benchmark", "unit", "base", "head", "delta")
 	for _, r := range rows {
+		limit := threshold
+		if r.unit != "ns/op" {
+			limit = memThreshold
+		}
 		switch {
-		case r.base <= 0:
-			fmt.Fprintf(w, "%-60s %14s %14.0f %8s\n", r.name, "-", r.head, "new")
-		case r.head <= 0:
-			fmt.Fprintf(w, "%-60s %14.0f %14s %8s\n", r.name, r.base, "-", "gone")
+		case math.IsNaN(r.base):
+			fmt.Fprintf(w, "%-60s %-14s %14s %14.0f %8s\n", r.name, r.unit, "-", r.head, "new")
+		case math.IsNaN(r.head):
+			fmt.Fprintf(w, "%-60s %-14s %14.0f %14s %8s\n", r.name, r.unit, r.base, "-", "gone")
 		default:
 			verdict := fmt.Sprintf("%+.1f%%", (r.ratio-1)*100)
-			if r.ratio > 1+threshold {
+			if r.ratio > 1+limit {
 				verdict += " FAIL"
-				failed = append(failed, r.name)
+				failed = append(failed, r.name+" "+r.unit)
 			}
-			fmt.Fprintf(w, "%-60s %14.0f %14.0f %8s\n", r.name, r.base, r.head, verdict)
+			fmt.Fprintf(w, "%-60s %-14s %14.0f %14.0f %8s\n", r.name, r.unit, r.base, r.head, verdict)
 		}
 	}
 	return failed
 }
 
-func run(basePath, headPath, filterExpr string, threshold float64, w io.Writer) (int, error) {
+func run(basePath, headPath, filterExpr string, threshold, memThreshold float64, w io.Writer) (int, error) {
 	var filter *regexp.Regexp
 	if filterExpr != "" {
 		var err error
@@ -141,7 +209,7 @@ func run(basePath, headPath, filterExpr string, threshold float64, w io.Writer) 
 			return 2, fmt.Errorf("benchgate: bad -filter: %w", err)
 		}
 	}
-	parseFile := func(path string) (map[string][]float64, error) {
+	parseFile := func(path string) (map[string]map[string][]float64, error) {
 		f, err := os.Open(path)
 		if err != nil {
 			return nil, err
@@ -161,11 +229,12 @@ func run(basePath, headPath, filterExpr string, threshold float64, w io.Writer) 
 	if len(rows) == 0 {
 		return 2, fmt.Errorf("benchgate: no benchmarks matched")
 	}
-	if failed := gate(w, rows, threshold); len(failed) > 0 {
-		fmt.Fprintf(w, "\nREGRESSION above +%.0f%%: %s\n", threshold*100, strings.Join(failed, ", "))
+	if failed := gate(w, rows, threshold, memThreshold); len(failed) > 0 {
+		fmt.Fprintf(w, "\nREGRESSION above thresholds (+%.0f%% time, +%.0f%% memory): %s\n",
+			threshold*100, memThreshold*100, strings.Join(failed, ", "))
 		return 1, nil
 	}
-	fmt.Fprintf(w, "\nOK: no benchmark regressed beyond +%.0f%%\n", threshold*100)
+	fmt.Fprintf(w, "\nOK: no benchmark regressed beyond +%.0f%% time / +%.0f%% memory\n", threshold*100, memThreshold*100)
 	return 0, nil
 }
 
@@ -204,6 +273,7 @@ func main() {
 	basePath := flag.String("base", "", "bench output of the base commit")
 	headPath := flag.String("head", "", "bench output of the head commit")
 	threshold := flag.Float64("threshold", 0.25, "maximum tolerated ns/op regression (0.25 = +25%)")
+	memThreshold := flag.Float64("mem-threshold", 0.25, "maximum tolerated B/op or peak-heap-MB regression (0.25 = +25%)")
 	filter := flag.String("filter", "", "regexp restricting which benchmarks are guarded (default: all)")
 	scaleBase := flag.String("scale-base", "", "scalebench JSON report of the base commit")
 	scaleHead := flag.String("scale-head", "", "scalebench JSON report of the head commit")
@@ -224,7 +294,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchgate -base old.txt -head new.txt [-threshold 0.25] [-filter regex]")
 		os.Exit(2)
 	}
-	code, err := run(*basePath, *headPath, *filter, *threshold, os.Stdout)
+	code, err := run(*basePath, *headPath, *filter, *threshold, *memThreshold, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 	}

@@ -38,11 +38,14 @@ func TestParseBenchMedian(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(m["BenchmarkAppendEdges/delta-8"]); got != 3 {
-		t.Fatalf("samples = %d, want 3", got)
+	if got := len(m["BenchmarkAppendEdges/delta-8"]["ns/op"]); got != 3 {
+		t.Fatalf("ns/op samples = %d, want 3", got)
 	}
-	if got := median(m["BenchmarkAppendEdges/delta-8"]); got != 1600000 {
+	if got := median(m["BenchmarkAppendEdges/delta-8"]["ns/op"]); got != 1600000 {
 		t.Fatalf("median = %v, want 1600000", got)
+	}
+	if got := median(m["BenchmarkAppendEdges/delta-8"]["B/op"]); got != 3718640 {
+		t.Fatalf("B/op median = %v, want 3718640", got)
 	}
 }
 
@@ -50,7 +53,7 @@ func TestGateFailsOnRegression(t *testing.T) {
 	base := writeTemp(t, "old.txt", baseBench)
 	head := writeTemp(t, "new.txt", headBench)
 	var out strings.Builder
-	code, err := run(base, head, "", 0.25, &out)
+	code, err := run(base, head, "", 0.25, 0.25, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +76,7 @@ func TestGatePassesWithinThreshold(t *testing.T) {
 	head := writeTemp(t, "new.txt", headBench)
 	var out strings.Builder
 	// Guard only the delta benchmark (+3% change): passes.
-	code, err := run(base, head, "AppendEdges", 0.25, &out)
+	code, err := run(base, head, "AppendEdges", 0.25, 0.25, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +90,7 @@ func TestGateLooseThresholdPasses(t *testing.T) {
 	head := writeTemp(t, "new.txt", headBench)
 	var out strings.Builder
 	// +50% is tolerated at threshold 0.6.
-	code, err := run(base, head, "", 0.6, &out)
+	code, err := run(base, head, "", 0.6, 0.6, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,11 +99,41 @@ func TestGateLooseThresholdPasses(t *testing.T) {
 	}
 }
 
+// TestGateFailsOnMemoryRegression: flat ns/op with B/op and peak-heap-MB
+// blown past -mem-threshold must fail the gate even when the time
+// threshold is loose — memory regressions gate independently.
+func TestGateFailsOnMemoryRegression(t *testing.T) {
+	base := writeTemp(t, "old.txt", `BenchmarkScale/10M/block-8   1   20000000 ns/op   337.0 peak-heap-MB   100000000 B/op
+`)
+	head := writeTemp(t, "new.txt", `BenchmarkScale/10M/block-8   1   20100000 ns/op   520.0 peak-heap-MB   160000000 B/op
+`)
+	var out strings.Builder
+	code, err := run(base, head, "", 10 /* time gate wide open */, 0.25, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\n%s", code, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "peak-heap-MB FAIL") && !strings.Contains(s, "peak-heap-MB") || !strings.Contains(s, "FAIL") {
+		t.Fatalf("memory regression not reported:\n%s", s)
+	}
+	if !strings.Contains(s, "BenchmarkScale/10M/block-8 B/op") || !strings.Contains(s, "BenchmarkScale/10M/block-8 peak-heap-MB") {
+		t.Fatalf("failed units not named:\n%s", s)
+	}
+	// The same diff passes when the memory gate is loosened.
+	out.Reset()
+	if code, err = run(base, head, "", 10, 0.6, &out); err != nil || code != 0 {
+		t.Fatalf("loose mem gate: code=%d err=%v\n%s", code, err, out.String())
+	}
+}
+
 func TestGateNoMatches(t *testing.T) {
 	base := writeTemp(t, "old.txt", baseBench)
 	head := writeTemp(t, "new.txt", headBench)
 	var out strings.Builder
-	code, err := run(base, head, "NoSuchBenchmark", 0.25, &out)
+	code, err := run(base, head, "NoSuchBenchmark", 0.25, 0.25, &out)
 	if code != 2 || err == nil {
 		t.Fatalf("code=%d err=%v, want 2 with error", code, err)
 	}

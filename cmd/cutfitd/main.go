@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	cutfitd [-addr :8080] [-cache-mb 512] [-parallelism N] [-preload youtube,roadnet-ca] [-data-dir /var/lib/cutfitd]
+//	cutfitd [-addr :8080] [-cache-mb 512] [-parallelism N] [-preload youtube,roadnet-ca] [-block-graph social=/data/social.cfb] [-data-dir /var/lib/cutfitd]
 //
 // With -data-dir the daemon is durable: evicted cache entries spill to
 // <dir>/cache/ (and satisfy later misses from disk), POST /v1/snapshot and
@@ -17,6 +17,12 @@
 // assignment, metric set and built topology — and the next boot
 // warm-starts from it, so a restarted daemon serves /v1/run without
 // re-partitioning anything.
+//
+// -block-graph registers graphs from on-disk block-graph files (written by
+// cutfit.SaveBlockGraph): name=path pairs, comma-separated, repeatable.
+// The graph's edge blocks are served straight from the file for the life
+// of the process — only the block index and vertex list are heap-resident
+// — so the daemon can serve graphs far larger than memory.
 //
 // Endpoints (request and response bodies are JSON; the response structs
 // are the same cutfit.MetricsReport / AdviseReport / RunReport encodings
@@ -68,12 +74,28 @@ import (
 // termination signal before the final snapshot is taken.
 const shutdownGrace = 10 * time.Second
 
+// stringList is a repeatable comma-separated flag value.
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+
+func (l *stringList) Set(v string) error {
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			*l = append(*l, s)
+		}
+	}
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheMB := flag.Int64("cache-mb", 0, "artifact cache budget in MiB (0 = default 512, negative = unbounded)")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines per build/run (<1 = GOMAXPROCS)")
 	preload := flag.String("preload", "", "comma-separated analog dataset names to register at boot under their own names")
 	dataDir := flag.String("data-dir", "", "durability directory: disk cache tier under <dir>/cache, warm-start snapshot at <dir>/cutfitd.snap (empty = in-memory only)")
+	var blockGraphs stringList
+	flag.Var(&blockGraphs, "block-graph", "name=path of an on-disk block-graph file to register at boot, served straight from the file (comma-separated, repeatable)")
 	flag.Parse()
 
 	srv, err := newServer(serverOptions{
@@ -101,6 +123,19 @@ func main() {
 			}
 			log.Printf("preloaded %s: %d vertices, %d edges", name, n.vertices, n.edges)
 		}
+	}
+	for _, spec := range blockGraphs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			fmt.Fprintf(os.Stderr, "cutfitd: -block-graph %q: want name=path\n", spec)
+			os.Exit(1)
+		}
+		n, err := srv.registerBlockGraph(name, path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cutfitd: block graph:", err)
+			os.Exit(1)
+		}
+		log.Printf("opened block graph %s from %s: %d vertices, %d edges", name, path, n.vertices, n.edges)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}

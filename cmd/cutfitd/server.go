@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -47,6 +48,10 @@ type server struct {
 
 	mu     sync.RWMutex
 	graphs map[string]*graphEntry
+	// blockFiles are the handles behind graphs registered from on-disk
+	// block-graph files (-block-graph); they stay open for the life of the
+	// process so blocks keep decoding straight from disk.
+	blockFiles []io.Closer
 
 	// persistMu serializes snapshot writes (concurrent POST /v1/snapshot
 	// calls, or one racing the shutdown persist).
@@ -270,6 +275,24 @@ func (s *server) registerDataset(name, dataset string) (*graphEntry, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.register(name, g), nil
+}
+
+// registerBlockGraph opens an on-disk block graph (a cutfit.SaveBlockGraph
+// file) and registers it under name. Blocks are served straight from the
+// file — only the index and vertex list are heap-resident — so a daemon can
+// serve graphs far larger than its cache budget. The file handle is held
+// for the life of the process (appends densify the graph first, after which
+// the file is no longer read, but the original generation may still be
+// serving in-flight requests).
+func (s *server) registerBlockGraph(name, path string) (*graphEntry, error) {
+	g, closer, err := cutfit.OpenBlockGraph(path)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.blockFiles = append(s.blockFiles, closer)
+	s.mu.Unlock()
 	return s.register(name, g), nil
 }
 

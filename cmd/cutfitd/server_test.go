@@ -557,3 +557,40 @@ func TestServerConcurrentAppendsAndRuns(t *testing.T) {
 		t.Fatalf("after concurrent appends: %+v, want %d edges", graphs, 7+appenders*batches)
 	}
 }
+
+// TestServerBlockGraphRegistration: a graph registered from an on-disk
+// block file (-block-graph) serves metrics identical to the same graph
+// registered inline — the block tier is invisible to the pipeline.
+func TestServerBlockGraphRegistration(t *testing.T) {
+	gb, err := cutfit.LoadEdgeListBlocks(bytes.NewReader([]byte(testEdges)), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tri.cfb")
+	if err := cutfit.SaveBlockGraph(path, gb); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := mustServer(t, serverOptions{})
+	if _, err := srv.registerBlockGraph("disk", path); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	post(t, ts, "/v1/graphs", map[string]any{"name": "mem", "edges": testEdges}, nil)
+
+	req := func(name string) cutfit.MetricsReport {
+		var rep cutfit.MetricsReport
+		post(t, ts, "/v1/metrics", map[string]any{"graph": name, "strategy": "2D", "parts": 4}, &rep)
+		return rep
+	}
+	disk, mem := req("disk"), req("mem")
+	disk.Graph, mem.Graph = "", ""
+	if disk != mem {
+		t.Fatalf("block-file graph serves different metrics: %+v vs %+v", disk, mem)
+	}
+
+	if _, err := srv.registerBlockGraph("bad", filepath.Join(t.TempDir(), "absent.cfb")); err == nil {
+		t.Fatal("registered a missing block-graph file")
+	}
+}

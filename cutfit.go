@@ -141,6 +141,28 @@
 // disk before recomputing, and the files outlive the process. The cmd/cutfitd
 // daemon composes both via -data-dir (warm start on boot, POST /v1/snapshot,
 // persist on graceful shutdown); see ExampleSession_Snapshot.
+//
+// # Out-of-core scale
+//
+// For graphs whose dense edge list (16 bytes per edge, plus derived
+// views) does not fit comfortably in memory, the block-compressed edge
+// tier stores edges in fixed-size blocks encoded with the snapshot
+// delta-varint codec and decodes them on demand: full scans stream
+// through pooled scratch, random access goes through a small LRU of hot
+// blocks. LoadEdgeListBlocks parses an edge list straight into block
+// form (peak heap is one block of pending edges plus the compressed
+// payloads), StreamEdgeList feeds batches to a callback without building
+// a graph at all, and SaveBlockGraph/OpenBlockGraph persist the tier to a
+// single file whose blocks are then served directly from disk. A
+// block-backed Graph flows through the entire pipeline — strategies,
+// metrics, the engine build, dynamic updates — bit-identically to its
+// dense twin, without ever materializing the dense edge list; mutating
+// one (AddEdge) densifies it first.
+//
+//	g, _ := cutfit.LoadEdgeListBlocks(f, 0) // 0 = DefaultBlockEdges
+//	_ = cutfit.SaveBlockGraph("social.cfb", g)
+//	g2, closer, _ := cutfit.OpenBlockGraph("social.cfb") // served from the file
+//	defer closer.Close()
 package cutfit
 
 import (
@@ -156,6 +178,7 @@ import (
 	"cutfit/internal/metrics"
 	"cutfit/internal/partition"
 	"cutfit/internal/pregel"
+	"cutfit/internal/snap"
 )
 
 // Core graph types.
@@ -233,6 +256,42 @@ func FromWeightedEdges(edges []Edge, weights []float64) (*Graph, error) {
 
 // LoadEdgeList parses a SNAP-style whitespace-separated edge list.
 func LoadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// DefaultBlockEdges is the block granularity LoadEdgeListBlocks uses when
+// given 0: 64K edges per block.
+const DefaultBlockEdges = graph.DefaultBlockEdges
+
+// LoadEdgeListBlocks parses a SNAP-style edge list straight into the
+// block-compressed edge tier: edges land in fixed-size delta-varint
+// blocks (blockEdges per block, 0 selects DefaultBlockEdges) that decode
+// on demand, so peak heap during the load is one block of pending edges
+// plus the compressed payloads — never the dense 16-byte-per-edge list.
+// The resulting graph flows through the whole pipeline bit-identically to
+// its dense twin.
+func LoadEdgeListBlocks(r io.Reader, blockEdges int) (*Graph, error) {
+	return graph.ReadEdgeListBlocks(r, blockEdges)
+}
+
+// StreamEdgeList parses a SNAP-style edge list in batches, invoking fn
+// for each: weights is nil until a weighted (three-column) line is seen
+// and aligned with edges afterwards. The slices are reused between
+// batches — fn must copy anything it retains. Nothing is materialized, so
+// arbitrarily large inputs stream in constant memory.
+func StreamEdgeList(r io.Reader, fn func(edges []Edge, weights []float64) error) error {
+	return graph.StreamEdgeList(r, fn)
+}
+
+// SaveBlockGraph persists a block-backed graph's compressed edge tier to
+// path atomically as a single CRC-checked file, without a dense
+// round-trip: for a heap-backed tier the encoded blocks are written
+// as-is.
+func SaveBlockGraph(path string, g *Graph) error { return snap.SaveBlockGraph(path, g) }
+
+// OpenBlockGraph opens a file written by SaveBlockGraph and returns a
+// graph that serves its blocks straight from the file — only the index
+// and vertex list are heap-resident. The returned closer owns the file
+// handle; close it only when the graph is no longer in use.
+func OpenBlockGraph(path string) (*Graph, io.Closer, error) { return snap.OpenBlockGraph(path) }
 
 // The six partitioning strategies evaluated in the paper.
 var (

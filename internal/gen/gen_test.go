@@ -376,3 +376,43 @@ func TestAddFragments(t *testing.T) {
 		t.Fatalf("fragments should be bidirected, symmetry %g", pct)
 	}
 }
+
+func TestRMATStreamMatchesRMAT(t *testing.T) {
+	cfg := DefaultRMAT(10, 8, 99)
+	want, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []graph.Edge
+	batches := 0
+	if err := RMATStream(cfg, 1000, func(batch []graph.Edge) error {
+		streamed = append(streamed, batch...)
+		batches++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	we := want.Edges()
+	if len(streamed) != len(we) {
+		t.Fatalf("streamed %d edges, want %d", len(streamed), len(we))
+	}
+	for i := range we {
+		if streamed[i] != we[i] {
+			t.Fatalf("edge %d: streamed %v, want %v", i, streamed[i], we[i])
+		}
+	}
+	if wantBatches := (len(we) + 999) / 1000; batches != wantBatches {
+		t.Fatalf("delivered %d batches, want %d", batches, wantBatches)
+	}
+
+	bg, err := RMATBlocks(cfg, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bg.BlockBacked() {
+		t.Fatal("RMATBlocks graph not block-backed")
+	}
+	if bg.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("block graph fingerprint %016x differs from dense %016x", bg.Fingerprint(), want.Fingerprint())
+	}
+}

@@ -70,15 +70,67 @@ func RMAT(cfg RMATConfig) (*graph.Graph, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	r := rng.New(cfg.Seed)
 	n := 1 << cfg.Scale
 	m := int(cfg.EdgeFactor * float64(n))
 	edges := make([]graph.Edge, 0, m)
-	for i := 0; i < m; i++ {
-		src, dst := rmatEdge(r, cfg)
-		edges = append(edges, graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst)})
+	if err := RMATStream(cfg, 0, func(batch []graph.Edge) error {
+		edges = append(edges, batch...)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return graph.FromEdges(edges), nil
+}
+
+// RMATStream generates the exact edge sequence of RMAT (same seed, same
+// rng consumption, same edges in the same order) but delivers it to fn in
+// reused batches of batchEdges instead of materializing the dense []Edge —
+// the out-of-core generation path for graphs whose dense edge list would
+// not fit comfortably in memory. batchEdges <= 0 selects 8192. The batch
+// slice is reused between calls; fn must not retain it. A non-nil error
+// from fn stops generation and is returned.
+func RMATStream(cfg RMATConfig, batchEdges int, fn func(batch []graph.Edge) error) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if batchEdges <= 0 {
+		batchEdges = 8192
+	}
+	r := rng.New(cfg.Seed)
+	n := 1 << cfg.Scale
+	m := int(cfg.EdgeFactor * float64(n))
+	batch := make([]graph.Edge, 0, batchEdges)
+	for i := 0; i < m; i++ {
+		src, dst := rmatEdge(r, cfg)
+		batch = append(batch, graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst)})
+		if len(batch) == batchEdges {
+			if err := fn(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		return fn(batch)
+	}
+	return nil
+}
+
+// RMATBlocks generates an R-MAT graph directly into the block-compressed
+// edge tier: batches stream from the generator into a graph.BlockBuilder,
+// so peak heap during generation is one block of pending edges plus the
+// compressed payloads, never the dense edge list. blockEdges 0 selects
+// graph.DefaultBlockEdges. The result is edge-for-edge identical to
+// RMAT(cfg) (same fingerprint), just block-backed.
+func RMATBlocks(cfg RMATConfig, blockEdges int) (*graph.Graph, error) {
+	bb := graph.NewBlockBuilder(blockEdges)
+	if err := RMATStream(cfg, 0, func(batch []graph.Edge) error {
+		bb.Append(batch, nil)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return graph.FromBlocks(bb.Finish()), nil
 }
 
 // rmatEdge draws one edge by recursive quadrant descent.

@@ -7,10 +7,22 @@
 // directed edges over 64-bit vertex identifiers; vertex sets, degrees and
 // adjacency are derived views. Vertex identifiers do not need to be dense,
 // but all generators in this module produce dense IDs in [0, NumVertices).
+//
+// Edges live in one of two tiers. The dense tier is a plain []Edge slice —
+// cheap to build and mutate, O(E) resident. The block tier (BlockStore)
+// keeps edges delta-varint-encoded in fixed-size blocks that decode on
+// demand, optionally served straight from an on-disk file, so a graph's
+// resident cost is the compressed bytes (or nothing at all). Both tiers
+// answer the same streaming iteration API (ForEachEdgeBlock / EdgeSeq) and
+// produce bit-identical derived views, fingerprints and generation chains;
+// only Edges()/Weights(), which promise a dense slice, force a block graph
+// to materialize.
 package graph
 
 import (
+	"errors"
 	"fmt"
+	"iter"
 	"math"
 	"math/bits"
 	"sort"
@@ -63,6 +75,14 @@ type Graph struct {
 	// unweighted graph (every edge then weighs 1).
 	weights []float64
 
+	// blocks, when non-nil, is the graph's canonical edge storage: the
+	// compressed block tier. edges/weights are then merely a cached dense
+	// materialization, built on demand under denseOnce (Edges() is the
+	// only path that forces it). Mutation (AddEdge/AddEdges) materializes
+	// and detaches the store, making the dense tier canonical again.
+	blocks    *BlockStore
+	denseOnce viewOnce
+
 	// dead is the tombstone bitset over dense edge positions (bit i set =
 	// edge i retracted); words beyond len(dead) are implicitly alive, so a
 	// nil bitset means every edge is live. numDead counts the set bits.
@@ -81,6 +101,7 @@ type Graph struct {
 	verts        []VertexID // sorted unique vertex IDs
 	idxOnce      viewOnce
 	index        map[VertexID]int32 // vertex ID -> dense index into verts
+	indexArr     []int32            // compact-ID fast path for index (-1 = absent); nil selects the map
 	degOnce      viewOnce
 	outDeg       []int32 // per dense index
 	inDeg        []int32
@@ -164,8 +185,64 @@ func FromWeightedEdges(edges []Edge, weights []float64) (*Graph, error) {
 	return &Graph{edges: edges, weights: weights}, nil
 }
 
+// FromBlocks builds a graph over a block-compressed edge store (see
+// BlockBuilder and OpenBlocks). Like other derived-graph constructors it
+// starts at a fresh process-unique version.
+func FromBlocks(bs *BlockStore) *Graph {
+	g := &Graph{blocks: bs}
+	g.version.Store(nextGenerationVersion())
+	return g
+}
+
+// Blocks returns the graph's block store, or nil on the dense tier.
+// Consumers that can iterate block-at-a-time check this to avoid forcing
+// a dense materialization.
+func (g *Graph) Blocks() *BlockStore { return g.blocks }
+
+// BlockBacked reports whether the graph's canonical edge storage is the
+// compressed block tier.
+func (g *Graph) BlockBacked() bool { return g.blocks != nil }
+
+// ensureDense materializes the dense edge (and weight) slices of a
+// block-backed graph, once. The dense copy caches alongside the store;
+// Edges()/Weights() document this as the compatibility fallback.
+func (g *Graph) ensureDense() {
+	if g.blocks == nil {
+		return
+	}
+	g.denseOnce.do(func() {
+		ne := g.blocks.numEdges
+		edges := make([]Edge, 0, ne)
+		var weights []float64
+		if g.blocks.weighted {
+			weights = make([]float64, 0, ne)
+		}
+		g.mustEdgeBlocks(func(_ int, es []Edge, ws []float64) {
+			edges = append(edges, es...)
+			if weights != nil {
+				weights = append(weights, ws...)
+			}
+		})
+		g.edges = edges
+		g.weights = weights
+	})
+}
+
+// detachBlocks makes the dense tier canonical before a mutation: the
+// materialized slices become the graph's storage and the immutable store
+// (possibly shared with clones or parent generations) is dropped.
+func (g *Graph) detachBlocks() {
+	if g.blocks == nil {
+		return
+	}
+	g.ensureDense()
+	g.blocks = nil
+	g.denseOnce.reset()
+}
+
 // AddEdge appends a directed edge. Any cached views are invalidated.
 func (g *Graph) AddEdge(src, dst VertexID) {
+	g.detachBlocks()
 	g.edges = append(g.edges, Edge{Src: src, Dst: dst})
 	if g.weights != nil {
 		g.weights = append(g.weights, 1)
@@ -176,6 +253,7 @@ func (g *Graph) AddEdge(src, dst VertexID) {
 // AddEdges appends a batch of directed edges (weight 1 each on a weighted
 // graph).
 func (g *Graph) AddEdges(edges ...Edge) {
+	g.detachBlocks()
 	g.edges = append(g.edges, edges...)
 	if g.weights != nil {
 		for range edges {
@@ -191,6 +269,7 @@ func (g *Graph) invalidate() {
 	g.verts = nil
 	g.idxOnce.reset()
 	g.index = nil
+	g.indexArr = nil
 	g.degOnce.reset()
 	g.outDeg = nil
 	g.inDeg = nil
@@ -281,10 +360,203 @@ func foldDeadFingerprint(h uint64, dead []uint64, numDead int) uint64 {
 // invalidates it like any other derived view.
 func (g *Graph) Fingerprint() uint64 {
 	g.fpOnce.do(func() {
-		g.fpEdges = foldFingerprintW(fingerprintSeed, g.edges, g.weights)
+		h := uint64(fingerprintSeed)
+		weighted := g.Weighted()
+		g.mustEdgeBlocks(func(_ int, edges []Edge, weights []float64) {
+			if weighted {
+				h = foldFingerprintW(h, edges, weights)
+			} else {
+				h = foldFingerprint(h, edges)
+			}
+		})
+		g.fpEdges = h
 		g.fp = foldDeadFingerprint(g.fpEdges, g.dead, g.numDead)
 	})
 	return g.fp
+}
+
+// CheckedFingerprint is Fingerprint with block decode failures returned
+// as errors instead of panicking. Restore paths validating untrusted
+// on-disk block graphs go through here, where a bad payload is an input
+// error, not a programmer error; the computed value is cached exactly as
+// Fingerprint's is, so a successful check makes later Fingerprint calls
+// free.
+func (g *Graph) CheckedFingerprint() (uint64, error) {
+	var ferr error
+	g.fpOnce.do(func() {
+		h := uint64(fingerprintSeed)
+		weighted := g.Weighted()
+		if ferr = g.edgeBlocks(func(_ int, edges []Edge, weights []float64) error {
+			if weighted {
+				h = foldFingerprintW(h, edges, weights)
+			} else {
+				h = foldFingerprint(h, edges)
+			}
+			return nil
+		}); ferr != nil {
+			return
+		}
+		g.fpEdges = h
+		g.fp = foldDeadFingerprint(g.fpEdges, g.dead, g.numDead)
+	})
+	if ferr != nil {
+		g.fpOnce.reset()
+		return 0, ferr
+	}
+	return g.fp, nil
+}
+
+// errStopIteration signals a deliberate early exit from ForEachEdgeBlock;
+// it is swallowed before reaching the caller.
+var errStopIteration = errors.New("graph: stop iteration")
+
+// edgeBlocks streams the dense edge list block-at-a-time through fn:
+// fn(start, edges, weights) where start is the dense position of edges[0]
+// and weights is nil on an unweighted graph. The dense tier yields one
+// block (the whole slice); the block tier decodes each block into pooled
+// scratch, valid only during the callback. Tombstoned slots are included
+// (filter with EdgeAlive on start+i). A non-nil error from fn stops the
+// scan; block decode failures surface the same way.
+func (g *Graph) edgeBlocks(fn func(start int, edges []Edge, weights []float64) error) error {
+	if g.blocks != nil && !g.denseOnce.built() {
+		return g.blocks.forEach(fn)
+	}
+	if len(g.edges) == 0 {
+		return nil
+	}
+	return fn(0, g.edges, g.weights)
+}
+
+// mustEdgeBlocks is edgeBlocks for the internal view builders, which have
+// no error channel. A block decode failure (an I/O error on a file-backed
+// store, or payload corruption) is unrecoverable mid-build and panics —
+// the same way an mmap-backed store would surface I/O failure.
+func (g *Graph) mustEdgeBlocks(fn func(start int, edges []Edge, weights []float64)) {
+	err := g.edgeBlocks(func(start int, edges []Edge, weights []float64) error {
+		fn(start, edges, weights)
+		return nil
+	})
+	if err != nil {
+		panic("graph: block decode failed: " + err.Error())
+	}
+}
+
+// ForEachEdgeBlock streams the dense edge list through fn in contiguous
+// chunks without materializing it: fn(start, edges, weights) where start
+// is the dense position of edges[0] and weights is nil on an unweighted
+// graph. On the dense tier fn sees the whole list once; on the block tier
+// each block decodes into pooled scratch that is valid only during the
+// callback — fn must not retain or modify the slices. Tombstoned slots
+// are included, aligned with the dense index space (filter with
+// EdgeAlive(start+i)). Returning a non-nil error stops the scan and
+// propagates, except errStopIteration-style sentinels the caller defines;
+// block decode failures also surface here.
+func (g *Graph) ForEachEdgeBlock(fn func(start int, edges []Edge, weights []float64) error) error {
+	return g.edgeBlocks(fn)
+}
+
+// EdgeSeq returns a range-able sequence over (dense position, edge),
+// including tombstoned slots, streaming block-at-a-time on the block
+// tier. Breaking out of the range is O(1); the sequence is single-use per
+// call but re-obtainable.
+func (g *Graph) EdgeSeq() iter.Seq2[int, Edge] {
+	return func(yield func(int, Edge) bool) {
+		err := g.edgeBlocks(func(start int, edges []Edge, _ []float64) error {
+			for i, e := range edges {
+				if !yield(start+i, e) {
+					return errStopIteration
+				}
+			}
+			return nil
+		})
+		if err != nil && err != errStopIteration {
+			panic("graph: block decode failed: " + err.Error())
+		}
+	}
+}
+
+// EdgeAt returns the edge at dense position i without materializing the
+// dense slice: block graphs decode the covering block through a small LRU.
+func (g *Graph) EdgeAt(i int) Edge {
+	return g.edgeAt(i)
+}
+
+func (g *Graph) edgeAt(i int) Edge {
+	if g.blocks != nil && !g.denseOnce.built() {
+		e, err := g.blocks.EdgeAt(i)
+		if err != nil {
+			panic("graph: block decode failed: " + err.Error())
+		}
+		return e
+	}
+	return g.edges[i]
+}
+
+// EdgeRange returns the edges and weights of dense positions [lo, hi).
+// On the dense tier the results alias the graph's slices (do not modify);
+// on the block tier they are freshly decoded copies. weights is nil on an
+// unweighted graph.
+func (g *Graph) EdgeRange(lo, hi int) ([]Edge, []float64) {
+	if hi <= lo {
+		return nil, nil
+	}
+	if g.blocks == nil || g.denseOnce.built() {
+		if g.weights == nil {
+			return g.edges[lo:hi:hi], nil
+		}
+		return g.edges[lo:hi:hi], g.weights[lo:hi:hi]
+	}
+	bs := g.blocks
+	out := make([]Edge, hi-lo)
+	var w []float64
+	if bs.weighted {
+		w = make([]float64, hi-lo)
+	}
+	sc := blockScratchPool.Get().(*blockScratch)
+	defer blockScratchPool.Put(sc)
+	for b := lo / bs.blockEdges; b*bs.blockEdges < hi; b++ {
+		es, ws, err := bs.DecodeBlockInto(b, sc.edges, sc.weights)
+		if err != nil {
+			panic("graph: block decode failed: " + err.Error())
+		}
+		sc.edges = es[:0]
+		if ws != nil && !bs.isSharedOnes(ws) {
+			sc.weights = ws[:0]
+		}
+		bLo, _ := bs.BlockRange(b)
+		from, to := 0, len(es)
+		if bLo < lo {
+			from = lo - bLo
+		}
+		if bLo+to > hi {
+			to = hi - bLo
+		}
+		copy(out[bLo+from-lo:], es[from:to])
+		if w != nil {
+			copy(w[bLo+from-lo:], ws[from:to])
+		}
+	}
+	return out, w
+}
+
+// LookupIndices fills src and dst (each at least len(edges) long) with
+// the dense endpoint indices of edges, which must be edges of g. It is
+// the batch, allocation-free alternative to EdgeEndpointIndices for
+// block-at-a-time consumers that must not materialize O(E) index slices.
+func (g *Graph) LookupIndices(edges []Edge, src, dst []int32) {
+	g.buildVertexIndex()
+	if arr := g.indexArr; arr != nil {
+		for i, e := range edges {
+			src[i] = arr[e.Src]
+			dst[i] = arr[e.Dst]
+		}
+		return
+	}
+	idx := g.index
+	for i, e := range edges {
+		src[i] = idx[e.Src]
+		dst[i] = idx[e.Dst]
+	}
 }
 
 // Version returns the mutation counter: 0 for a graph built by New or
@@ -298,10 +570,15 @@ func (g *Graph) Version() uint64 { return g.version.Load() }
 // self loops and tombstoned edges. Per-edge artifacts (assignments,
 // endpoint indices) are aligned with this dense list; use NumLiveEdges for
 // the count of edges that are actually present.
-func (g *Graph) NumEdges() int { return len(g.edges) }
+func (g *Graph) NumEdges() int {
+	if g.blocks != nil {
+		return g.blocks.numEdges
+	}
+	return len(g.edges)
+}
 
 // NumLiveEdges returns the number of edges that are not tombstoned.
-func (g *Graph) NumLiveEdges() int { return len(g.edges) - g.numDead }
+func (g *Graph) NumLiveEdges() int { return g.NumEdges() - g.numDead }
 
 // NumDeadEdges returns the number of tombstoned edge slots.
 func (g *Graph) NumDeadEdges() int { return g.numDead }
@@ -322,20 +599,44 @@ func (g *Graph) Tombstones() []uint64 { return g.dead }
 
 // Edges returns the underlying dense edge slice, including tombstoned
 // slots (check EdgeAlive, or Tombstones for bulk scans). Callers must not
-// modify it.
-func (g *Graph) Edges() []Edge { return g.edges }
+// modify it. On a block-backed graph this is the compatibility fallback:
+// it materializes (and caches) the full dense slice, defeating the block
+// tier's memory advantage — streaming consumers use ForEachEdgeBlock,
+// EdgeSeq, EdgeAt or EdgeRange instead.
+func (g *Graph) Edges() []Edge {
+	g.ensureDense()
+	return g.edges
+}
 
 // Weighted reports whether the graph carries per-edge weights.
-func (g *Graph) Weighted() bool { return g.weights != nil }
+func (g *Graph) Weighted() bool {
+	if g.blocks != nil {
+		return g.blocks.weighted
+	}
+	return g.weights != nil
+}
 
 // Weights returns the per-edge weight slice aligned with Edges(), or nil
 // for an unweighted graph (every edge then weighs 1). Callers must not
-// modify it.
-func (g *Graph) Weights() []float64 { return g.weights }
+// modify it. Like Edges, this materializes a block-backed graph.
+func (g *Graph) Weights() []float64 {
+	if g.blocks != nil && !g.blocks.weighted {
+		return nil
+	}
+	g.ensureDense()
+	return g.weights
+}
 
 // EdgeWeight returns the weight of dense edge slot i (1 on an unweighted
-// graph).
+// graph), without materializing a block-backed graph.
 func (g *Graph) EdgeWeight(i int) float64 {
+	if g.blocks != nil && !g.denseOnce.built() {
+		w, err := g.blocks.WeightAt(i)
+		if err != nil {
+			panic("graph: block decode failed: " + err.Error())
+		}
+		return w
+	}
 	if g.weights == nil {
 		return 1
 	}
@@ -346,13 +647,63 @@ func (g *Graph) EdgeWeight(i int) float64 {
 // list. The dense index map is a separate view (buildIndex) so generations
 // seeded by Grow — which inherit a merged vertex list without scanning —
 // only pay for the map if something actually looks vertices up by ID.
+//
+// Two passes: a range scan first, and when the ID space is non-negative
+// and at most ~8 bits per edge wide — every generator in this module, and
+// real SNAP datasets — a bitmap collects the vertex set with no hashing,
+// no sort and O(maxID/8) bytes of scratch. Sparse or negative ID spaces
+// fall back to the historical map path. Both passes stream block-at-a-time
+// so the block tier never materializes the edge list for its vertex view.
 func (g *Graph) buildVerts() {
 	g.vertsOnce.do(func() {
-		seen := make(map[VertexID]struct{}, len(g.edges))
-		for _, e := range g.edges {
-			seen[e.Src] = struct{}{}
-			seen[e.Dst] = struct{}{}
+		ne := g.NumEdges()
+		if ne == 0 {
+			g.verts = []VertexID{}
+			return
 		}
+		minV, maxV := VertexID(math.MaxInt64), VertexID(math.MinInt64)
+		g.mustEdgeBlocks(func(_ int, edges []Edge, _ []float64) {
+			for _, e := range edges {
+				if e.Src < minV {
+					minV = e.Src
+				}
+				if e.Src > maxV {
+					maxV = e.Src
+				}
+				if e.Dst < minV {
+					minV = e.Dst
+				}
+				if e.Dst > maxV {
+					maxV = e.Dst
+				}
+			}
+		})
+		if minV >= 0 && uint64(maxV) <= uint64(ne)*8+1024 {
+			words := make([]uint64, (int64(maxV)>>6)+1)
+			g.mustEdgeBlocks(func(_ int, edges []Edge, _ []float64) {
+				for _, e := range edges {
+					words[e.Src>>6] |= 1 << (uint64(e.Src) & 63)
+					words[e.Dst>>6] |= 1 << (uint64(e.Dst) & 63)
+				}
+			})
+			verts := make([]VertexID, 0, popcount(words))
+			for wi, w := range words {
+				for w != 0 {
+					tz := bits.TrailingZeros64(w)
+					verts = append(verts, VertexID(wi*64+tz))
+					w &= w - 1
+				}
+			}
+			g.verts = verts
+			return
+		}
+		seen := make(map[VertexID]struct{}, ne)
+		g.mustEdgeBlocks(func(_ int, edges []Edge, _ []float64) {
+			for _, e := range edges {
+				seen[e.Src] = struct{}{}
+				seen[e.Dst] = struct{}{}
+			}
+		})
 		verts := make([]VertexID, 0, len(seen))
 		for v := range seen {
 			verts = append(verts, v)
@@ -362,17 +713,57 @@ func (g *Graph) buildVerts() {
 	})
 }
 
-// buildIndex computes the vertex ID -> dense index map from the vertex
-// list.
+// buildIndex computes the vertex ID -> dense index view from the vertex
+// list: a compact int32 array when the ID space is dense enough (at most
+// 2·|V|+1024 slots, so waste is bounded), the historical map otherwise.
+// All internal consumers go through lookup/denseIndexOf, which pick the
+// built variant.
 func (g *Graph) buildIndex() {
 	g.idxOnce.do(func() {
 		g.buildVerts()
-		index := make(map[VertexID]int32, len(g.verts))
+		n := len(g.verts)
+		if n > 0 && g.verts[0] >= 0 && int64(g.verts[n-1]) < int64(2*n+1024) {
+			arr := make([]int32, int(g.verts[n-1])+1)
+			for i := range arr {
+				arr[i] = -1
+			}
+			for i, v := range g.verts {
+				arr[v] = int32(i)
+			}
+			g.indexArr = arr
+			return
+		}
+		index := make(map[VertexID]int32, n)
 		for i, v := range g.verts {
 			index[v] = int32(i)
 		}
 		g.index = index
 	})
+}
+
+// lookup returns the dense index of v and whether it exists, via whichever
+// index variant buildIndex produced. Callers must have built the index.
+func (g *Graph) lookup(v VertexID) (int32, bool) {
+	if arr := g.indexArr; arr != nil {
+		if v < 0 || int64(v) >= int64(len(arr)) {
+			return 0, false
+		}
+		if i := arr[v]; i >= 0 {
+			return i, true
+		}
+		return 0, false
+	}
+	i, ok := g.index[v]
+	return i, ok
+}
+
+// denseIndexOf resolves an endpoint of one of the graph's own edges —
+// always present, so the absence checks of lookup are skipped.
+func (g *Graph) denseIndexOf(v VertexID) int32 {
+	if arr := g.indexArr; arr != nil {
+		return arr[v]
+	}
+	return g.index[v]
 }
 
 // buildVertexIndex builds both the vertex list and the index map (the
@@ -398,8 +789,7 @@ func (g *Graph) Vertices() []VertexID {
 // Index returns the dense index of v in Vertices() and whether v exists.
 func (g *Graph) Index(v VertexID) (int32, bool) {
 	g.buildIndex()
-	i, ok := g.index[v]
-	return i, ok
+	return g.lookup(v)
 }
 
 // EdgeEndpointIndices returns the dense endpoint indices of every edge,
@@ -407,16 +797,18 @@ func (g *Graph) Index(v VertexID) (int32, bool) {
 // The slices are built once and cached, so repeated consumers (the
 // partitioned-graph builder runs once per candidate strategy in the
 // advisor's empirical-selection loop) pay the vertex-index map lookups a
-// single time. Callers must not modify the returned slices.
+// single time. Callers must not modify the returned slices. The slices
+// are O(E) — block-tier consumers stream LookupIndices over blocks
+// instead of calling this.
 func (g *Graph) EdgeEndpointIndices() (src, dst []int32) {
 	g.endpointOnce.do(func() {
 		g.buildVertexIndex()
-		srcIdx := make([]int32, len(g.edges))
-		dstIdx := make([]int32, len(g.edges))
-		for i, e := range g.edges {
-			srcIdx[i] = g.index[e.Src]
-			dstIdx[i] = g.index[e.Dst]
-		}
+		ne := g.NumEdges()
+		srcIdx := make([]int32, ne)
+		dstIdx := make([]int32, ne)
+		g.mustEdgeBlocks(func(start int, edges []Edge, _ []float64) {
+			g.LookupIndices(edges, srcIdx[start:], dstIdx[start:])
+		})
 		g.srcIdx = srcIdx
 		g.dstIdx = dstIdx
 	})
@@ -430,13 +822,15 @@ func (g *Graph) buildDegrees() {
 		g.buildVertexIndex()
 		out := make([]int32, len(g.verts))
 		in := make([]int32, len(g.verts))
-		for i, e := range g.edges {
-			if g.numDead != 0 && !g.EdgeAlive(i) {
-				continue
+		g.mustEdgeBlocks(func(start int, edges []Edge, _ []float64) {
+			for i, e := range edges {
+				if g.numDead != 0 && !g.EdgeAlive(start+i) {
+					continue
+				}
+				out[g.denseIndexOf(e.Src)]++
+				in[g.denseIndexOf(e.Dst)]++
 			}
-			out[g.index[e.Src]]++
-			in[g.index[e.Dst]]++
-		}
+		})
 		g.outDeg = out
 		g.inDeg = in
 	})
@@ -448,7 +842,7 @@ func (g *Graph) buildDegrees() {
 func (g *Graph) OutDegree(v VertexID) int {
 	g.buildDegrees()
 	g.buildIndex()
-	if i, ok := g.index[v]; ok {
+	if i, ok := g.lookup(v); ok {
 		return int(g.outDeg[i])
 	}
 	return 0
@@ -458,7 +852,7 @@ func (g *Graph) OutDegree(v VertexID) int {
 func (g *Graph) InDegree(v VertexID) int {
 	g.buildDegrees()
 	g.buildIndex()
-	if i, ok := g.index[v]; ok {
+	if i, ok := g.lookup(v); ok {
 		return int(g.inDeg[i])
 	}
 	return 0
@@ -481,6 +875,26 @@ func (g *Graph) InDegrees() []int32 {
 // keying artifacts by (pointer, version) can never serve it entries that
 // belonged to a freed graph reallocated at the same address.
 func (g *Graph) Reverse() *Graph {
+	if g.blocks != nil && !g.denseOnce.built() {
+		// Stream block-at-a-time into a reversed block store: edge
+		// positions are preserved, so the tombstone bitset carries over.
+		bb := NewBlockBuilder(g.blocks.blockEdges)
+		scratch := make([]Edge, 0, g.blocks.blockEdges)
+		g.mustEdgeBlocks(func(_ int, edges []Edge, weights []float64) {
+			scratch = scratch[:0]
+			for _, e := range edges {
+				scratch = append(scratch, Edge{Src: e.Dst, Dst: e.Src})
+			}
+			if g.blocks.weighted && weights == nil {
+				weights = g.blocks.onesSlice(len(edges))
+			}
+			bb.Append(scratch, weights)
+		})
+		out := FromBlocks(bb.Finish())
+		out.dead = cloneDead(g.dead)
+		out.numDead = g.numDead
+		return out
+	}
 	rev := make([]Edge, len(g.edges))
 	for i, e := range g.edges {
 		rev[i] = Edge{Src: e.Dst, Dst: e.Src}
@@ -493,11 +907,19 @@ func (g *Graph) Reverse() *Graph {
 	return out
 }
 
-// Clone returns a deep copy of the graph's edge list, weights and
-// tombstones (views are rebuilt lazily on the copy). Like Reverse, the
-// copy starts at a fresh nonzero version, never shared with any other
-// graph in this process.
+// Clone returns an independent copy of the graph: mutating either graph
+// can never affect the other. On the dense tier the edge list, weights and
+// tombstones are deep-copied; a block-backed clone shares the immutable
+// block store (mutation detaches it first, so independence holds) and
+// copies only the tombstones. Like Reverse, the copy starts at a fresh
+// nonzero version, never shared with any other graph in this process.
 func (g *Graph) Clone() *Graph {
+	if g.blocks != nil && !g.denseOnce.built() {
+		out := FromBlocks(g.blocks)
+		out.dead = cloneDead(g.dead)
+		out.numDead = g.numDead
+		return out
+	}
 	edges := make([]Edge, len(g.edges))
 	copy(edges, g.edges)
 	out := FromEdges(edges)
@@ -540,6 +962,9 @@ func popcount(words []uint64) int {
 // align with the dense edge list and be finite and positive. Only the
 // fingerprint view is invalidated — weights change no structural view.
 func (g *Graph) RestoreWeights(weights []float64) error {
+	if g.blocks != nil {
+		return fmt.Errorf("graph: cannot restore a dense weight slice onto a block-backed graph (weights live in the block sidecars)")
+	}
 	if weights == nil {
 		g.weights = nil
 		g.fpOnce.reset()
@@ -564,12 +989,13 @@ func (g *Graph) RestoreWeights(weights []float64) error {
 // edges keep their endpoints listed), so only the views that skip dead
 // edges — degrees, CSRs, the fingerprint — are invalidated.
 func (g *Graph) RestoreTombstones(dead []uint64, numDead int) error {
-	if len(dead)*64 > (len(g.edges)+63)&^63 {
-		return fmt.Errorf("graph: tombstone bitset spans %d words for %d edges", len(dead), len(g.edges))
+	ne := g.NumEdges()
+	if len(dead)*64 > (ne+63)&^63 {
+		return fmt.Errorf("graph: tombstone bitset spans %d words for %d edges", len(dead), ne)
 	}
-	if tail := len(g.edges) & 63; tail != 0 && len(dead) == (len(g.edges)+63)/64 {
+	if tail := ne & 63; tail != 0 && len(dead) == (ne+63)/64 {
 		if dead[len(dead)-1]>>uint(tail) != 0 {
-			return fmt.Errorf("graph: tombstone bitset has bits beyond edge %d", len(g.edges)-1)
+			return fmt.Errorf("graph: tombstone bitset has bits beyond edge %d", ne-1)
 		}
 	}
 	if pc := popcount(dead); pc != numDead {
@@ -596,27 +1022,34 @@ func (g *Graph) RestoreTombstones(dead []uint64, numDead int) error {
 // the dense edge list (finite, positive), and a tombstone bitset whose
 // popcount matches the recorded dead count with no bits beyond the list.
 func (g *Graph) Validate() error {
-	for i, e := range g.edges {
-		if e.Src < 0 || e.Dst < 0 {
-			return fmt.Errorf("graph: edge %d (%d -> %d) has negative vertex ID", i, e.Src, e.Dst)
-		}
+	if g.blocks == nil && g.weights != nil && len(g.weights) != len(g.edges) {
+		return fmt.Errorf("graph: %d weights for %d edges", len(g.weights), len(g.edges))
 	}
-	if g.weights != nil {
-		if len(g.weights) != len(g.edges) {
-			return fmt.Errorf("graph: %d weights for %d edges", len(g.weights), len(g.edges))
-		}
-		for i, w := range g.weights {
-			if !(w > 0) || math.IsInf(w, 1) {
-				return fmt.Errorf("graph: edge %d has invalid weight %v (must be finite and positive)", i, w)
+	weighted := g.Weighted()
+	if err := g.edgeBlocks(func(start int, edges []Edge, weights []float64) error {
+		for i, e := range edges {
+			if e.Src < 0 || e.Dst < 0 {
+				return fmt.Errorf("graph: edge %d (%d -> %d) has negative vertex ID", start+i, e.Src, e.Dst)
 			}
 		}
+		if weighted && weights != nil {
+			for i, w := range weights {
+				if !(w > 0) || math.IsInf(w, 1) {
+					return fmt.Errorf("graph: edge %d has invalid weight %v (must be finite and positive)", start+i, w)
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
 	}
+	ne := g.NumEdges()
 	if pc := popcount(g.dead); pc != g.numDead {
 		return fmt.Errorf("graph: tombstone count %d disagrees with bitset popcount %d", g.numDead, pc)
 	}
-	for i := len(g.edges); i < len(g.dead)*64; i++ {
+	for i := ne; i < len(g.dead)*64; i++ {
 		if !g.EdgeAlive(i) {
-			return fmt.Errorf("graph: tombstone bitset has bits beyond edge %d", len(g.edges)-1)
+			return fmt.Errorf("graph: tombstone bitset has bits beyond edge %d", ne-1)
 		}
 	}
 	return nil
@@ -649,25 +1082,27 @@ func (g *Graph) buildCSR(direction string, undirected, dedup bool) *csr {
 	add := func(a, b int32) {
 		counts[a+1]++
 	}
-	for i, e := range g.edges {
-		if g.numDead != 0 && !g.EdgeAlive(i) {
-			continue
-		}
-		s, d := g.index[e.Src], g.index[e.Dst]
-		if undirected {
-			if s == d {
+	g.mustEdgeBlocks(func(start int, edges []Edge, _ []float64) {
+		for i, e := range edges {
+			if g.numDead != 0 && !g.EdgeAlive(start+i) {
 				continue
 			}
-			add(s, d)
-			add(d, s)
-			continue
+			s, d := g.denseIndexOf(e.Src), g.denseIndexOf(e.Dst)
+			if undirected {
+				if s == d {
+					continue
+				}
+				add(s, d)
+				add(d, s)
+				continue
+			}
+			if direction == "out" {
+				add(s, d)
+			} else {
+				add(d, s)
+			}
 		}
-		if direction == "out" {
-			add(s, d)
-		} else {
-			add(d, s)
-		}
-	}
+	})
 	for i := 0; i < n; i++ {
 		counts[i+1] += counts[i]
 	}
@@ -678,25 +1113,27 @@ func (g *Graph) buildCSR(direction string, undirected, dedup bool) *csr {
 		adj[offsets[a]+cursor[a]] = b
 		cursor[a]++
 	}
-	for i, e := range g.edges {
-		if g.numDead != 0 && !g.EdgeAlive(i) {
-			continue
-		}
-		s, d := g.index[e.Src], g.index[e.Dst]
-		if undirected {
-			if s == d {
+	g.mustEdgeBlocks(func(start int, edges []Edge, _ []float64) {
+		for i, e := range edges {
+			if g.numDead != 0 && !g.EdgeAlive(start+i) {
 				continue
 			}
-			put(s, d)
-			put(d, s)
-			continue
+			s, d := g.denseIndexOf(e.Src), g.denseIndexOf(e.Dst)
+			if undirected {
+				if s == d {
+					continue
+				}
+				put(s, d)
+				put(d, s)
+				continue
+			}
+			if direction == "out" {
+				put(s, d)
+			} else {
+				put(d, s)
+			}
 		}
-		if direction == "out" {
-			put(s, d)
-		} else {
-			put(d, s)
-		}
-	}
+	})
 	c := &csr{offsets: offsets, adj: adj}
 	for i := int32(0); i < int32(n); i++ {
 		nb := c.neighbors(i)

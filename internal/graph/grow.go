@@ -93,7 +93,7 @@ func (g *Graph) GrowWeighted(newEdges []Edge, weights []float64) (*Graph, Delta,
 // density past the compaction threshold rewrites the dense list instead
 // (Delta.Compacted).
 func (g *Graph) advance(suffix []Edge, sufWeights []float64, removeIdx []int) (*Graph, Delta) {
-	oldLen := len(g.edges)
+	oldLen := g.NumEdges()
 	oldVerts := g.Vertices()
 
 	if len(suffix) == 0 && len(removeIdx) == 0 {
@@ -106,10 +106,24 @@ func (g *Graph) advance(suffix []Edge, sufWeights []float64, removeIdx []int) (*
 		}
 	}
 
-	childWeighted := g.weights != nil || sufWeights != nil
+	childWeighted := g.Weighted() || sufWeights != nil
 
 	var ng *Graph
-	if len(suffix) == 0 {
+	if g.blocks != nil && !g.denseOnce.built() {
+		// Block tier: a pure shrink shares the immutable store outright;
+		// an append extends it, sharing every sealed full block with the
+		// parent and re-encoding only the partial tail merged with the
+		// suffix. Either way the child stays block-backed.
+		if len(suffix) == 0 {
+			ng = FromBlocks(g.blocks)
+		} else {
+			ext, err := g.blocks.extend(suffix, sufWeights, childWeighted)
+			if err != nil {
+				panic("graph: block decode failed: " + err.Error())
+			}
+			ng = FromBlocks(ext)
+		}
+	} else if len(suffix) == 0 {
 		// Pure shrink: the dense list is unchanged, so the child shares the
 		// parent's edge slice (capacity-clamped — neither generation can
 		// append into the other) and, when weighted, the weight slice.
@@ -163,7 +177,7 @@ func (g *Graph) advance(suffix []Edge, sufWeights []float64, removeIdx []int) (*
 
 	// Past the compaction threshold, rewrite the dense list instead of
 	// handing out an ever-sparser generation.
-	if ng.numDead > 0 && ng.numDead*compactionThreshold >= len(ng.edges) {
+	if ng.numDead > 0 && ng.numDead*compactionThreshold >= ng.NumEdges() {
 		compacted := ng.compact()
 		return compacted, Delta{
 			Old: g, New: compacted,
@@ -179,7 +193,7 @@ func (g *Graph) advance(suffix []Edge, sufWeights []float64, removeIdx []int) (*
 	// suffix and re-folding the tombstone set. The chain only holds when
 	// parent and child agree on weightedness (promoting to weighted
 	// re-folds the prefix with weights, so the view stays lazy then).
-	if g.fpOnce.built() && (g.weights != nil) == childWeighted {
+	if g.fpOnce.built() && g.Weighted() == childWeighted {
 		switch {
 		case !childWeighted:
 			ng.fpEdges = foldFingerprint(g.fpEdges, suffix)
@@ -265,7 +279,7 @@ func (g *Graph) advance(suffix []Edge, sufWeights []float64, removeIdx []int) (*
 			in[sufDst[i]]++
 		}
 		for _, i := range removeIdx {
-			e := g.edges[i]
+			e := g.edgeAt(i)
 			si, _ := slices.BinarySearch(ng.verts, e.Src)
 			di, _ := slices.BinarySearch(ng.verts, e.Dst)
 			out[si]--
@@ -285,8 +299,8 @@ func (g *Graph) advance(suffix []Edge, sufWeights []float64, removeIdx []int) (*
 		if len(suffix) == 0 {
 			ng.srcIdx, ng.dstIdx = g.srcIdx, g.dstIdx
 		} else {
-			src := make([]int32, len(ng.edges))
-			dst := make([]int32, len(ng.edges))
+			src := make([]int32, ng.NumEdges())
+			dst := make([]int32, ng.NumEdges())
 			copy(src, g.srcIdx)
 			copy(dst, g.dstIdx)
 			copy(src[oldLen:], sufSrc)
@@ -310,6 +324,36 @@ func (g *Graph) advance(suffix []Edge, sufWeights []float64, removeIdx []int) (*
 // disappear here, which is why per-edge artifacts cannot survive the
 // boundary.
 func (g *Graph) compact() *Graph {
+	if g.blocks != nil && !g.denseOnce.built() {
+		// Stream live runs into a fresh block store; the compacted
+		// generation keeps the block tier.
+		bb := NewBlockBuilder(g.blocks.blockEdges)
+		g.mustEdgeBlocks(func(start int, edges []Edge, weights []float64) {
+			runStart := -1
+			flush := func(end int) {
+				if runStart < 0 {
+					return
+				}
+				if weights != nil {
+					bb.Append(edges[runStart:end], weights[runStart:end])
+				} else {
+					bb.Append(edges[runStart:end], nil)
+				}
+				runStart = -1
+			}
+			for i := range edges {
+				if g.EdgeAlive(start + i) {
+					if runStart < 0 {
+						runStart = i
+					}
+				} else {
+					flush(i)
+				}
+			}
+			flush(len(edges))
+		})
+		return FromBlocks(bb.Finish())
+	}
 	edges := make([]Edge, 0, len(g.edges)-g.numDead)
 	var weights []float64
 	if g.weights != nil {

@@ -20,33 +20,58 @@ func (g *Graph) WriteEdgeList(w io.Writer) error {
 	if _, err := fmt.Fprintf(bw, "# cutfit edge list: %d vertices, %d edges\n", g.NumVertices(), g.NumLiveEdges()); err != nil {
 		return err
 	}
-	for i, e := range g.edges {
-		if g.numDead != 0 && !g.EdgeAlive(i) {
-			continue
+	weighted := g.Weighted()
+	if err := g.edgeBlocks(func(start int, edges []Edge, weights []float64) error {
+		for i, e := range edges {
+			if g.numDead != 0 && !g.EdgeAlive(start+i) {
+				continue
+			}
+			var err error
+			if weighted {
+				_, err = fmt.Fprintf(bw, "%d\t%d\t%g\n", e.Src, e.Dst, weights[i])
+			} else {
+				_, err = fmt.Fprintf(bw, "%d\t%d\n", e.Src, e.Dst)
+			}
+			if err != nil {
+				return err
+			}
 		}
-		var err error
-		if g.weights != nil {
-			_, err = fmt.Fprintf(bw, "%d\t%d\t%g\n", e.Src, e.Dst, g.weights[i])
-		} else {
-			_, err = fmt.Fprintf(bw, "%d\t%d\n", e.Src, e.Dst)
-		}
-		if err != nil {
-			return err
-		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
-// ReadEdgeList parses a SNAP-style text edge list: lines of "src dst"
-// separated by whitespace, with an optional third field holding a
-// positive float64 edge weight; lines starting with '#' or '%' are
-// comments. If any line carries a weight the graph is weighted and
-// weight-less lines default to 1.
-func ReadEdgeList(r io.Reader) (*Graph, error) {
+// streamBatchEdges is the batch granularity of StreamEdgeList: large
+// enough to amortize the callback, small enough that the parser's working
+// set stays a few hundred KiB regardless of input size.
+const streamBatchEdges = 8192
+
+// StreamEdgeList parses a SNAP-style text edge list (the ReadEdgeList
+// format) and delivers the edges to fn in batches instead of materializing
+// them: fn(edges, weights) where weights is nil until the stream encounters
+// its first weighted line and aligned with edges afterwards (weight-less
+// lines weigh 1). Batches delivered before the first weighted line
+// implicitly weigh 1 per edge; a consumer building a weighted artifact must
+// backfill ones for them, exactly as the dense tier's weight promotion
+// does. The slices are reused between batches — fn must not retain them.
+func StreamEdgeList(r io.Reader, fn func(edges []Edge, weights []float64) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	g := New(1024)
+	edges := make([]Edge, 0, streamBatchEdges)
 	var weights []float64
+	flush := func() error {
+		if len(edges) == 0 {
+			return nil
+		}
+		err := fn(edges, weights)
+		edges = edges[:0]
+		if weights != nil {
+			weights = weights[:0]
+		}
+		return err
+	}
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -56,26 +81,26 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: line %d: expected \"src dst\", got %q", lineNo, line)
+			return fmt.Errorf("graph: line %d: expected \"src dst\", got %q", lineNo, line)
 		}
 		src, err := strconv.ParseInt(fields[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad source vertex %q: %w", lineNo, fields[0], err)
+			return fmt.Errorf("graph: line %d: bad source vertex %q: %w", lineNo, fields[0], err)
 		}
 		dst, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad destination vertex %q: %w", lineNo, fields[1], err)
+			return fmt.Errorf("graph: line %d: bad destination vertex %q: %w", lineNo, fields[1], err)
 		}
 		if len(fields) >= 3 {
 			wt, err := strconv.ParseFloat(fields[2], 64)
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad edge weight %q: %w", lineNo, fields[2], err)
+				return fmt.Errorf("graph: line %d: bad edge weight %q: %w", lineNo, fields[2], err)
 			}
 			if !(wt > 0) || math.IsInf(wt, 1) {
-				return nil, fmt.Errorf("graph: line %d: edge weight %g must be finite and positive", lineNo, wt)
+				return fmt.Errorf("graph: line %d: edge weight %g must be finite and positive", lineNo, wt)
 			}
 			if weights == nil {
-				weights = make([]float64, len(g.edges), cap(g.edges))
+				weights = make([]float64, len(edges), streamBatchEdges)
 				for i := range weights {
 					weights[i] = 1
 				}
@@ -84,14 +109,66 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		} else if weights != nil {
 			weights = append(weights, 1)
 		}
-		g.edges = append(g.edges, Edge{Src: VertexID(src), Dst: VertexID(dst)})
+		edges = append(edges, Edge{Src: VertexID(src), Dst: VertexID(dst)})
+		if len(edges) == streamBatchEdges {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graph: scanning edge list: %w", err)
+		return fmt.Errorf("graph: scanning edge list: %w", err)
 	}
-	g.weights = weights
+	return flush()
+}
+
+// ReadEdgeList parses a SNAP-style text edge list: lines of "src dst"
+// separated by whitespace, with an optional third field holding a
+// positive float64 edge weight; lines starting with '#' or '%' are
+// comments. If any line carries a weight the graph is weighted and
+// weight-less lines default to 1. It streams through StreamEdgeList, so
+// the parser never holds more than one batch beyond the graph itself.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	g := New(1024)
+	if err := StreamEdgeList(r, func(edges []Edge, weights []float64) error {
+		if weights != nil && g.weights == nil {
+			g.weights = make([]float64, len(g.edges), cap(g.edges))
+			for i := range g.weights {
+				g.weights[i] = 1
+			}
+		}
+		g.edges = append(g.edges, edges...)
+		if g.weights != nil {
+			if weights != nil {
+				g.weights = append(g.weights, weights...)
+			} else {
+				for range edges {
+					g.weights = append(g.weights, 1)
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	g.invalidate()
 	return g, nil
+}
+
+// ReadEdgeListBlocks parses the ReadEdgeList text format directly into a
+// block-backed graph: batches stream from the parser into a BlockBuilder,
+// so peak heap is one pending block plus the compressed payloads — the
+// dense []Edge is never materialized. blockEdges 0 selects
+// DefaultBlockEdges.
+func ReadEdgeListBlocks(r io.Reader, blockEdges int) (*Graph, error) {
+	bb := NewBlockBuilder(blockEdges)
+	if err := StreamEdgeList(r, func(edges []Edge, weights []float64) error {
+		bb.Append(edges, weights)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return FromBlocks(bb.Finish()), nil
 }
 
 // Binary edge payload: edge count (uvarint), then per edge the src delta
@@ -129,6 +206,13 @@ func EncodeEdges(dst []byte, edges []Edge) []byte {
 // the payload size before any allocation, so a forged count can never force
 // an allocation larger than the input itself.
 func DecodeEdges(data []byte) ([]Edge, error) {
+	return decodeEdgesInto(data, nil)
+}
+
+// decodeEdgesInto is DecodeEdges decoding into dst's capacity when it
+// suffices (the block tier's scan path reuses one scratch slice across
+// every block this way; pass nil to allocate fresh).
+func decodeEdgesInto(data []byte, dst []Edge) ([]Edge, error) {
 	count, n := binary.Uvarint(data)
 	if n <= 0 {
 		return nil, fmt.Errorf("graph: reading edge count: malformed varint")
@@ -138,7 +222,10 @@ func DecodeEdges(data []byte) ([]Edge, error) {
 	if count > uint64(len(data))/2+1 {
 		return nil, fmt.Errorf("graph: edge count %d exceeds payload size", count)
 	}
-	edges := make([]Edge, 0, count)
+	edges := dst[:0]
+	if uint64(cap(edges)) < count {
+		edges = make([]Edge, 0, count)
+	}
 	var prevSrc int64
 	for i := uint64(0); i < count; i++ {
 		ds, n := binary.Varint(data)
@@ -172,21 +259,26 @@ func (g *Graph) WriteBinary(w io.Writer) error {
 		return err
 	}
 	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], uint64(len(g.edges)))
+	n := binary.PutUvarint(buf[:], uint64(g.NumEdges()))
 	if _, err := bw.Write(buf[:n]); err != nil {
 		return err
 	}
 	var prevSrc int64
-	for _, e := range g.edges {
-		n = binary.PutVarint(buf[:], int64(e.Src)-prevSrc)
-		if _, err := bw.Write(buf[:n]); err != nil {
-			return err
+	if err := g.edgeBlocks(func(_ int, edges []Edge, _ []float64) error {
+		for _, e := range edges {
+			n = binary.PutVarint(buf[:], int64(e.Src)-prevSrc)
+			if _, err := bw.Write(buf[:n]); err != nil {
+				return err
+			}
+			n = binary.PutVarint(buf[:], int64(e.Dst)-int64(e.Src))
+			if _, err := bw.Write(buf[:n]); err != nil {
+				return err
+			}
+			prevSrc = int64(e.Src)
 		}
-		n = binary.PutVarint(buf[:], int64(e.Dst)-int64(e.Src))
-		if _, err := bw.Write(buf[:n]); err != nil {
-			return err
-		}
-		prevSrc = int64(e.Src)
+		return nil
+	}); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
@@ -286,5 +378,28 @@ func FromEdgesAndVertices(edges []Edge, verts []VertexID) (*Graph, error) {
 	g.verts = verts
 	g.vertsOnce.markBuilt()
 	g.version.Store(nextGenerationVersion())
+	return g, nil
+}
+
+// FromBlocksAndVertices restores a block-backed graph from an assembled
+// store plus its sorted unique vertex list, as persisted by the block
+// snapshot codec. Unlike FromEdgesAndVertices, the edges stay encoded —
+// only the vertex list's shape (strictly ascending, non-negative) is
+// validated here; endpoint membership is implicitly covered by the codec's
+// fingerprint check, because a wrong vertex list cannot reproduce the
+// recorded fingerprint chain. The list is seeded as the graph's vertex
+// view so restoring never pays the O(|E|) derivation scan.
+func FromBlocksAndVertices(bs *BlockStore, verts []VertexID) (*Graph, error) {
+	if len(verts) > 0 && verts[0] < 0 {
+		return nil, fmt.Errorf("graph: restored vertex list has negative vertex ID %d", verts[0])
+	}
+	for i := 1; i < len(verts); i++ {
+		if verts[i] <= verts[i-1] {
+			return nil, fmt.Errorf("graph: restored vertex list not strictly ascending at index %d", i)
+		}
+	}
+	g := FromBlocks(bs)
+	g.verts = verts
+	g.vertsOnce.markBuilt()
 	return g, nil
 }

@@ -60,8 +60,8 @@ func (g *Graph) SlideWindow(newEdges []Edge, weights []float64, expireBefore int
 // liveBefore lists the live dense positions < n, ascending (n clamped to
 // the dense edge count).
 func (g *Graph) liveBefore(n int) []int {
-	if n > len(g.edges) {
-		n = len(g.edges)
+	if ne := g.NumEdges(); n > ne {
+		n = ne
 	}
 	if n <= 0 {
 		return nil
@@ -89,17 +89,19 @@ func (g *Graph) resolveRetractions(retract []Edge) ([]int, error) {
 	}
 	idx := make([]int, 0, len(retract))
 	seen := make(map[Edge]bool, len(want))
-	for i, e := range g.edges {
-		n, ok := want[e]
-		if !ok {
-			continue
+	g.mustEdgeBlocks(func(start int, edges []Edge, _ []float64) {
+		for i, e := range edges {
+			n, ok := want[e]
+			if !ok {
+				continue
+			}
+			seen[e] = true
+			if n > 0 && g.EdgeAlive(start+i) {
+				idx = append(idx, start+i)
+				want[e] = n - 1
+			}
 		}
-		seen[e] = true
-		if n > 0 && g.EdgeAlive(i) {
-			idx = append(idx, i)
-			want[e] = n - 1
-		}
-	}
+	})
 	for e, n := range want {
 		if n > 0 && !seen[e] {
 			return nil, fmt.Errorf("graph: cannot retract edge %d -> %d: not in graph", e.Src, e.Dst)

@@ -52,22 +52,26 @@ func (g *Graph) SymmetryPct() float64 {
 		return 100
 	}
 	type pair struct{ a, b VertexID }
-	set := make(map[pair]struct{}, len(g.edges))
-	for i, e := range g.edges {
-		if g.numDead != 0 && !g.EdgeAlive(i) {
-			continue
+	set := make(map[pair]struct{}, g.NumEdges())
+	g.mustEdgeBlocks(func(start int, edges []Edge, _ []float64) {
+		for i, e := range edges {
+			if g.numDead != 0 && !g.EdgeAlive(start+i) {
+				continue
+			}
+			set[pair{e.Src, e.Dst}] = struct{}{}
 		}
-		set[pair{e.Src, e.Dst}] = struct{}{}
-	}
+	})
 	recip := 0
-	for i, e := range g.edges {
-		if g.numDead != 0 && !g.EdgeAlive(i) {
-			continue
+	g.mustEdgeBlocks(func(start int, edges []Edge, _ []float64) {
+		for i, e := range edges {
+			if g.numDead != 0 && !g.EdgeAlive(start+i) {
+				continue
+			}
+			if _, ok := set[pair{e.Dst, e.Src}]; ok {
+				recip++
+			}
 		}
-		if _, ok := set[pair{e.Dst, e.Src}]; ok {
-			recip++
-		}
-	}
+	})
 	return 100 * float64(recip) / float64(g.NumLiveEdges())
 }
 
@@ -192,12 +196,14 @@ func (g *Graph) ConnectedComponents() (labels []VertexID, count int) {
 			}
 		}
 	}
-	for i, e := range g.edges {
-		if g.numDead != 0 && !g.EdgeAlive(i) {
-			continue
+	g.mustEdgeBlocks(func(start int, edges []Edge, _ []float64) {
+		for i, e := range edges {
+			if g.numDead != 0 && !g.EdgeAlive(start+i) {
+				continue
+			}
+			union(g.denseIndexOf(e.Src), g.denseIndexOf(e.Dst))
 		}
-		union(g.index[e.Src], g.index[e.Dst])
-	}
+	})
 	// Minimum vertex ID per root. Because verts is sorted and roots are
 	// always the smaller index under our union rule, the root's own ID is
 	// the minimum ID in the component.

@@ -4,22 +4,25 @@ package graph
 // whose endpoints both satisfy keep(v). Vertex IDs (and edge weights, on a
 // weighted graph) are preserved; tombstoned edges are dropped.
 func (g *Graph) InducedSubgraph(keep func(v VertexID) bool) *Graph {
-	out := make([]Edge, 0, len(g.edges)/2)
+	ne := g.NumEdges()
+	out := make([]Edge, 0, ne/2)
 	var w []float64
-	if g.weights != nil {
-		w = make([]float64, 0, len(g.edges)/2)
+	if g.Weighted() {
+		w = make([]float64, 0, ne/2)
 	}
-	for i, e := range g.edges {
-		if g.numDead != 0 && !g.EdgeAlive(i) {
-			continue
-		}
-		if keep(e.Src) && keep(e.Dst) {
-			out = append(out, e)
-			if w != nil {
-				w = append(w, g.weights[i])
+	g.mustEdgeBlocks(func(start int, edges []Edge, weights []float64) {
+		for i, e := range edges {
+			if g.numDead != 0 && !g.EdgeAlive(start+i) {
+				continue
+			}
+			if keep(e.Src) && keep(e.Dst) {
+				out = append(out, e)
+				if w != nil {
+					w = append(w, weights[i])
+				}
 			}
 		}
-	}
+	})
 	sub := FromEdges(out)
 	sub.weights = w
 	return sub

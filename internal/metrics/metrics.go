@@ -89,27 +89,43 @@ func FromAssignment(a *partition.Assignment) (*Result, error) {
 	// replicaBits[v*words : (v+1)*words] is the partition bitset of dense
 	// vertex v. Tombstoned edges replicate nothing.
 	replicaBits := make([]uint64, nv*words)
-	srcIdx, dstIdx := g.EdgeEndpointIndices()
-	weights := g.Weights()
+	weighted := g.Weighted()
 	var weightPerPart, wdeg []float64
-	if weights != nil {
+	if weighted {
 		weightPerPart = make([]float64, numParts)
 		wdeg = make([]float64, nv)
 	}
 	numDead := g.NumDeadEdges()
-	for i, p := range a.PIDs {
-		if numDead != 0 && !g.EdgeAlive(i) {
-			continue
+	// Block at a time with batch endpoint lookup — same ascending edge
+	// order as a dense loop (float sums stay bit-identical) without
+	// materializing the O(E) endpoint-index and weight slices.
+	var sidx, didx []int32
+	if err := g.ForEachEdgeBlock(func(start int, edges []graph.Edge, ws []float64) error {
+		if cap(sidx) < len(edges) {
+			sidx = make([]int32, len(edges))
+			didx = make([]int32, len(edges))
 		}
-		w, b := int(p)/64, uint(p)%64
-		replicaBits[int(srcIdx[i])*words+w] |= 1 << b
-		replicaBits[int(dstIdx[i])*words+w] |= 1 << b
-		if weights != nil {
-			wt := weights[i]
-			weightPerPart[p] += wt
-			wdeg[srcIdx[i]] += wt
-			wdeg[dstIdx[i]] += wt
+		sidx, didx = sidx[:len(edges)], didx[:len(edges)]
+		g.LookupIndices(edges, sidx, didx)
+		for j := range edges {
+			i := start + j
+			if numDead != 0 && !g.EdgeAlive(i) {
+				continue
+			}
+			p := a.PIDs[i]
+			w, b := int(p)/64, uint(p)%64
+			replicaBits[int(sidx[j])*words+w] |= 1 << b
+			replicaBits[int(didx[j])*words+w] |= 1 << b
+			if weighted {
+				wt := ws[j]
+				weightPerPart[p] += wt
+				wdeg[sidx[j]] += wt
+				wdeg[didx[j]] += wt
+			}
 		}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
 	}
 
 	edgesPerPart := make([]int64, numParts)

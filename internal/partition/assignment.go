@@ -178,9 +178,17 @@ func Assign(g *graph.Graph, s Strategy, numParts int) (*Assignment, error) {
 		if err != nil {
 			return nil, err
 		}
-		edges := g.Edges()
-		pids = make([]PID, len(edges))
-		st.AssignWeightedEdges(edges, g.Weights(), pids)
+		// One streamed pass, block at a time: chunked assignment is exactly
+		// equivalent to a single call over the full edge list (see
+		// AssignEdges), and a block-backed graph never materializes its
+		// dense []Edge here.
+		pids = make([]PID, g.NumEdges())
+		if err := g.ForEachEdgeBlock(func(start int, edges []graph.Edge, weights []float64) error {
+			st.AssignWeightedEdges(edges, weights, pids[start:start+len(edges)])
+			return nil
+		}); err != nil {
+			return nil, err
+		}
 		retained = st
 	} else {
 		var err error

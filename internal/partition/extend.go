@@ -1,11 +1,16 @@
 package partition
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 
 	"cutfit/internal/graph"
 )
+
+// errStopReplay ends a prefix-replay block scan once the replay reaches the
+// assigned prefix length; it never escapes Extend.
+var errStopReplay = errors.New("partition: stop prefix replay")
 
 // Extend returns the Assignment of grown — a graph that contains exactly
 // this assignment's edges as a prefix, as produced by Graph.Grow, Shrink
@@ -38,15 +43,18 @@ func (a *Assignment) Extend(grown *graph.Graph, s Strategy) (*Assignment, error)
 	}
 	// Cheap prefix sanity check: the grown edge list must start with the
 	// assigned one. Spot-check the boundary edges; full equality is the
-	// caller's contract (Graph.Grow guarantees it).
+	// caller's contract (Graph.Grow guarantees it). EdgeAt keeps this O(1)
+	// decodes on a block-backed graph.
 	if oldLen > 0 {
-		old := a.G.Edges()
-		if len(old) < oldLen || old[0] != grown.Edges()[0] || old[oldLen-1] != grown.Edges()[oldLen-1] {
+		if a.G.NumEdges() < oldLen || a.G.EdgeAt(0) != grown.EdgeAt(0) || a.G.EdgeAt(oldLen-1) != grown.EdgeAt(oldLen-1) {
 			return nil, fmt.Errorf("partition: grown graph does not extend the assigned edge list")
 		}
 	}
 
-	suffix := grown.Edges()[oldLen:]
+	// The appended suffix is tiny relative to the graph in steady-state
+	// serving; EdgeRange materializes just it (a copy on a block-backed
+	// graph, a subslice on a dense one).
+	suffix, wSuffix := grown.EdgeRange(oldLen, ne)
 	var pids []PID
 	inherit := func() []PID {
 		out := make([]PID, ne)
@@ -63,20 +71,30 @@ func (a *Assignment) Extend(grown *graph.Graph, s Strategy) (*Assignment, error)
 		}
 	case Resumable:
 		pids = inherit()
-		var wPrefix, wSuffix []float64
-		if w := grown.Weights(); w != nil {
-			wPrefix, wSuffix = w[:oldLen], w[oldLen:]
-		}
 		st := a.takeStream()
 		if st == nil {
 			// State already taken (or the assignment was hand-built):
-			// replay the prefix. Streaming strategies are deterministic, so
-			// the replayed prefix equals the retained one.
+			// replay the prefix, block at a time. Streaming strategies are
+			// deterministic, so the replayed prefix equals the retained one.
 			fresh, err := t.NewStream(a.NumParts)
 			if err != nil {
 				return nil, err
 			}
-			fresh.AssignWeightedEdges(grown.Edges()[:oldLen], wPrefix, pids[:oldLen])
+			if err := grown.ForEachEdgeBlock(func(start int, edges []graph.Edge, weights []float64) error {
+				if start >= oldLen {
+					return errStopReplay
+				}
+				if start+len(edges) > oldLen {
+					edges = edges[:oldLen-start]
+					if weights != nil {
+						weights = weights[:oldLen-start]
+					}
+				}
+				fresh.AssignWeightedEdges(edges, weights, pids[start:start+len(edges)])
+				return nil
+			}); err != nil && err != errStopReplay {
+				return nil, err
+			}
 			st = fresh
 		}
 		st.AssignWeightedEdges(suffix, wSuffix, pids[oldLen:])

@@ -75,17 +75,20 @@ func (rangeStrategy) Partition(g *graph.Graph, numParts int) ([]PID, error) {
 		return nil, err
 	}
 	verts := g.Vertices()
-	edges := g.Edges()
-	out := make([]PID, len(edges))
+	out := make([]PID, g.NumEdges())
 	if len(verts) == 0 {
 		return out, nil
 	}
 	lo := int64(verts[0])
 	hi := int64(verts[len(verts)-1])
 	span := hi - lo + 1
-	for i, e := range edges {
-		p := (int64(e.Src) - lo) * int64(numParts) / span
-		out[i] = PID(p)
+	if err := g.ForEachEdgeBlock(func(start int, edges []graph.Edge, _ []float64) error {
+		for i, e := range edges {
+			out[start+i] = PID((int64(e.Src) - lo) * int64(numParts) / span)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -83,9 +83,20 @@ func newPreparedHashStrategy(name string, prep func(numParts int) EdgeHashFunc) 
 func (s *hashStrategy) Name() string { return s.name }
 
 func (s *hashStrategy) Partition(g *graph.Graph, numParts int) ([]PID, error) {
-	out := make([]PID, g.NumEdges())
-	if err := s.AssignSuffix(g.Edges(), out, numParts); err != nil {
+	if err := checkParts(numParts); err != nil {
 		return nil, err
+	}
+	fn := s.fn
+	if s.prep != nil {
+		fn = s.prep(numParts)
+	}
+	// Block at a time: a block-backed graph never materializes its dense
+	// edge list here, and each block is still sharded over all cores.
+	out := make([]PID, g.NumEdges())
+	if err := g.ForEachEdgeBlock(func(start int, edges []graph.Edge, _ []float64) error {
+		return assignHashParallel(edges, out[start:start+len(edges)], fn, numParts)
+	}); err != nil {
+		return nil, fmt.Errorf("partition: strategy %s: %w", s.name, err)
 	}
 	return out, nil
 }

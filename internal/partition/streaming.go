@@ -197,43 +197,63 @@ func (st *StreamState) leastLoadedAll(tiebreak uint64) PID {
 		}
 	}
 	// Deterministic tiebreak among equally loaded partitions so the result
-	// does not depend on iteration quirks.
-	var ties []PID
+	// does not depend on iteration quirks. Counting pass + indexed rescan
+	// instead of materializing the tie list: this runs on every fresh-fresh
+	// edge, so it must not allocate.
+	ties := 0
 	for p := 0; p < st.numParts; p++ {
 		if st.load[p] == st.load[best] {
-			ties = append(ties, PID(p))
+			ties++
 		}
 	}
-	if len(ties) > 1 {
-		return ties[tiebreak%uint64(len(ties))]
-	}
-	return best
-}
-
-func intersect(a, b []PID) []PID {
-	var out []PID
-	for _, p := range a {
-		for _, q := range b {
-			if p == q {
-				out = append(out, p)
-				break
+	if ties > 1 {
+		k := int(tiebreak % uint64(ties))
+		for p := 0; p < st.numParts; p++ {
+			if st.load[p] == st.load[best] {
+				if k == 0 {
+					return PID(p)
+				}
+				k--
 			}
 		}
 	}
-	return out
+	return best
 }
 
 func (st *StreamState) assignGreedy(e graph.Edge, w float64) PID {
 	sv, dv := st.vert(e.Src), st.vert(e.Dst)
 	rs, rd := sv.replicas, dv.replicas
-	if both := intersect(rs, rd); len(both) > 0 {
-		return st.commit(sv, dv, st.leastLoaded(both), w)
+	// Intersection: least-loaded partition holding both endpoints. The scan
+	// walks rs in order with a strict < comparison, which reproduces the
+	// historical materialize-then-leastLoaded result (first qualifying
+	// partition wins ties) without the per-edge intersection slice — on a
+	// warm stream almost every edge takes this path, so it must not
+	// allocate.
+	both := PID(-1)
+	for _, p := range rs {
+		if dv.has(p) && (both < 0 || st.load[p] < st.load[both]) {
+			both = p
+		}
+	}
+	if both >= 0 {
+		return st.commit(sv, dv, both, w)
 	}
 	if len(rs) > 0 && len(rd) > 0 {
 		// Cut the vertex whose replicas live on more-loaded partitions:
-		// choose least loaded among the union.
-		union := append(append([]PID(nil), rs...), rd...)
-		return st.commit(sv, dv, st.leastLoaded(union), w)
+		// choose least loaded among the union, scanning rs then rd exactly
+		// as the historical concatenated slice did.
+		best := rs[0]
+		for _, p := range rs[1:] {
+			if st.load[p] < st.load[best] {
+				best = p
+			}
+		}
+		for _, p := range rd {
+			if st.load[p] < st.load[best] {
+				best = p
+			}
+		}
+		return st.commit(sv, dv, best, w)
 	}
 	if len(rs) > 0 {
 		return st.commit(sv, dv, st.leastLoaded(rs), w)
@@ -304,15 +324,22 @@ func (st *StreamState) minLoadVal() float64 {
 }
 
 // streamPartition is the shared one-shot Partition of the streaming
-// strategies: fresh state, one pass.
+// strategies: fresh state, one pass, block at a time — a block-backed
+// graph streams through its compressed tier without ever materializing
+// the dense edge list (chunked assignment is exactly equivalent to a
+// single pass; see AssignEdges).
 func streamPartition(r Resumable, g *graph.Graph, numParts int) ([]PID, error) {
 	st, err := r.NewStream(numParts)
 	if err != nil {
 		return nil, err
 	}
-	edges := g.Edges()
-	out := make([]PID, len(edges))
-	st.AssignWeightedEdges(edges, g.Weights(), out)
+	out := make([]PID, g.NumEdges())
+	if err := g.ForEachEdgeBlock(func(start int, edges []graph.Edge, weights []float64) error {
+		st.AssignWeightedEdges(edges, weights, out[start:start+len(edges)])
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

@@ -63,7 +63,7 @@ func (pg *PartitionedGraph) ApplyDelta(a *partition.Assignment, remap []int32) (
 	// grown vertex list — O(|delta| log |V|), without forcing the grown
 	// graph's full per-edge endpoint view.
 	verts := a.G.Vertices()
-	sufEdges := a.G.Edges()[oldLen:]
+	sufEdges, _ := a.G.EdgeRange(oldLen, ne)
 	sufSrc := make([]int32, len(sufEdges))
 	sufDst := make([]int32, len(sufEdges))
 	for i, e := range sufEdges {
@@ -135,9 +135,8 @@ func (pg *PartitionedGraph) ApplyDelta(a *partition.Assignment, remap []int32) (
 		span := edgeBuf[partStart[p]:partStart[p+1]:partStart[p+1]]
 		np := &Partition{LocalVerts: patchPartition(old, span, remap, rm), edges: span}
 		// The frontier index is a pure function of the patched edge list, so
-		// it is rebuilt rather than patched — O(part size) counting sort,
-		// already dominated by the copy/merge passes above.
-		buildEdgeIndex(np)
+		// it is not patched: the fresh partition rebuilds it lazily on its
+		// first sparse scan, like every other construction path.
 		parts[p] = np
 	})
 	if err != nil {

@@ -539,6 +539,7 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 					// the dense scan's edge order — float message merges
 					// combine in the same sequence and results stay
 					// bit-identical.
+					part.ensureFrontierIndex()
 					mask := sc.edgeMask[p]
 					if mask == nil {
 						mask = make([]uint64, (len(edges)+63)/64)

@@ -34,9 +34,12 @@ func checkEquivalent(a, b *PartitionedGraph) error {
 				return fmt.Errorf("partition %d: edge %d %v != %v", p, j, pa.edges[j], pb.edges[j])
 			}
 		}
-		// The frontier index is derived on every construction path (full
-		// build, hash-map oracle, delta patch, snapshot restore); equivalent
-		// topologies must carry identical indexes.
+		// The frontier index is derived lazily on every construction path
+		// (full build, hash-map oracle, delta patch, snapshot restore);
+		// forcing both builds here proves equivalent topologies derive
+		// identical indexes.
+		pa.ensureFrontierIndex()
+		pb.ensureFrontierIndex()
 		if !slices.Equal(pa.srcOff, pb.srcOff) || !slices.Equal(pa.srcPos, pb.srcPos) {
 			return fmt.Errorf("partition %d: source frontier index differs", p)
 		}

@@ -1,6 +1,7 @@
 package pregel
 
 import (
+	"cutfit/internal/graph"
 	"cutfit/internal/metrics"
 	"cutfit/internal/partition"
 )
@@ -49,19 +50,34 @@ func (pg *PartitionedGraph) Metrics() *metrics.Result {
 	}
 	nv := pg.G.NumVertices()
 	var wdeg []float64
-	if weights := pg.G.Weights(); weights != nil {
-		srcIdx, dstIdx := pg.G.EdgeEndpointIndices()
-		numDead := pg.G.NumDeadEdges()
+	if g := pg.G; g.Weighted() {
+		numDead := g.NumDeadEdges()
 		res.WeightPerPart = make([]float64, numParts)
 		wdeg = make([]float64, nv)
-		for i, p := range pg.assign {
-			if numDead != 0 && !pg.G.EdgeAlive(i) {
-				continue
+		// Block at a time with batch endpoint lookup: same ascending edge
+		// order as the dense loop (so the float sums stay bit-identical)
+		// without materializing the O(E) weight and index slices.
+		var sidx, didx []int32
+		if err := g.ForEachEdgeBlock(func(start int, edges []graph.Edge, weights []float64) error {
+			if cap(sidx) < len(edges) {
+				sidx = make([]int32, len(edges))
+				didx = make([]int32, len(edges))
 			}
-			wt := weights[i]
-			res.WeightPerPart[p] += wt
-			wdeg[srcIdx[i]] += wt
-			wdeg[dstIdx[i]] += wt
+			sidx, didx = sidx[:len(edges)], didx[:len(edges)]
+			g.LookupIndices(edges, sidx, didx)
+			for j := range edges {
+				i := start + j
+				if numDead != 0 && !g.EdgeAlive(i) {
+					continue
+				}
+				wt := weights[j]
+				res.WeightPerPart[pg.assign[i]] += wt
+				wdeg[sidx[j]] += wt
+				wdeg[didx[j]] += wt
+			}
+			return nil
+		}); err != nil {
+			panic("pregel: block decode failed: " + err.Error())
 		}
 	}
 	for v := 0; v < nv; v++ {

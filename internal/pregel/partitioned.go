@@ -31,10 +31,11 @@
 //     shards scatter their edges concurrently without locks while
 //     preserving global edge order within each partition (the AssignOrder
 //     alignment contract);
-//  3. localize: each partition — fanned out over the worker pool — copies
-//     its edge endpoints into a per-worker scratch buffer, sorts and
-//     deduplicates it into the LocalVerts mirror table, and rewrites its
-//     edges to local indices by binary search.
+//  3. localize: each partition — fanned out over the worker pool — marks
+//     its edge endpoints in a per-worker vertex bitset, emits the set bits
+//     in order as the LocalVerts mirror table (sorted and deduplicated by
+//     construction), and rewrites its edges to local indices by O(1) rank
+//     queries.
 //
 // The only allocations retained per partition are the exact-size LocalVerts
 // table and a subslice of the shared edge buffer; all intermediate state
@@ -45,8 +46,10 @@ package pregel
 
 import (
 	"fmt"
+	"math/bits"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"cutfit/internal/graph"
 	"cutfit/internal/par"
@@ -71,11 +74,25 @@ type Partition struct {
 	// srcPos[srcOff[l]:srcOff[l+1]] (positions into edges, ascending within
 	// each group because the grouping pass is a stable counting sort). The
 	// engine's sparse compute path walks only the groups of frontier-active
-	// vertices instead of scanning every edge; the groupings are built once
-	// per topology (full build, delta patch, snapshot restore) and never
-	// change afterwards.
+	// vertices instead of scanning every edge. The index costs 8 bytes per
+	// edge, so it is built lazily on the first sparse scan that needs it
+	// (frontierOnce) — dense-only workloads such as full PageRank supersteps
+	// never pay for it — and never changes afterwards: it is a pure function
+	// of the edge list, which is immutable once the partition is built.
 	srcOff, srcPos []int32
 	dstOff, dstPos []int32
+	frontierOnce   sync.Once
+	frontierBuilt  atomic.Bool // for lock-free footprint accounting only
+}
+
+// ensureFrontierIndex builds the partition's frontier index on first use.
+// Safe for concurrent callers; after it returns the index fields are
+// readable without further synchronization.
+func (p *Partition) ensureFrontierIndex() {
+	p.frontierOnce.Do(func() {
+		buildEdgeIndex(p)
+		p.frontierBuilt.Store(true)
+	})
 }
 
 // NumEdges returns the number of edges in the partition.
@@ -204,7 +221,9 @@ func NewPartitionedGraphOpts(g *graph.Graph, assign []partition.PID, numParts in
 		return nil, err
 	}
 	pg.buildRouting()
-	pg.buildEdgeIndexes()
+	// The frontier index is NOT built here: each partition builds it lazily
+	// on its first sparse scan (ensureFrontierIndex), so dense-only
+	// workloads never hold the extra 8 bytes per edge.
 	return pg, nil
 }
 
@@ -217,6 +236,13 @@ func (pg *PartitionedGraph) buildSortScatter() error {
 	g, assign, numParts := pg.G, pg.assign, pg.NumParts
 	ne := len(assign)
 	numDead := g.NumDeadEdges()
+
+	// A block-backed graph scatters block at a time through per-worker
+	// decode scratch — the O(E) endpoint-index slices of the dense path are
+	// never materialized, which is most of the peak-heap win at scale.
+	if g.BlockBacked() {
+		return pg.buildSortScatterBlocks()
+	}
 	srcIdx, dstIdx := g.EdgeEndpointIndices()
 
 	shards := pg.Parallelism
@@ -313,8 +339,151 @@ func (pg *PartitionedGraph) buildSortScatter() error {
 	}
 	wg.Wait()
 
-	// Pass 3: localize each partition on the worker pool. Every worker owns
-	// one growable endpoint scratch reused across the partitions it takes.
+	pg.scatterFinish(edgeBuf, partStart)
+	return nil
+}
+
+// buildSortScatterBlocks is buildSortScatter for block-backed graphs: the
+// same counting sort, but shards cover contiguous BLOCK ranges (the count
+// and scatter passes walk identical edge spans, so the cursors line up)
+// and each scatter worker decodes its blocks into private scratch,
+// resolving endpoint indices per block with the batch lookup instead of
+// the O(E) EdgeEndpointIndices slices.
+func (pg *PartitionedGraph) buildSortScatterBlocks() error {
+	g, assign, numParts := pg.G, pg.assign, pg.NumParts
+	bs := g.Blocks()
+	ne := len(assign)
+	numDead := g.NumDeadEdges()
+	blockEdges := bs.BlockEdges()
+	numBlocks := bs.NumBlocks()
+
+	// Build the vertex index once up front so the concurrent per-block
+	// endpoint lookups below never race on construction.
+	g.LookupIndices(nil, nil, nil)
+
+	shards := pg.Parallelism
+	if shards > numBlocks {
+		shards = numBlocks
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	bchunk := (numBlocks + shards - 1) / shards
+
+	// Pass 1: per-(shard, partition) live edge counts over block-aligned
+	// edge ranges. Needs only the assignment and tombstones, never the
+	// edges themselves.
+	shardCounts := make([]int64, shards*numParts)
+	var badEdge, badPID int64 = -1, 0
+	var badMu sync.Mutex
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo, hi := s*bchunk*blockEdges, (s+1)*bchunk*blockEdges
+		if hi > ne {
+			hi = ne
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			counts := shardCounts[s*numParts : (s+1)*numParts]
+			for i := lo; i < hi; i++ {
+				p := assign[i]
+				if p < 0 || int(p) >= numParts {
+					badMu.Lock()
+					if badEdge < 0 || int64(i) < badEdge {
+						badEdge, badPID = int64(i), int64(p)
+					}
+					badMu.Unlock()
+					return
+				}
+				if numDead != 0 && !g.EdgeAlive(i) {
+					continue
+				}
+				counts[p]++
+			}
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	if badEdge >= 0 {
+		return fmt.Errorf("pregel: edge %d assigned to out-of-range partition %d", badEdge, badPID)
+	}
+
+	partStart := make([]int64, numParts+1)
+	for p := 0; p < numParts; p++ {
+		var total int64
+		for s := 0; s < shards; s++ {
+			total += shardCounts[s*numParts+p]
+		}
+		partStart[p+1] = partStart[p] + total
+	}
+	cursors := shardCounts // reuse: overwrite counts with absolute cursors
+	for p := 0; p < numParts; p++ {
+		pos := partStart[p]
+		for s := 0; s < shards; s++ {
+			c := shardCounts[s*numParts+p]
+			cursors[s*numParts+p] = pos
+			pos += c
+		}
+	}
+
+	// Pass 2: scatter, one worker per contiguous block range, decoding
+	// into per-worker scratch.
+	edgeBuf := make([]localEdge, partStart[numParts])
+	errs := make([]error, shards)
+	for s := 0; s < shards; s++ {
+		b0, b1 := s*bchunk, (s+1)*bchunk
+		if b1 > numBlocks {
+			b1 = numBlocks
+		}
+		wg.Add(1)
+		go func(s, b0, b1 int) {
+			defer wg.Done()
+			cur := cursors[s*numParts : (s+1)*numParts]
+			var ebuf []graph.Edge
+			var sidx, didx []int32
+			for b := b0; b < b1; b++ {
+				es, err := bs.DecodeBlockEdges(b, ebuf)
+				if err != nil {
+					errs[s] = err
+					return
+				}
+				ebuf = es[:0]
+				if cap(sidx) < len(es) {
+					sidx = make([]int32, len(es))
+					didx = make([]int32, len(es))
+				}
+				sidx, didx = sidx[:len(es)], didx[:len(es)]
+				g.LookupIndices(es, sidx, didx)
+				start := b * blockEdges
+				for j := range es {
+					i := start + j
+					if numDead != 0 && !g.EdgeAlive(i) {
+						continue
+					}
+					p := assign[i]
+					edgeBuf[cur[p]] = localEdge{src: sidx[j], dst: didx[j]}
+					cur[p]++
+				}
+			}
+		}(s, b0, b1)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("pregel: %w", err)
+		}
+	}
+	pg.scatterFinish(edgeBuf, partStart)
+	return nil
+}
+
+// scatterFinish slices the shared edge buffer into Parts and runs the
+// localize pass (pass 3) on the worker pool: per-partition local vertex
+// tables by sort + dedup, then in-place rewrite of the staged global
+// endpoint indices to local ones. Every worker owns one growable endpoint
+// scratch reused across the partitions it takes.
+func (pg *PartitionedGraph) scatterFinish(edgeBuf []localEdge, partStart []int64) {
+	numParts := pg.NumParts
 	parts := make([]*Partition, numParts)
 	for p := range parts {
 		parts[p] = &Partition{edges: edgeBuf[partStart[p]:partStart[p+1]:partStart[p+1]]}
@@ -324,23 +493,27 @@ func (pg *PartitionedGraph) buildSortScatter() error {
 	if workers > numParts {
 		workers = numParts
 	}
+	if workers < 1 {
+		workers = 1
+	}
 	tasks := make(chan int, numParts)
 	for p := 0; p < numParts; p++ {
 		tasks <- p
 	}
 	close(tasks)
+	nv := pg.G.NumVertices()
+	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			var scratch []int32
+			var scratch localizeScratch
 			for p := range tasks {
-				scratch = localizePartition(parts[p], scratch)
+				scratch.localize(parts[p], nv)
 			}
 		}()
 	}
 	wg.Wait()
-	return nil
 }
 
 // buildEdgeIndex builds the partition's frontier index: stable counting
@@ -377,52 +550,65 @@ func buildEdgeIndex(part *Partition) {
 	part.dstOff, part.dstPos = dstOff, dstPos
 }
 
-// buildEdgeIndexes builds every partition's frontier index on the worker
-// pool.
-func (pg *PartitionedGraph) buildEdgeIndexes() {
-	// The per-partition builder touches only its own partition and cannot
-	// panic on validated topologies; the error path exists only for the
-	// worker-pool plumbing.
-	_ = pg.forEachPart(func(p int) { buildEdgeIndex(pg.Parts[p]) })
+// localizeScratch is one scatter worker's reusable vertex-presence state:
+// a bitset over global dense vertex indices plus a per-word rank prefix.
+// Both are O(numVertices/64) — replacing the old sort-based localization
+// whose scratch was O(2·partitionEdges) per concurrent worker, which at
+// out-of-core scale stacked up to an extra 8 bytes per edge of transient
+// peak heap during every build.
+type localizeScratch struct {
+	words []uint64 // presence bitset, indexed by global vertex index
+	rank  []int32  // rank[w] = set bits in words[:w]
 }
 
-// localizePartition builds part.LocalVerts by sorting and deduplicating the
-// partition's edge endpoints, then rewrites the staged global endpoint
-// indices to local ones by binary search. scratch is the worker's reusable
-// endpoint buffer; the (possibly grown) buffer is returned for reuse.
-func localizePartition(part *Partition, scratch []int32) []int32 {
+// localize builds part.LocalVerts and rewrites the staged global endpoint
+// indices to local ones. Marking endpoints in a bitset and emitting set
+// bits in word order yields exactly the sorted deduplicated table the old
+// sort+dedup produced, and each rewrite is an O(1) rank query (prefix
+// table + popcount within the word) instead of a binary search.
+func (s *localizeScratch) localize(part *Partition, nv int) {
 	edges := part.edges
 	if len(edges) == 0 {
-		return scratch
+		return
 	}
-	need := 2 * len(edges)
-	if cap(scratch) < need {
-		scratch = make([]int32, need)
+	nw := (nv + 63) / 64
+	if cap(s.words) < nw {
+		s.words = make([]uint64, nw)
+		s.rank = make([]int32, nw+1)
 	}
-	vbuf := scratch[:need]
-	for j, e := range edges {
-		vbuf[2*j] = e.src
-		vbuf[2*j+1] = e.dst
+	words, rank := s.words[:nw], s.rank[:nw+1]
+	for _, e := range edges {
+		words[e.src>>6] |= 1 << (uint32(e.src) & 63)
+		words[e.dst>>6] |= 1 << (uint32(e.dst) & 63)
 	}
-	slices.Sort(vbuf)
-	// Dedup in place, then copy into an exact-size retained table.
-	n := 1
-	for j := 1; j < len(vbuf); j++ {
-		if vbuf[j] != vbuf[n-1] {
-			vbuf[n] = vbuf[j]
-			n++
+	n := int32(0)
+	for w, word := range words {
+		rank[w] = n
+		n += int32(bits.OnesCount64(word))
+	}
+	rank[nw] = n
+	lv := make([]int32, n)
+	for w, word := range words {
+		base := int32(w << 6)
+		at := rank[w]
+		for word != 0 {
+			lv[at] = base + int32(bits.TrailingZeros64(word))
+			word &= word - 1
+			at++
 		}
 	}
-	lv := make([]int32, n)
-	copy(lv, vbuf[:n])
 	part.LocalVerts = lv
-	// Every endpoint was just fed into lv, so the searches always hit.
-	for j, e := range edges {
-		src, _ := slices.BinarySearch(lv, e.src)
-		dst, _ := slices.BinarySearch(lv, e.dst)
-		edges[j] = localEdge{src: int32(src), dst: int32(dst)}
+	local := func(g int32) int32 {
+		return rank[g>>6] + int32(bits.OnesCount64(words[g>>6]&(1<<(uint32(g)&63)-1)))
 	}
-	return scratch
+	for j, e := range edges {
+		edges[j] = localEdge{src: local(e.src), dst: local(e.dst)}
+	}
+	// Clear only the words this partition touched, via the vertex table
+	// itself — partitions far smaller than the graph don't pay O(nv).
+	for _, g := range lv {
+		words[g>>6] = 0
+	}
 }
 
 // buildRouting constructs the mirror routing CSR from the per-partition
@@ -534,7 +720,6 @@ func newPartitionedGraphMaps(g *graph.Graph, assign []partition.PID, numParts in
 		Parallelism: par.DefaultParallelism(),
 	}
 	pg.buildRouting()
-	pg.buildEdgeIndexes()
 	return pg, nil
 }
 
@@ -578,9 +763,15 @@ func (pg *PartitionedGraph) MemoryFootprint() int64 {
 	b += int64(len(pg.routingRefs)) * 8
 	for _, part := range pg.Parts {
 		b += int64(len(part.edges))*8 + int64(len(part.LocalVerts))*4
-		// Frontier index: two position arrays and two offset tables.
-		b += int64(len(part.srcPos))*4 + int64(len(part.srcOff))*4
-		b += int64(len(part.dstPos))*4 + int64(len(part.dstOff))*4
+		// Frontier index: two position arrays and two offset tables. Built
+		// lazily, so a topology that has only run dense scans costs nothing
+		// here. The size is computed from the flag rather than the slices —
+		// accounting may run concurrently with a sparse scan's lazy build,
+		// and the atomic flag is ordered after the fields are published.
+		if part.frontierBuilt.Load() {
+			m, n := int64(len(part.edges)), int64(len(part.LocalVerts))
+			b += 2*m*4 + 2*(n+1)*4
+		}
 	}
 	return b
 }

@@ -194,8 +194,8 @@ func FromRawTables(g *graph.Graph, rt RawTables, opts BuildOptions) (*Partitione
 		}
 	}
 	// The frontier index, like the routing CSR below, is derived rather
-	// than persisted: it is a pure function of the (validated) edge tables.
-	pg.buildEdgeIndexes()
+	// than persisted: it is a pure function of the (validated) edge tables,
+	// built lazily by the first sparse scan that needs it.
 	// No routing supplied: derive it from the (already validated) mirror
 	// tables — cheaper than validating a persisted copy, and correct by
 	// construction.

@@ -38,6 +38,11 @@ const (
 	secTopoEdgeDst      = 5
 	secTopoLocalOffsets = 6
 	secTopoLocalVerts   = 7
+
+	secBlockVerts = 2
+	secBlockIndex = 3
+	// Optional: present only when the graph carries tombstones.
+	secBlockTombstones = 4
 )
 
 // ---- field-level primitives ----------------------------------------------
@@ -270,6 +275,21 @@ func EncodeGraph(g *graph.Graph) []byte {
 	meta = binary.LittleEndian.AppendUint64(meta, uint64(g.NumEdges()))
 	meta = binary.LittleEndian.AppendUint64(meta, g.Fingerprint())
 
+	b := NewBuilder(KindGraph)
+	b.Section(secMeta, meta)
+	b.Section(secGraphVerts, encodeVertexList(verts))
+	b.Section(secGraphEdges, graph.EncodeEdges(nil, g.Edges()))
+	if w := g.Weights(); w != nil {
+		b.Section(secGraphWeights, encodeF64s(w))
+	}
+	if g.NumDeadEdges() > 0 {
+		b.Section(secGraphTombstones, encodeTombstones(g))
+	}
+	return b.Bytes()
+}
+
+// encodeVertexList packs a sorted vertex list as delta uvarints.
+func encodeVertexList(verts []graph.VertexID) []byte {
 	var vsec []byte
 	var buf [binary.MaxVarintLen64]byte
 	prev := int64(0)
@@ -278,23 +298,69 @@ func EncodeGraph(g *graph.Graph) []byte {
 		vsec = append(vsec, buf[:n]...)
 		prev = int64(v)
 	}
+	return vsec
+}
 
-	b := NewBuilder(KindGraph)
-	b.Section(secMeta, meta)
-	b.Section(secGraphVerts, vsec)
-	b.Section(secGraphEdges, graph.EncodeEdges(nil, g.Edges()))
-	if w := g.Weights(); w != nil {
-		b.Section(secGraphWeights, encodeF64s(w))
+// decodeVertexList unpacks a delta-uvarint vertex list, validating the
+// entry count against the recorded meta count.
+func decodeVertexList(vsec []byte, numVerts uint64) ([]graph.VertexID, error) {
+	if numVerts > uint64(len(vsec)) { // each vertex costs at least one byte
+		return nil, fmt.Errorf("snap: vertex count %d exceeds section size", numVerts)
 	}
-	if g.NumDeadEdges() > 0 {
-		var tsec []byte
-		tsec = binary.LittleEndian.AppendUint64(tsec, uint64(g.NumDeadEdges()))
-		for _, word := range g.Tombstones() {
-			tsec = binary.LittleEndian.AppendUint64(tsec, word)
+	verts := make([]graph.VertexID, 0, numVerts)
+	prev := int64(0)
+	for len(vsec) > 0 {
+		d, n := binary.Uvarint(vsec)
+		if n <= 0 {
+			return nil, fmt.Errorf("snap: malformed vertex delta at entry %d", len(verts))
 		}
-		b.Section(secGraphTombstones, tsec)
+		vsec = vsec[n:]
+		if d > math.MaxInt64-uint64(prev) {
+			return nil, fmt.Errorf("snap: vertex delta overflows at entry %d", len(verts))
+		}
+		prev += int64(d)
+		verts = append(verts, graph.VertexID(prev))
 	}
-	return b.Bytes()
+	if uint64(len(verts)) != numVerts {
+		return nil, fmt.Errorf("snap: vertex list holds %d entries, meta says %d", len(verts), numVerts)
+	}
+	return verts, nil
+}
+
+// encodeTombstones packs the dead-edge count and the position-indexed
+// tombstone bitset words.
+func encodeTombstones(g *graph.Graph) []byte {
+	var tsec []byte
+	tsec = binary.LittleEndian.AppendUint64(tsec, uint64(g.NumDeadEdges()))
+	for _, word := range g.Tombstones() {
+		tsec = binary.LittleEndian.AppendUint64(tsec, word)
+	}
+	return tsec
+}
+
+// decodeTombstones unpacks a tombstone section for a graph of numEdges
+// dense slots.
+func decodeTombstones(tsec []byte, numEdges int) ([]uint64, int, error) {
+	tr := &fieldReader{b: tsec}
+	numDead := tr.u64()
+	if tr.err != nil {
+		return nil, 0, tr.err
+	}
+	rest := len(tsec) - tr.off
+	if rest%8 != 0 {
+		return nil, 0, fmt.Errorf("snap: tombstone bitset length %d not a multiple of 8", rest)
+	}
+	dead := make([]uint64, rest/8)
+	for i := range dead {
+		dead[i] = tr.u64()
+	}
+	if err := tr.finish(); err != nil {
+		return nil, 0, err
+	}
+	if numDead > uint64(numEdges) {
+		return nil, 0, fmt.Errorf("snap: %d tombstoned edges exceeds %d edges", numDead, numEdges)
+	}
+	return dead, int(numDead), nil
 }
 
 // DecodeGraph decodes a KindGraph container, validating counts, the vertex
@@ -329,25 +395,9 @@ func decodeGraphContainer(c *Container) (*graph.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	if numVerts > uint64(len(vsec)) { // each vertex costs at least one byte
-		return nil, fmt.Errorf("snap: vertex count %d exceeds section size", numVerts)
-	}
-	verts := make([]graph.VertexID, 0, numVerts)
-	prev := int64(0)
-	for len(vsec) > 0 {
-		d, n := binary.Uvarint(vsec)
-		if n <= 0 {
-			return nil, fmt.Errorf("snap: malformed vertex delta at entry %d", len(verts))
-		}
-		vsec = vsec[n:]
-		if d > math.MaxInt64-uint64(prev) {
-			return nil, fmt.Errorf("snap: vertex delta overflows at entry %d", len(verts))
-		}
-		prev += int64(d)
-		verts = append(verts, graph.VertexID(prev))
-	}
-	if uint64(len(verts)) != numVerts {
-		return nil, fmt.Errorf("snap: vertex list holds %d entries, meta says %d", len(verts), numVerts)
+	verts, err := decodeVertexList(vsec, numVerts)
+	if err != nil {
+		return nil, err
 	}
 
 	esec, err := section(c, secGraphEdges, "edge list")
@@ -375,26 +425,11 @@ func decodeGraphContainer(c *Container) (*graph.Graph, error) {
 		}
 	}
 	if tsec, ok := c.Section(secGraphTombstones); ok {
-		tr := &fieldReader{b: tsec}
-		numDead := tr.u64()
-		if tr.err != nil {
-			return nil, tr.err
-		}
-		rest := len(tsec) - tr.off
-		if rest%8 != 0 {
-			return nil, fmt.Errorf("snap: tombstone bitset length %d not a multiple of 8", rest)
-		}
-		dead := make([]uint64, rest/8)
-		for i := range dead {
-			dead[i] = tr.u64()
-		}
-		if err := tr.finish(); err != nil {
+		dead, numDead, err := decodeTombstones(tsec, len(edges))
+		if err != nil {
 			return nil, err
 		}
-		if numDead > uint64(len(edges)) {
-			return nil, fmt.Errorf("snap: %d tombstoned edges exceeds %d edges", numDead, len(edges))
-		}
-		if err := g.RestoreTombstones(dead, int(numDead)); err != nil {
+		if err := g.RestoreTombstones(dead, numDead); err != nil {
 			return nil, err
 		}
 	}

@@ -65,6 +65,11 @@ const (
 	// KindStore is a whole-cache bundle: labeled graphs plus their cached
 	// artifacts, each embedded as a nested container.
 	KindStore Kind = 5
+	// KindBlockGraph is a block-compressed graph: a container prefix
+	// (meta, vertex list, block index, tombstones) followed by the raw
+	// block payload region, served in place from the file by
+	// OpenBlockGraph without a dense round-trip.
+	KindBlockGraph Kind = 6
 )
 
 func (k Kind) String() string {
@@ -79,6 +84,8 @@ func (k Kind) String() string {
 		return "metrics"
 	case KindStore:
 		return "store"
+	case KindBlockGraph:
+		return "blockgraph"
 	}
 	return fmt.Sprintf("kind(%d)", uint32(k))
 }

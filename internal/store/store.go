@@ -184,9 +184,16 @@ type Store struct {
 const maxDeltaRecords = 64
 
 // deltaPinnedBytes estimates the memory a delta record keeps reachable:
-// the parent generation's edge list and vertex list.
+// the parent generation's edge list and vertex list. A block-backed
+// parent pins only its encoded payloads (heap-resident blocks; a
+// file-backed store pins nearly nothing), not a dense 16-byte-per-edge
+// materialization.
 func deltaPinnedBytes(d graph.Delta) int64 {
-	return int64(d.OldLen)*16 + int64(len(d.OldVerts))*8
+	edges := int64(d.OldLen) * 16
+	if d.Old != nil && d.Old.BlockBacked() {
+		edges = d.Old.Blocks().HeapBytes()
+	}
+	return edges + int64(len(d.OldVerts))*8
 }
 
 // maxDeltaDepth bounds how many generations a derive-on-miss walk crosses

@@ -10,8 +10,9 @@
 // depends on:
 //
 //   - the assignment covers every edge exactly once with an in-range PID,
-//     and each partition holds exactly its assigned edges, in global edge
-//     order (the AssignOrder alignment contract);
+//     and each partition holds exactly its assigned live edges, in global
+//     edge order (the AssignOrder alignment contract); tombstoned slots
+//     keep a valid PID but appear in no partition;
 //   - local vertex tables are strictly sorted, deduplicated, in-range, and
 //     contain exactly the vertices touched by the partition's edges — no
 //     phantom mirrors;
@@ -43,11 +44,18 @@ func CheckPartitionInvariants(g *graph.Graph, assign []partition.PID, numParts i
 			pg.NumParts, len(pg.Parts), numParts)
 	}
 
-	// PIDs in range; per-partition edge histograms.
+	// PIDs in range; per-partition edge histograms. The assignment stays
+	// dense-aligned on tombstoned graphs — every slot carries a valid PID —
+	// but partitions hold live edges only, so dead slots are excluded from
+	// the histogram.
+	numDead := g.NumDeadEdges()
 	wantEdges := make([]int, numParts)
 	for i, p := range assign {
 		if p < 0 || int(p) >= numParts {
 			return fmt.Errorf("edge %d assigned to out-of-range partition %d", i, p)
+		}
+		if numDead != 0 && !g.EdgeAlive(i) {
+			continue
 		}
 		wantEdges[p]++
 	}
@@ -59,8 +67,8 @@ func CheckPartitionInvariants(g *graph.Graph, assign []partition.PID, numParts i
 		}
 		total += part.NumEdges()
 	}
-	if total != ne {
-		return fmt.Errorf("partitions hold %d edges in total, graph has %d", total, ne)
+	if total != ne-numDead {
+		return fmt.Errorf("partitions hold %d edges in total, graph has %d live", total, ne-numDead)
 	}
 
 	// Local vertex tables: strictly sorted, in range.
@@ -89,6 +97,9 @@ func CheckPartitionInvariants(g *graph.Graph, assign []partition.PID, numParts i
 	for i, p := range pg.AssignOrder() {
 		if assign[i] != p {
 			return fmt.Errorf("AssignOrder[%d] = %d, assignment says %d", i, p, assign[i])
+		}
+		if numDead != 0 && !g.EdgeAlive(i) {
+			continue // dead slot: keeps its PID for alignment, scattered nowhere
 		}
 		part := pg.Parts[p]
 		j := cursor[p]
