@@ -15,7 +15,7 @@ BENCH ?= BenchmarkSelectEmpirically|BenchmarkMeasureThenRun|BenchmarkPartitionBu
 BENCH_COUNT ?= 10
 BENCH_OUT ?= bench.txt
 
-.PHONY: all build test vet lint race bench bench-smoke bench-compare bench-scale bench-scale-xl scalebench fuzz fuzz-smoke compat check
+.PHONY: all build test vet lint race bench bench-smoke bench-compare bench-scale bench-scale-xl scalebench loadgen-smoke fuzz fuzz-smoke compat check
 
 all: check
 
@@ -47,7 +47,7 @@ lint: vet
 # chain, topology patching) and the persistence layer (snap codecs, disk
 # tier spill/restore, warm-start handlers).
 race:
-	$(GO) test -race . ./cmd/cutfitd/... ./internal/graph/... ./internal/pregel/... ./internal/testutil/... ./internal/partition/... ./internal/store/... ./internal/snap/...
+	$(GO) test -race . ./cmd/cutfitd/... ./internal/graph/... ./internal/pregel/... ./internal/testutil/... ./internal/partition/... ./internal/store/... ./internal/snap/... ./internal/obsv/...
 
 # Hot-path benchmarks: partition construction (old vs new, and across
 # dataset analogs × strategies), the sparse-frontier scan payoff,
@@ -77,6 +77,26 @@ bench-scale:
 # minutes). Guarded by CUTFIT_SCALE_XL so it never runs in PR CI.
 bench-scale-xl:
 	CUTFIT_SCALE_XL=1 $(GO) test -run='^$$' -bench='BenchmarkScaleXL' -benchtime=1x -benchmem -timeout=120m .
+
+# End-to-end load smoke: boot a real cutfitd, drive the default mixed
+# workload at $(LOADGEN_RPS) req/s for $(LOADGEN_DURATION), then fail on
+# any 5xx or transport error (loadgen's exit contract). The quantile
+# table and a post-run /metrics scrape land in $(LOADGEN_OUT) /
+# $(LOADGEN_METRICS); the nightly loadgen-smoke job archives both.
+LOADGEN_ADDR ?= 127.0.0.1:18080
+LOADGEN_RPS ?= 50
+LOADGEN_DURATION ?= 30s
+LOADGEN_OUT ?= loadgen-table.txt
+LOADGEN_METRICS ?= loadgen-metrics.txt
+loadgen-smoke:
+	$(GO) build -o ./bin/cutfitd ./cmd/cutfitd
+	$(GO) build -o ./bin/loadgen ./cmd/loadgen
+	@set -e; \
+	./bin/cutfitd -addr $(LOADGEN_ADDR) & daemon=$$!; \
+	trap "kill $$daemon 2>/dev/null || true" EXIT; \
+	./bin/loadgen -addr http://$(LOADGEN_ADDR) -rps $(LOADGEN_RPS) \
+		-duration $(LOADGEN_DURATION) -out $(LOADGEN_OUT) -metrics-out $(LOADGEN_METRICS); \
+	echo "loadgen-smoke: zero 5xx at $(LOADGEN_RPS) req/s for $(LOADGEN_DURATION)"
 
 # One-iteration pass over the concurrent-serving benchmarks: fast enough
 # for CI, still executes the pooled/fresh and hit/miss paths end to end.

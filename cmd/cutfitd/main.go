@@ -53,7 +53,26 @@
 //	                  the graph/artifact counts and encoded bytes
 //	GET  /v1/stats                                          cache hit/miss/eviction counters,
 //	                  including the disk tier's diskHits/diskBytes
+//	GET  /metrics                                           live metric series in the Prometheus
+//	                  text format: store/engine/block-tier counters and histograms
+//	                  plus per-endpoint request, latency and admission series
 //	GET  /healthz
+//
+// The full HTTP reference (request/response schemas, the error-code
+// taxonomy, curl examples) is docs/API.md; the operator runbook and the
+// metrics catalog are docs/OPERATIONS.md.
+//
+// # Serving hardening
+//
+// Every request gets an X-Request-ID (caller-provided IDs are echoed)
+// and one structured log line (log/slog, text format on stderr).
+// Admission control bounds concurrent work: -max-concurrent requests
+// daemon-wide and -graph-concurrent per target graph may run at once;
+// over-limit requests wait in a bounded queue (-admission-queue) up to
+// -admission-timeout, then receive 429 with a Retry-After header.
+// /healthz and /metrics are exempt so a saturated daemon stays
+// observable. cmd/loadgen drives a mixed workload against the daemon
+// and reports the resulting latency quantiles.
 package main
 
 import (
@@ -62,6 +81,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -94,14 +114,24 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "worker goroutines per build/run (<1 = GOMAXPROCS)")
 	preload := flag.String("preload", "", "comma-separated analog dataset names to register at boot under their own names")
 	dataDir := flag.String("data-dir", "", "durability directory: disk cache tier under <dir>/cache, warm-start snapshot at <dir>/cutfitd.snap (empty = in-memory only)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "daemon-wide concurrent request bound (0 = default 64, negative = unlimited)")
+	graphConcurrent := flag.Int("graph-concurrent", 0, "per-graph concurrent request bound (0 = default 32, negative = unlimited)")
+	admissionQueue := flag.Int("admission-queue", 0, "bounded wait-queue size for over-limit requests (0 = default 256, negative = no queue)")
+	admissionTimeout := flag.Duration("admission-timeout", 0, "how long a queued request waits for a slot before 429 (0 = default 2s)")
 	var blockGraphs stringList
 	flag.Var(&blockGraphs, "block-graph", "name=path of an on-disk block-graph file to register at boot, served straight from the file (comma-separated, repeatable)")
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv, err := newServer(serverOptions{
-		cacheBytes:  *cacheMB * (1 << 20),
-		parallelism: *parallelism,
-		dataDir:     *dataDir,
+		cacheBytes:      *cacheMB * (1 << 20),
+		parallelism:     *parallelism,
+		dataDir:         *dataDir,
+		maxConcurrent:   *maxConcurrent,
+		graphConcurrent: *graphConcurrent,
+		maxQueue:        *admissionQueue,
+		queueTimeout:    *admissionTimeout,
+		logger:          logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cutfitd:", err)

@@ -5,17 +5,22 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"cutfit"
+	"cutfit/internal/obsv"
 )
 
-// serverOptions configures the daemon's Session.
+// serverOptions configures the daemon's Session and serving policy.
+// The zero value is fully usable: default cache budget, GOMAXPROCS
+// parallelism, default admission limits, discarded logs.
 type serverOptions struct {
 	cacheBytes  int64
 	parallelism int
@@ -24,6 +29,20 @@ type serverOptions struct {
 	// POST /v1/snapshot and on graceful shutdown — warm-starts the whole
 	// session (graph registry included) on the next boot.
 	dataDir string
+
+	// Admission control. maxConcurrent bounds requests in flight across
+	// the daemon (0: default 64; <0: unlimited); graphConcurrent bounds
+	// them per target graph (0: default 32; <0: unlimited). Over-limit
+	// requests wait in a bounded queue (maxQueue; 0: defaults) up to
+	// queueTimeout (0: 2s), then get 429 + Retry-After. /healthz and
+	// /metrics are exempt, so a saturated daemon stays observable.
+	maxConcurrent   int
+	graphConcurrent int
+	maxQueue        int
+	queueTimeout    time.Duration
+
+	// logger receives one structured line per request; nil discards.
+	logger *slog.Logger
 }
 
 // snapshotFile is the session snapshot inside -data-dir.
@@ -45,6 +64,15 @@ type server struct {
 	session *cutfit.Session
 	mux     *http.ServeMux
 	dataDir string
+	logger  *slog.Logger
+
+	// limiter is the global admission bound; graphLims holds one lazily
+	// created limiter per registered graph name, each sized by
+	// graphLimit. See middleware.go for the admission protocol.
+	limiter    *obsv.Limiter
+	graphLimit obsv.LimiterConfig
+	limMu      sync.Mutex
+	graphLims  map[string]*obsv.Limiter
 
 	mu     sync.RWMutex
 	graphs map[string]*graphEntry
@@ -56,6 +84,28 @@ type server struct {
 	// persistMu serializes snapshot writes (concurrent POST /v1/snapshot
 	// calls, or one racing the shutdown persist).
 	persistMu sync.Mutex
+}
+
+// apiRoute is one row of the daemon's routing table — the single source
+// of truth that mux registration, the 405 Allow headers and the
+// docs/API.md drift guard all read.
+type apiRoute struct {
+	method  string
+	path    string
+	handler func(*server) http.HandlerFunc
+}
+
+var apiRoutes = []apiRoute{
+	{"POST", "/v1/graphs", func(s *server) http.HandlerFunc { return s.handleRegisterGraph }},
+	{"GET", "/v1/graphs", func(s *server) http.HandlerFunc { return s.handleListGraphs }},
+	{"POST", "/v1/graphs/{name}/edges", func(s *server) http.HandlerFunc { return s.handleAppendEdges }},
+	{"POST", "/v1/metrics", func(s *server) http.HandlerFunc { return s.handleMetrics }},
+	{"POST", "/v1/advise", func(s *server) http.HandlerFunc { return s.handleAdvise }},
+	{"POST", "/v1/run", func(s *server) http.HandlerFunc { return s.handleRun }},
+	{"POST", "/v1/snapshot", func(s *server) http.HandlerFunc { return s.handleSnapshot }},
+	{"GET", "/v1/stats", func(s *server) http.HandlerFunc { return s.handleStats }},
+	{"GET", "/metrics", func(s *server) http.HandlerFunc { return s.handleMetricsScrape }},
+	{"GET", "/healthz", func(s *server) http.HandlerFunc { return s.handleHealthz }},
 }
 
 // newServer builds the daemon. With opts.dataDir set it warm-starts from
@@ -94,27 +144,74 @@ func newServer(opts serverOptions) (*server, error) {
 	if session == nil {
 		session = cutfit.NewSession(sopts)
 	}
+	logger := opts.logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	graphConcurrent := opts.graphConcurrent
+	if graphConcurrent == 0 {
+		graphConcurrent = 32
+	}
 	s := &server{
 		session: session,
 		dataDir: opts.dataDir,
-		graphs:  make(map[string]*graphEntry, len(restored)),
-		mux:     http.NewServeMux(),
+		logger:  logger,
+		limiter: obsv.NewLimiter(obsv.LimiterConfig{
+			MaxConcurrent: opts.maxConcurrent,
+			MaxQueue:      opts.maxQueue,
+			QueueTimeout:  opts.queueTimeout,
+		}),
+		graphLimit: obsv.LimiterConfig{
+			MaxConcurrent: graphConcurrent,
+			MaxQueue:      opts.maxQueue,
+			QueueTimeout:  opts.queueTimeout,
+		},
+		graphLims: make(map[string]*obsv.Limiter),
+		graphs:    make(map[string]*graphEntry, len(restored)),
+		mux:       http.NewServeMux(),
 	}
 	for name, g := range restored {
 		s.graphs[name] = &graphEntry{g: g, vertices: g.NumVertices(), edges: g.NumLiveEdges()}
 	}
-	s.mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
-	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
-	s.mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleAppendEdges)
-	s.mux.HandleFunc("POST /v1/metrics", s.handleMetrics)
-	s.mux.HandleFunc("POST /v1/advise", s.handleAdvise)
-	s.mux.HandleFunc("POST /v1/run", s.handleRun)
-	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	// Register the method-qualified routes, then a path-only fallback per
+	// path: the Go 1.22 mux prefers the more specific method patterns, so
+	// the fallback fires exactly for known-path/wrong-method requests and
+	// answers 405 with an Allow header instead of the mux's plain-text
+	// default.
+	byPath := make(map[string][]string)
+	for _, rt := range apiRoutes {
+		s.mux.HandleFunc(rt.method+" "+rt.path, rt.handler(s))
+		byPath[rt.path] = append(byPath[rt.path], rt.method)
+	}
+	for path, methods := range byPath {
+		s.mux.HandleFunc(path, methodNotAllowed(methods))
+	}
 	return s, nil
+}
+
+// methodNotAllowed answers a known path with an unregistered method:
+// 405, an Allow header listing what the path supports, and the uniform
+// JSON error body.
+func methodNotAllowed(allow []string) http.HandlerFunc {
+	sort.Strings(allow)
+	allowHeader := strings.Join(allow, ", ")
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allowHeader)
+		writeError(w, http.StatusMethodNotAllowed,
+			fmt.Errorf("method %s not allowed for %s (allow: %s)", r.Method, r.URL.Path, allowHeader))
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetricsScrape serves the live metric registry in the Prometheus
+// text exposition format: every store/engine/block-tier series plus the
+// HTTP and admission series the daemon itself maintains.
+func (s *server) handleMetricsScrape(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = cutfit.WriteMetrics(w)
 }
 
 // persist atomically writes the session snapshot (graph registry included)
@@ -185,11 +282,12 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
-
-// errorReply is the uniform error body.
+// errorReply is the uniform error body. Code is the stable
+// error-taxonomy slug (see codeForStatus in middleware.go); Error is
+// the human-readable detail.
 type errorReply struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -201,7 +299,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorReply{Error: err.Error()})
+	writeJSON(w, status, errorReply{Error: err.Error(), Code: codeForStatus(status)})
 }
 
 // maxRequestBytes caps request bodies: generous for inline edge lists
@@ -400,6 +498,11 @@ func (s *server) handleAppendEdges(w http.ResponseWriter, r *http.Request) {
 		batch, weights = parsed.Edges(), parsed.Weights()
 	}
 	name := r.PathValue("name")
+	releaseGraph, ok := s.admitGraph(w, r, name)
+	if !ok {
+		return
+	}
+	defer releaseGraph()
 	for {
 		e, err := s.lookup(name)
 		if err != nil {
@@ -469,6 +572,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	releaseGraph, ok := s.admitGraph(w, r, req.Graph)
+	if !ok {
+		return
+	}
+	defer releaseGraph()
 	strat, err := cutfit.StrategyByName(req.Strategy)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -501,6 +609,11 @@ func (s *server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	releaseGraph, ok := s.admitGraph(w, r, req.Graph)
+	if !ok {
+		return
+	}
+	defer releaseGraph()
 	profile, err := cutfit.ProfileFor(req.Algorithm)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -543,6 +656,11 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	releaseGraph, ok := s.admitGraph(w, r, req.Graph)
+	if !ok {
+		return
+	}
+	defer releaseGraph()
 	iters := 10
 	if req.Iters != nil {
 		iters = *req.Iters

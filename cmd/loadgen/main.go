@@ -1,0 +1,419 @@
+// Command loadgen drives a mixed workload against a running cutfitd and
+// reports a per-operation latency quantile table — the closing link of
+// the serving-hardening loop: push open-loop traffic at a target rate,
+// watch the daemon's /metrics series move, and read the latency
+// distribution the clients actually saw.
+//
+// Usage:
+//
+//	loadgen [-addr http://localhost:8080] [-rps 50] [-duration 30s]
+//	        [-mix run=4,metrics=3,advise=1,append=1,slide=1,register=1]
+//	        [-parts 8] [-iters 3] [-out report.txt] [-metrics-out metrics.prom]
+//
+// Arrivals are open-loop: one request is dispatched per 1/rps tick
+// regardless of how many are still in flight, so a slow daemon builds
+// queueing (and 429s under admission control) exactly as real traffic
+// would, instead of the closed-loop coordinated omission artifact.
+//
+// The op mix is weighted: each arrival picks an operation with
+// probability proportional to its weight. Operations target two graphs
+// the generator registers at startup — a stable one ("lg-main") serving
+// metrics/advise/run so the daemon's cache does its job, and a mutable
+// one ("lg-app") absorbing append/slide generation steps.
+//
+// Exit status is non-zero if any request got a 5xx or a transport
+// error, making the nightly loadgen-smoke job a pass/fail gate; 4xx
+// responses (including admission 429s) are reported but do not fail
+// the run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type config struct {
+	addr     string
+	rps      float64
+	duration time.Duration
+	mix      []opSpec
+	parts    int
+	iters    int
+	seed     int64
+	timeout  time.Duration
+}
+
+// opSpec is one operation with its mix weight.
+type opSpec struct {
+	name   string
+	weight int
+}
+
+var knownOps = map[string]bool{
+	"register": true, "metrics": true, "advise": true,
+	"run": true, "append": true, "slide": true,
+}
+
+// parseMix parses "run=4,metrics=3,..." into weighted ops.
+func parseMix(s string) ([]opSpec, error) {
+	var out []opSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix element %q: want op=weight", part)
+		}
+		if !knownOps[name] {
+			return nil, fmt.Errorf("mix element %q: unknown op (want register/metrics/advise/run/append/slide)", part)
+		}
+		w, err := strconv.Atoi(wstr)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix element %q: weight must be a non-negative integer", part)
+		}
+		if w > 0 {
+			out = append(out, opSpec{name, w})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mix selects no operations")
+	}
+	return out, nil
+}
+
+// pick returns the op for one arrival: weighted choice by r in [0,1).
+func pick(mix []opSpec, r float64) string {
+	total := 0
+	for _, op := range mix {
+		total += op.weight
+	}
+	n := int(r * float64(total))
+	for _, op := range mix {
+		if n < op.weight {
+			return op.name
+		}
+		n -= op.weight
+	}
+	return mix[len(mix)-1].name
+}
+
+// sample is one completed request.
+type sample struct {
+	op      string
+	status  int // 0 = transport error
+	elapsed time.Duration
+}
+
+// opStats aggregates one operation's samples.
+type opStats struct {
+	count, err4xx, err5xx, failed int
+	durations                     []time.Duration
+}
+
+// quantile returns the q-th (0..1) latency of a sorted sample set.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// report is the final accounting of a load run.
+type report struct {
+	byOp      map[string]*opStats
+	total     int
+	wallClock time.Duration
+}
+
+func (r *report) err5xx() int {
+	n := 0
+	for _, st := range r.byOp {
+		n += st.err5xx + st.failed
+	}
+	return n
+}
+
+// table renders the per-op quantile table.
+func (r *report) table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %7s %7s %7s %9s %9s %9s %9s\n",
+		"op", "count", "4xx", "5xx", "fail", "p50", "p90", "p99", "max")
+	names := make([]string, 0, len(r.byOp))
+	for name := range r.byOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := r.byOp[name]
+		sort.Slice(st.durations, func(i, j int) bool { return st.durations[i] < st.durations[j] })
+		var max time.Duration
+		if n := len(st.durations); n > 0 {
+			max = st.durations[n-1]
+		}
+		fmt.Fprintf(&b, "%-10s %8d %7d %7d %7d %9s %9s %9s %9s\n",
+			name, st.count, st.err4xx, st.err5xx, st.failed,
+			fmtDur(quantile(st.durations, 0.50)), fmtDur(quantile(st.durations, 0.90)),
+			fmtDur(quantile(st.durations, 0.99)), fmtDur(max))
+	}
+	achieved := float64(r.total) / r.wallClock.Seconds()
+	fmt.Fprintf(&b, "total %d requests in %s (%.1f req/s achieved)\n",
+		r.total, r.wallClock.Round(time.Millisecond), achieved)
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
+}
+
+// client issues the operations against the daemon.
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) post(path string, body any) (int, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// mainEdges is the stable serving graph: three joined triangles plus a
+// hub, enough structure for every strategy and algorithm to exercise
+// real code paths while staying millisecond-cheap.
+const mainEdges = "0 1\n1 2\n2 0\n2 3\n3 4\n4 5\n5 3\n5 6\n6 7\n7 8\n8 6\n0 6\n1 7\n"
+
+// randomBatch generates a small random edge batch for append/slide.
+func randomBatch(rng *rand.Rand) string {
+	var b strings.Builder
+	n := 4 + rng.Intn(8)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d %d\n", rng.Intn(64), rng.Intn(64))
+	}
+	return b.String()
+}
+
+// dispatch issues one operation and returns its sample.
+func dispatch(c *client, op string, cfg config, rng *rand.Rand) sample {
+	start := time.Now()
+	var status int
+	var err error
+	switch op {
+	case "register":
+		// Rotate over a few ephemeral names: re-registering the same name
+		// with new data exercises the invalidation path without wiping the
+		// stable graph's cache.
+		name := fmt.Sprintf("lg-reg-%d", rng.Intn(4))
+		status, err = c.post("/v1/graphs", map[string]any{"name": name, "edges": randomBatch(rng)})
+	case "metrics":
+		status, err = c.post("/v1/metrics", map[string]any{"graph": "lg-main", "strategy": "2D", "parts": cfg.parts})
+	case "advise":
+		status, err = c.post("/v1/advise", map[string]any{"graph": "lg-main", "alg": "pagerank", "parts": cfg.parts})
+	case "run":
+		status, err = c.post("/v1/run", map[string]any{
+			"graph": "lg-main", "alg": "pagerank", "strategy": "2D",
+			"parts": cfg.parts, "iters": cfg.iters,
+		})
+	case "append":
+		status, err = c.post("/v1/graphs/lg-app/edges", map[string]any{"edges": randomBatch(rng)})
+	case "slide":
+		batch := randomBatch(rng)
+		status, err = c.post("/v1/graphs/lg-app/edges", map[string]any{
+			"edges": batch, "expire_before": 1 + rng.Intn(4),
+		})
+	}
+	if err != nil {
+		return sample{op: op, status: 0, elapsed: time.Since(start)}
+	}
+	return sample{op: op, status: status, elapsed: time.Since(start)}
+}
+
+// setup registers the generator's graphs and waits for the daemon.
+func setup(c *client) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := c.http.Get(c.base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon at %s not healthy within 10s", c.base)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	for name, edges := range map[string]string{"lg-main": mainEdges, "lg-app": mainEdges} {
+		if status, err := c.post("/v1/graphs", map[string]any{"name": name, "edges": edges}); err != nil {
+			return fmt.Errorf("registering %s: %w", name, err)
+		} else if status != http.StatusOK {
+			return fmt.Errorf("registering %s: status %d", name, status)
+		}
+	}
+	return nil
+}
+
+// runLoad drives the open-loop arrival process and aggregates samples.
+func runLoad(cfg config) (*report, error) {
+	c := &client{base: strings.TrimRight(cfg.addr, "/"), http: &http.Client{Timeout: cfg.timeout}}
+	if err := setup(c); err != nil {
+		return nil, err
+	}
+
+	interval := time.Duration(float64(time.Second) / cfg.rps)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	samples := make(chan sample, 4096)
+	var wg sync.WaitGroup
+	var mixMu sync.Mutex
+	rng := rand.New(rand.NewSource(cfg.seed))
+
+	start := time.Now()
+	ticker := time.NewTicker(interval)
+	stop := time.After(cfg.duration)
+dispatchLoop:
+	for {
+		select {
+		case <-stop:
+			break dispatchLoop
+		case <-ticker.C:
+			mixMu.Lock()
+			op := pick(cfg.mix, rng.Float64())
+			seed := rng.Int63()
+			mixMu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				samples <- dispatch(c, op, cfg, rand.New(rand.NewSource(seed)))
+			}()
+		}
+	}
+	ticker.Stop()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	rep := &report{byOp: make(map[string]*opStats)}
+collectLoop:
+	for {
+		select {
+		case s := <-samples:
+			rep.record(s)
+		case <-done:
+			for {
+				select {
+				case s := <-samples:
+					rep.record(s)
+				default:
+					break collectLoop
+				}
+			}
+		}
+	}
+	rep.wallClock = time.Since(start)
+	return rep, nil
+}
+
+func (r *report) record(s sample) {
+	st := r.byOp[s.op]
+	if st == nil {
+		st = &opStats{}
+		r.byOp[s.op] = st
+	}
+	st.count++
+	r.total++
+	switch {
+	case s.status == 0:
+		st.failed++
+	case s.status >= 500:
+		st.err5xx++
+	case s.status >= 400:
+		st.err4xx++
+	}
+	st.durations = append(st.durations, s.elapsed)
+}
+
+// scrapeMetrics saves the daemon's /metrics exposition to path.
+func scrapeMetrics(c *client, path string) error {
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, body, 0o644)
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "cutfitd base URL")
+	rps := flag.Float64("rps", 50, "target arrival rate, requests per second (open loop)")
+	duration := flag.Duration("duration", 30*time.Second, "how long to generate load")
+	mixFlag := flag.String("mix", "run=4,metrics=3,advise=1,append=1,slide=1,register=1", "weighted operation mix")
+	parts := flag.Int("parts", 8, "partition count used by metrics/advise/run requests")
+	iters := flag.Int("iters", 3, "iterations per run request")
+	seed := flag.Int64("seed", 1, "RNG seed for the op sequence and edge batches")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	out := flag.String("out", "", "also write the quantile table to this file")
+	metricsOut := flag.String("metrics-out", "", "scrape /metrics after the run into this file")
+	flag.Parse()
+
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	cfg := config{
+		addr: *addr, rps: *rps, duration: *duration, mix: mix,
+		parts: *parts, iters: *iters, seed: *seed, timeout: *timeout,
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	table := rep.table()
+	fmt.Print(table)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(table), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: writing report:", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		c := &client{base: strings.TrimRight(cfg.addr, "/"), http: &http.Client{Timeout: cfg.timeout}}
+		if err := scrapeMetrics(c, *metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: scraping metrics:", err)
+			os.Exit(1)
+		}
+	}
+	if n := rep.err5xx(); n > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d requests got a 5xx or transport error\n", n)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("run=4, metrics=3,advise=0,slide=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// advise=0 is dropped; the rest keep their weights in order.
+	want := []opSpec{{"run", 4}, {"metrics", 3}, {"slide", 1}}
+	if len(mix) != len(want) {
+		t.Fatalf("mix = %v, want %v", mix, want)
+	}
+	for i := range want {
+		if mix[i] != want[i] {
+			t.Fatalf("mix[%d] = %v, want %v", i, mix[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "run", "run=-1", "run=x", "teleport=1", "run=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPickRespectsWeights(t *testing.T) {
+	mix := []opSpec{{"a", 1}, {"b", 3}}
+	if got := pick(mix, 0.0); got != "a" {
+		t.Errorf("pick(0.0) = %q, want a", got)
+	}
+	if got := pick(mix, 0.99); got != "b" {
+		t.Errorf("pick(0.99) = %q, want b", got)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		counts[pick(mix, float64(i)/1000)]++
+	}
+	if counts["a"] == 0 || counts["b"] < counts["a"] {
+		t.Errorf("weighted pick distribution off: %v", counts)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(sorted, 0.50); q != 5 {
+		t.Errorf("p50 = %d, want 5", q)
+	}
+	if q := quantile(sorted, 0.99); q != 9 {
+		t.Errorf("p99 of 10 samples = %d, want 9", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %d, want 0", q)
+	}
+}
+
+// stubDaemon mimics just enough of cutfitd for an end-to-end loadgen
+// run: health, graph registration and the op endpoints, counting what
+// arrives.
+func stubDaemon(fail5xx bool) (*httptest.Server, *atomic.Int64) {
+	var requests atomic.Int64
+	mux := http.NewServeMux()
+	ok := func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		if fail5xx {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"ok": true})
+	}
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/graphs", ok)
+	mux.HandleFunc("POST /v1/graphs/{name}/edges", ok)
+	mux.HandleFunc("POST /v1/metrics", ok)
+	mux.HandleFunc("POST /v1/advise", ok)
+	mux.HandleFunc("POST /v1/run", ok)
+	return httptest.NewServer(mux), &requests
+}
+
+func TestRunLoadAgainstStub(t *testing.T) {
+	ts, requests := stubDaemon(false)
+	defer ts.Close()
+	mix, err := parseMix("run=2,metrics=2,append=1,slide=1,register=1,advise=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runLoad(config{
+		addr: ts.URL, rps: 200, duration: 300 * time.Millisecond,
+		mix: mix, parts: 4, iters: 2, seed: 7, timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.total == 0 {
+		t.Fatal("no requests dispatched")
+	}
+	if got := rep.err5xx(); got != 0 {
+		t.Fatalf("err5xx = %d, want 0", got)
+	}
+	if requests.Load() == 0 {
+		t.Fatal("stub saw no traffic")
+	}
+	table := rep.table()
+	for _, want := range []string{"op", "p50", "p99", "req/s achieved"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestRunLoadCounts5xx(t *testing.T) {
+	ts, _ := stubDaemon(true)
+	defer ts.Close()
+	mix, _ := parseMix("metrics=1")
+	rep, err := runLoad(config{
+		addr: ts.URL, rps: 100, duration: 200 * time.Millisecond,
+		mix: mix, parts: 4, iters: 1, seed: 1, timeout: 5 * time.Second,
+	})
+	if err == nil {
+		// Setup registers graphs against the failing stub, which already
+		// returns 500 — runLoad is expected to fail during setup.
+		if rep.err5xx() == 0 {
+			t.Fatal("5xx responses not counted")
+		}
+	}
+}

@@ -123,6 +123,27 @@
 // See ExampleSession_AppendEdges and ExampleSession_RemoveEdges for the
 // full loops.
 //
+// # Observability
+//
+// The serving layers publish live metric series — store hit/miss/
+// eviction counters and tier sizes, per-superstep engine latency and
+// active-edge histograms, scratch-pool effectiveness, block-tier cache
+// traffic — through a process-wide registry. WriteMetrics renders all
+// of them in the Prometheus text exposition format and MetricNames
+// lists the registered families:
+//
+//	var buf bytes.Buffer
+//	_ = cutfit.WriteMetrics(&buf) // Prometheus text format 0.0.4
+//
+// Counters are monotone across calls and each series is rendered from a
+// consistent snapshot, so the output is directly scrapeable. The
+// cmd/cutfitd daemon serves it under GET /metrics, adds per-endpoint
+// request/latency/error series on top, and applies admission control —
+// a global and per-graph concurrency limiter with a bounded wait queue
+// whose depth and wait time are themselves exported series (429 +
+// Retry-After past the deadline). See ExampleMetricNames and
+// docs/OPERATIONS.md for the full catalog.
+//
 // # Persistence
 //
 // A Session's amortized measurement cost survives restarts. Snapshot

@@ -151,7 +151,10 @@ func (bs *BlockStore) BlockPayload(b int) (enc, wenc []byte, err error) {
 // degree, or fingerprint pass.
 type payloadScratch struct{ enc, wenc []byte }
 
-var payloadScratchPool = sync.Pool{New: func() any { return new(payloadScratch) }}
+var payloadScratchPool = sync.Pool{New: func() any {
+	mScratchAllocs.Inc()
+	return new(payloadScratch)
+}}
 
 // readPayload returns block b's encoded payloads, reading file-backed
 // blocks into sc's buffers (grown as needed) and CRC-checking them. Heap
@@ -211,7 +214,7 @@ func (bs *BlockStore) onesSlice(n int) []float64 {
 // hot parallel consumers (the partitioned-graph scatter pass) decode into
 // per-worker scratch through here and never touch the LRU.
 func (bs *BlockStore) DecodeBlockInto(b int, edges []Edge, weights []float64) ([]Edge, []float64, error) {
-	sc := payloadScratchPool.Get().(*payloadScratch)
+	sc := getPayloadScratch()
 	defer payloadScratchPool.Put(sc)
 	enc, wenc, err := bs.readPayload(b, sc)
 	if err != nil {
@@ -250,7 +253,7 @@ func (bs *BlockStore) DecodeBlockEdges(b int, edges []Edge) ([]Edge, error) {
 	r := &bs.refs[b]
 	enc := r.enc
 	if enc == nil {
-		sc := payloadScratchPool.Get().(*payloadScratch)
+		sc := getPayloadScratch()
 		defer payloadScratchPool.Put(sc)
 		if cap(sc.enc) < int(r.encLen) {
 			sc.enc = make([]byte, r.encLen)
@@ -287,9 +290,11 @@ func (bs *BlockStore) block(b int) (*decodedBlock, error) {
 			}
 		}
 		bs.mu.Unlock()
+		mBlockCacheHits.Inc()
 		return d, nil
 	}
 	bs.mu.Unlock()
+	mBlockCacheMisses.Inc()
 
 	es, ws, err := bs.DecodeBlockInto(b, nil, nil)
 	if err != nil {

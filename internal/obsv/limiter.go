@@ -1,0 +1,171 @@
+// Admission control: a concurrency limiter with a bounded wait queue.
+//
+// The limiter is the serving tier's backpressure primitive. A request
+// either acquires a slot immediately, waits in a bounded queue until a
+// slot frees or its deadline passes, or is rejected outright when the
+// queue itself is full. The three outcomes map onto HTTP as
+// 2xx (admitted), 429 after queueing (deadline) and 429 immediately
+// (queue full) — both rejections carry Retry-After.
+//
+// State machine, per request:
+//
+//	            TryAcquire ok
+//	  arrive ───────────────────────────────► admitted ──► release
+//	     │
+//	     │ slots full, queue has room
+//	     ▼
+//	  queued ── slot freed before deadline ──► admitted ──► release
+//	     │
+//	     │ deadline / ctx canceled
+//	     ▼
+//	  rejected (ErrQueueTimeout)
+//
+//	  arrive, slots full, queue full ──► rejected (ErrOverCapacity)
+//
+// Fairness: waiters block sending on a buffered channel; the Go runtime
+// wakes blocked senders in FIFO order, so admission is FIFO-ish — the
+// oldest waiter is preferred but a fresh arrival can slip in between a
+// release and the wakeup. The race suite asserts the bound strictly and
+// fairness statistically.
+
+package obsv
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverCapacity is returned when both the concurrency slots and the
+// wait queue are full: the caller should be rejected immediately.
+var ErrOverCapacity = errors.New("obsv: limiter over capacity")
+
+// ErrQueueTimeout is returned when a queued request's deadline passed
+// before a slot freed.
+var ErrQueueTimeout = errors.New("obsv: limiter queue timeout")
+
+// LimiterConfig sizes a Limiter. Zero values select the documented
+// defaults, so a zero LimiterConfig is usable.
+type LimiterConfig struct {
+	// MaxConcurrent is the number of requests allowed in flight at
+	// once. Default 64. Negative disables limiting entirely.
+	MaxConcurrent int
+	// MaxQueue bounds how many over-limit requests may wait for a
+	// slot. Default 256. Zero after defaulting is honored: set -1 to
+	// mean "no queue, reject immediately when slots are full".
+	MaxQueue int
+	// QueueTimeout is how long a queued request waits before 429.
+	// Default 2s.
+	QueueTimeout time.Duration
+}
+
+func (c LimiterConfig) withDefaults() LimiterConfig {
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 64
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 256
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Limiter bounds concurrent admissions with a bounded FIFO-ish wait
+// queue. The zero Limiter is not usable; construct with NewLimiter.
+type Limiter struct {
+	cfg     LimiterConfig
+	slots   chan struct{} // buffered; len == in-flight
+	waiters atomic.Int64  // queued request count
+}
+
+// NewLimiter builds a limiter from cfg (zero fields take defaults).
+// A nil *Limiter admits everything, so callers can leave limiting off
+// by just not constructing one.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	cfg = cfg.withDefaults()
+	if cfg.MaxConcurrent < 0 {
+		return nil
+	}
+	return &Limiter{cfg: cfg, slots: make(chan struct{}, cfg.MaxConcurrent)}
+}
+
+// TryAcquire claims a slot without waiting. It returns a release
+// function on success and nil when the limiter is at capacity.
+func (l *Limiter) TryAcquire() func() {
+	if l == nil {
+		return func() {}
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return func() { <-l.slots }
+	default:
+		return nil
+	}
+}
+
+// Acquire claims a slot, queueing up to the configured timeout (bounded
+// further by ctx). It returns the release function, how long the
+// request waited, and ErrOverCapacity / ErrQueueTimeout on rejection.
+// The caller must invoke release exactly once after the work completes.
+func (l *Limiter) Acquire(ctx context.Context) (release func(), waited time.Duration, err error) {
+	if l == nil {
+		return func() {}, 0, nil
+	}
+	// Fast path: a free slot means no queueing and no timer.
+	select {
+	case l.slots <- struct{}{}:
+		return func() { <-l.slots }, 0, nil
+	default:
+	}
+	// Slots full: join the bounded queue, or reject if it is full too.
+	if n := l.waiters.Add(1); n > int64(l.cfg.MaxQueue) {
+		l.waiters.Add(-1)
+		return nil, 0, ErrOverCapacity
+	}
+	defer l.waiters.Add(-1)
+	start := time.Now()
+	timer := time.NewTimer(l.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		return func() { <-l.slots }, time.Since(start), nil
+	case <-timer.C:
+		return nil, time.Since(start), ErrQueueTimeout
+	case <-ctx.Done():
+		return nil, time.Since(start), ErrQueueTimeout
+	}
+}
+
+// InFlight reports how many admissions are currently outstanding.
+func (l *Limiter) InFlight() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.slots)
+}
+
+// QueueDepth reports how many requests are waiting for a slot.
+func (l *Limiter) QueueDepth() int {
+	if l == nil {
+		return 0
+	}
+	return int(l.waiters.Load())
+}
+
+// RetryAfter suggests a Retry-After duration for a rejected request:
+// the configured queue timeout, floored at one second.
+func (l *Limiter) RetryAfter() time.Duration {
+	if l == nil {
+		return time.Second
+	}
+	if l.cfg.QueueTimeout < time.Second {
+		return time.Second
+	}
+	return l.cfg.QueueTimeout
+}

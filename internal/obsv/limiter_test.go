@@ -1,0 +1,228 @@
+package obsv
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLimiterTryAcquireBound(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 2, MaxQueue: -1})
+	r1 := l.TryAcquire()
+	r2 := l.TryAcquire()
+	if r1 == nil || r2 == nil {
+		t.Fatal("first two acquires should succeed")
+	}
+	if l.TryAcquire() != nil {
+		t.Fatal("third acquire should fail at MaxConcurrent=2")
+	}
+	if got := l.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	r1()
+	if l.TryAcquire() == nil {
+		t.Fatal("acquire after release should succeed")
+	}
+	r2()
+}
+
+func TestLimiterRejectsWhenQueueFull(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 1, MaxQueue: -1, QueueTimeout: time.Second})
+	release := l.TryAcquire()
+	if release == nil {
+		t.Fatal("seed acquire failed")
+	}
+	defer release()
+	_, _, err := l.Acquire(context.Background())
+	if !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("err = %v, want ErrOverCapacity", err)
+	}
+}
+
+func TestLimiterQueueTimeout(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 1, MaxQueue: 4, QueueTimeout: 20 * time.Millisecond})
+	release := l.TryAcquire()
+	defer release()
+	start := time.Now()
+	_, waited, err := l.Acquire(context.Background())
+	if !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("err = %v, want ErrQueueTimeout", err)
+	}
+	if waited < 10*time.Millisecond {
+		t.Fatalf("waited = %v, expected to sit in queue ~20ms", waited)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, far over the configured 20ms", elapsed)
+	}
+}
+
+func TestLimiterContextCancel(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 1, MaxQueue: 4, QueueTimeout: time.Minute})
+	release := l.TryAcquire()
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	_, _, err := l.Acquire(ctx)
+	if !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("err = %v, want ErrQueueTimeout on ctx cancel", err)
+	}
+}
+
+func TestNilLimiterAdmitsEverything(t *testing.T) {
+	var l *Limiter
+	release, waited, err := l.Acquire(context.Background())
+	if err != nil || waited != 0 {
+		t.Fatalf("nil limiter Acquire = (%v, %v)", waited, err)
+	}
+	release()
+	if l.TryAcquire() == nil {
+		t.Fatal("nil limiter TryAcquire should succeed")
+	}
+	if l.InFlight() != 0 || l.QueueDepth() != 0 {
+		t.Fatal("nil limiter should report zero load")
+	}
+	l = NewLimiter(LimiterConfig{MaxConcurrent: -1})
+	if l != nil {
+		t.Fatal("MaxConcurrent<0 should construct a nil (unlimited) limiter")
+	}
+}
+
+// TestLimiterRaceBoundedInFlight is the core race-suite assertion: K
+// goroutines heavily over-subscribe the limiter and the observed
+// in-flight count never exceeds MaxConcurrent.
+func TestLimiterRaceBoundedInFlight(t *testing.T) {
+	const maxC = 4
+	const goroutines = 32
+	const perG = 200
+	l := NewLimiter(LimiterConfig{MaxConcurrent: maxC, MaxQueue: goroutines, QueueTimeout: 5 * time.Second})
+
+	var inFlight, peak atomic.Int64
+	var admitted, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				release, _, err := l.Acquire(context.Background())
+				if err != nil {
+					rejected.Add(1)
+					continue
+				}
+				n := inFlight.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				if n > maxC {
+					t.Errorf("in-flight %d exceeds bound %d", n, maxC)
+				}
+				admitted.Add(1)
+				inFlight.Add(-1)
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted.Load() == 0 {
+		t.Fatal("no work admitted")
+	}
+	if got := peak.Load(); got > maxC {
+		t.Fatalf("peak in-flight %d exceeds bound %d", got, maxC)
+	}
+	if l.InFlight() != 0 || l.QueueDepth() != 0 {
+		t.Fatalf("limiter not drained: inflight=%d queue=%d", l.InFlight(), l.QueueDepth())
+	}
+	t.Logf("admitted=%d rejected=%d peak=%d", admitted.Load(), rejected.Load(), peak.Load())
+}
+
+// TestLimiterFIFOIshFairness: with one slot and a queue of waiters that
+// arrive in a known order, admissions should be close to arrival order.
+// The runtime wakes blocked channel senders FIFO, so we assert a strong
+// statistical bound (no waiter jumped by more than a small window)
+// rather than exact ordering.
+func TestLimiterFIFOIshFairness(t *testing.T) {
+	const waiters = 16
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 1, MaxQueue: waiters, QueueTimeout: 10 * time.Second})
+	hold := l.TryAcquire()
+	if hold == nil {
+		t.Fatal("seed acquire failed")
+	}
+
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	started := make(chan struct{}, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			release, _, err := l.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("waiter %d rejected: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			release()
+		}(i)
+		// Serialize arrival: wait for the goroutine to have launched and
+		// give it a beat to block on the slot channel before the next
+		// arrival, so queue order tracks index order.
+		<-started
+		time.Sleep(2 * time.Millisecond)
+	}
+	hold()
+	wg.Wait()
+
+	if len(order) != waiters {
+		t.Fatalf("admitted %d of %d waiters", len(order), waiters)
+	}
+	// FIFO-ish: mean displacement from arrival order stays small.
+	total := 0
+	for pos, id := range order {
+		d := pos - id
+		if d < 0 {
+			d = -d
+		}
+		total += d
+	}
+	if mean := float64(total) / waiters; mean > 3 {
+		t.Fatalf("mean displacement %.1f too large for FIFO-ish admission: %v", mean, order)
+	}
+}
+
+// TestLimiterDeadline429Path mirrors the server behavior: saturate,
+// queue a request past its deadline, and confirm the rejection the
+// handler will map to 429 + Retry-After.
+func TestLimiterDeadline429Path(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 1, MaxQueue: 8, QueueTimeout: 15 * time.Millisecond})
+	hold := l.TryAcquire()
+	defer hold()
+
+	var timedOut atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := l.Acquire(context.Background()); errors.Is(err, ErrQueueTimeout) {
+				timedOut.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := timedOut.Load(); got != 8 {
+		t.Fatalf("timed out = %d, want all 8 while the slot is held", got)
+	}
+	if l.RetryAfter() < time.Second {
+		t.Fatalf("RetryAfter = %v, want ≥ 1s", l.RetryAfter())
+	}
+}

@@ -1,0 +1,236 @@
+package obsv
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_same", "h")
+	b := r.Counter("test_same", "h")
+	if a != b {
+		t.Fatal("same-name registration returned distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different type should panic")
+		}
+	}()
+	r.Gauge("test_same", "h")
+}
+
+func TestVecLabelMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_labeled", "h", "endpoint", "code")
+	v.With("/v1/run", "200").Inc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label-value count should panic")
+		}
+	}()
+	v.With("/v1/run")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.05+0.5+5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	// Values at a bound land in that bound's bucket (le is inclusive).
+	for _, want := range []string{
+		`test_lat_seconds_bucket{le="0.01"} 2`,
+		`test_lat_seconds_bucket{le="0.1"} 3`,
+		`test_lat_seconds_bucket{le="1"} 4`,
+		`test_lat_seconds_bucket{le="+Inf"} 5`,
+		`test_lat_seconds_count 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_a_total", "a counter").Add(3)
+	r.GaugeFunc("test_fn", "derived", func() float64 { return 1.5 })
+	r.CounterVec("test_codes_total", "by code", "code").With("429").Inc()
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"# HELP test_a_total a counter\n# TYPE test_a_total counter\ntest_a_total 3\n",
+		"# TYPE test_fn gauge\ntest_fn 1.5\n",
+		"test_codes_total{code=\"429\"} 1\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	names := r.Names()
+	if len(names) != 3 || names[0] != "test_a_total" {
+		t.Fatalf("Names() = %v", names)
+	}
+}
+
+// TestConcurrentMutationExposition is the /metrics race suite at the
+// registry level: writers hammer every metric kind while readers render
+// the exposition, asserting it always parses and counters never move
+// backwards between scrapes.
+func TestConcurrentMutationExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_mono_total", "monotone")
+	g := r.Gauge("test_flap", "flapping")
+	h := r.Histogram("test_dist_seconds", "dist", []float64{0.001, 0.01, 0.1})
+	vec := r.CounterVec("test_by_code_total", "by code", "code")
+
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%100) / 1000)
+				vec.With(strconv.Itoa(200 + w%3)).Inc()
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	var lastMono, lastHistCount int64
+	scrapes := 0
+	for {
+		var out strings.Builder
+		if err := r.WritePrometheus(&out); err != nil {
+			t.Fatalf("scrape %d: %v", scrapes, err)
+		}
+		mono, histCount := parseScrape(t, out.String())
+		if mono < lastMono {
+			t.Fatalf("counter went backwards: %d -> %d", lastMono, mono)
+		}
+		if histCount < lastHistCount {
+			t.Fatalf("histogram count went backwards: %d -> %d", lastHistCount, histCount)
+		}
+		lastMono, lastHistCount = mono, histCount
+		scrapes++
+		select {
+		case <-done:
+			var out strings.Builder
+			if err := r.WritePrometheus(&out); err != nil {
+				t.Fatal(err)
+			}
+			mono, histCount := parseScrape(t, out.String())
+			if want := int64(writers * perWriter); mono != want {
+				t.Fatalf("final counter = %d, want %d", mono, want)
+			}
+			if want := int64(writers * perWriter); histCount != want {
+				t.Fatalf("final histogram count = %d, want %d", histCount, want)
+			}
+			if g.Value() != 0 {
+				t.Fatalf("final gauge = %d, want 0", g.Value())
+			}
+			return
+		default:
+		}
+	}
+}
+
+// parseScrape strictly parses an exposition: every non-comment line must
+// be `name[{labels}] value`, histogram buckets must be cumulative, and
+// the +Inf bucket must equal _count. Returns the monotone counter value
+// and the histogram count.
+func parseScrape(t *testing.T, text string) (mono, histCount int64) {
+	t.Helper()
+	var lastBucket int64 = -1
+	var infBucket int64
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("unparseable line %q", line)
+		}
+		name, valStr := line[:idx], line[idx+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("bad value in line %q: %v", line, err)
+		}
+		switch {
+		case name == "test_mono_total":
+			mono = int64(val)
+		case name == "test_dist_seconds_count":
+			histCount = int64(val)
+			if histCount != infBucket {
+				t.Fatalf("_count %d != +Inf bucket %d", histCount, infBucket)
+			}
+		case strings.HasPrefix(name, "test_dist_seconds_bucket"):
+			if int64(val) < lastBucket {
+				t.Fatalf("non-cumulative buckets: %d after %d", int64(val), lastBucket)
+			}
+			lastBucket = int64(val)
+			if strings.Contains(name, `le="+Inf"`) {
+				infBucket = int64(val)
+				lastBucket = -1
+			}
+		}
+	}
+	return mono, histCount
+}
+
+func TestGaugeFuncScrapedLive(t *testing.T) {
+	r := NewRegistry()
+	n := 0
+	r.GaugeFunc("test_live", "live", func() float64 { n++; return float64(n) })
+	for want := 1; want <= 2; want++ {
+		var out strings.Builder
+		if err := r.WritePrometheus(&out); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), fmt.Sprintf("test_live %d\n", want)) {
+			t.Fatalf("scrape %d: gauge func not re-evaluated:\n%s", want, out.String())
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"time"
 
 	"cutfit/internal/graph"
 )
@@ -290,9 +291,11 @@ func scratchFor[V, M any](pg *PartitionedGraph, shards int) *engineScratch[V, M]
 	if pg.ReuseBuffers {
 		if s, ok := pg.takeScratch(scratchKey[V, M]()).(*engineScratch[V, M]); ok {
 			s.reset(pg.NumParts, shards)
+			mScratchReused.Inc()
 			return s
 		}
 	}
+	mScratchAllocated.Inc()
 	return newEngineScratch[V, M](pg, shards)
 }
 
@@ -383,6 +386,7 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 		if err := ctx.Err(); err != nil {
 			return nil, nil, fmt.Errorf("pregel: superstep %d: %w", step, err)
 		}
+		stepStart := time.Now()
 		ss := SuperstepStats{
 			Superstep:      step,
 			ActiveVertices: activeCount,
@@ -708,6 +712,8 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 		}
 		ss.ApplyPerShard = append([]float64(nil), applyPerShard...)
 
+		hSuperstepSeconds.Observe(time.Since(stepStart).Seconds())
+		hActiveEdges.Observe(float64(ss.ActiveEdges))
 		stats.Supersteps = append(stats.Supersteps, ss)
 		if prog.OnSuperstep != nil {
 			switch err := prog.OnSuperstep(&stats.Supersteps[len(stats.Supersteps)-1]); {

@@ -41,6 +41,11 @@ type diskTier struct {
 	entries map[string]int64 // filename -> size
 	order   []string         // eviction order, oldest first
 	bytes   int64
+
+	// repEntries and repBytes mirror the Store fields of the same name:
+	// last values published to the process-wide disk-tier gauges.
+	repEntries int64
+	repBytes   int64
 }
 
 // newDiskTier opens (creating if needed) a disk tier rooted at dir and
@@ -89,6 +94,9 @@ func newDiskTier(dir string, max int64) (*diskTier, error) {
 		dt.order = append(dt.order, f.name)
 		dt.bytes += f.size
 	}
+	dt.mu.Lock()
+	dt.syncGauges()
+	dt.mu.Unlock()
 	return dt, nil
 }
 
@@ -130,6 +138,7 @@ func (dt *diskTier) put(name string, data []byte) error {
 	}
 	dt.mu.Lock()
 	defer dt.mu.Unlock()
+	defer dt.syncGauges()
 	if old, ok := dt.entries[name]; ok {
 		dt.bytes -= old
 	} else {
@@ -172,6 +181,7 @@ func (dt *diskTier) get(name string) ([]byte, bool) {
 		dt.entries[name] = int64(len(data))
 		dt.order = append(dt.order, name)
 		dt.bytes += int64(len(data))
+		dt.syncGauges()
 	}
 	dt.mu.Unlock()
 	return data, true
@@ -191,6 +201,7 @@ func (dt *diskTier) remove(name string) {
 				break
 			}
 		}
+		dt.syncGauges()
 	}
 	dt.mu.Unlock()
 }
@@ -203,6 +214,7 @@ func (dt *diskTier) removeGraph(fp uint64) {
 	dirents, err := os.ReadDir(dt.dir)
 	dt.mu.Lock()
 	defer dt.mu.Unlock()
+	defer dt.syncGauges()
 	drop := func(name string) {
 		os.Remove(filepath.Join(dt.dir, name))
 		if size, ok := dt.entries[name]; ok {
@@ -331,6 +343,7 @@ func (st *Store) fromDisk(g *graph.Graph, strategyKey string, numParts int, kd k
 	st.mu.Lock()
 	st.diskHits++
 	st.mu.Unlock()
+	mDiskHits.Inc()
 	return val, cost, true
 }
 

@@ -1,0 +1,51 @@
+package store
+
+import "cutfit/internal/obsv"
+
+// Live metric series for the artifact store, registered on the default
+// registry at package init so every family appears in an exposition
+// from process boot. The series are process-wide aggregates: every
+// Store in the process increments the same counters, and the tier
+// gauges sum entry counts and bytes across all instances. The one-shot
+// Stats() snapshot remains per-Store; these series are the streaming
+// view a scraper rates over.
+var (
+	mHits = obsv.Default.Counter("cutfit_store_hits_total",
+		"Artifact cache hits (assignment, metrics and topology lookups served from memory).")
+	mMisses = obsv.Default.Counter("cutfit_store_misses_total",
+		"Artifact cache misses that started a computation.")
+	mWaits = obsv.Default.Counter("cutfit_store_singleflight_waits_total",
+		"Lookups that blocked on an identical in-flight computation instead of duplicating it.")
+	mDerived = obsv.Default.Counter("cutfit_store_delta_derived_total",
+		"Artifacts derived incrementally from a cached ancestor via a recorded delta instead of a full recompute.")
+	mEvicted = obsv.Default.Counter("cutfit_store_evictions_total",
+		"Entries evicted from the memory tier (budget pressure or graph invalidation).")
+	mDiskHits = obsv.Default.Counter("cutfit_store_disk_hits_total",
+		"Misses satisfied by decoding a spilled artifact from the disk tier.")
+	gEntries = obsv.Default.Gauge("cutfit_store_entries",
+		"Artifacts currently resident in the memory tier, summed across stores.")
+	gBytes = obsv.Default.Gauge("cutfit_store_bytes",
+		"Approximate retained bytes of the memory tier, summed across stores.")
+	gDiskEntries = obsv.Default.Gauge("cutfit_store_disk_entries",
+		"Snapshot files currently held by the disk tier, summed across stores.")
+	gDiskBytes = obsv.Default.Gauge("cutfit_store_disk_bytes",
+		"Bytes currently held by the disk tier, summed across stores.")
+)
+
+// syncGauges publishes the memory tier's entry count and byte total as
+// deltas against the last published values, so multiple Stores compose
+// into one process-wide gauge. Callers must hold st.mu; every locked
+// region that mutates st.entries or st.bytes ends with this.
+func (st *Store) syncGauges() {
+	gEntries.Add(int64(len(st.entries)) - st.repEntries)
+	gBytes.Add(st.bytes - st.repBytes)
+	st.repEntries, st.repBytes = int64(len(st.entries)), st.bytes
+}
+
+// syncGauges is the disk-tier twin of (*Store).syncGauges. Callers must
+// hold dt.mu.
+func (dt *diskTier) syncGauges() {
+	gDiskEntries.Add(int64(len(dt.entries)) - dt.repEntries)
+	gDiskBytes.Add(dt.bytes - dt.repBytes)
+	dt.repEntries, dt.repBytes = int64(len(dt.entries)), dt.bytes
+}

@@ -223,6 +223,7 @@ func (st *Store) Restore(r io.Reader) (map[string]*graph.Graph, error) {
 		k := key{g: g, version: g.Version(), strategy: rec.StrategyKey, numParts: rec.NumParts, kind: kd}
 		st.mu.Lock()
 		evicted := st.insert(k, val, cost)
+		st.syncGauges()
 		st.mu.Unlock()
 		st.spill(evicted)
 	}

@@ -166,6 +166,12 @@ type Store struct {
 	derived  int64
 	diskHits int64
 
+	// repEntries and repBytes are the last values this store published
+	// to the process-wide obsv gauges; syncGauges reconciles against
+	// them (see obsv.go).
+	repEntries int64
+	repBytes   int64
+
 	// deltas records append relationships between graph generations, keyed
 	// by the new generation; deltaFIFO orders them for eviction. Each
 	// record pins its parent generation's Graph (edge list + vertex list),
@@ -386,6 +392,7 @@ func (st *Store) countDerived() {
 	st.mu.Lock()
 	st.derived++
 	st.mu.Unlock()
+	mDerived.Inc()
 }
 
 // extendable reports whether s can assign an edge suffix without
@@ -439,6 +446,7 @@ func (st *Store) refreshCost(k key, cost int64) {
 			evicted = st.evictOverBudget()
 		}
 	}
+	st.syncGauges()
 	st.mu.Unlock()
 	st.spill(evicted)
 }
@@ -508,12 +516,14 @@ func (st *Store) InvalidateGraph(g *graph.Graph) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	defer st.syncGauges()
 	for k, e := range st.entries {
 		if k.g == g {
 			st.lru.Remove(e.elem)
 			delete(st.entries, k)
 			st.bytes -= e.cost
 			st.evicted++
+			mEvicted.Inc()
 		}
 	}
 	kept := st.deltaFIFO[:0]
@@ -571,11 +581,13 @@ func (st *Store) do(k key, build func() (val any, cost int64, err error)) (any, 
 		st.hits++
 		v := e.val
 		st.mu.Unlock()
+		mHits.Inc()
 		return v, nil
 	}
 	if f, ok := st.inflight[k]; ok {
 		st.waits++
 		st.mu.Unlock()
+		mWaits.Inc()
 		<-f.done
 		return f.val, f.err
 	}
@@ -583,6 +595,7 @@ func (st *Store) do(k key, build func() (val any, cost int64, err error)) (any, 
 	st.inflight[k] = f
 	st.misses++
 	st.mu.Unlock()
+	mMisses.Inc()
 
 	v, cost, err := build()
 	f.val, f.err = v, err
@@ -592,6 +605,7 @@ func (st *Store) do(k key, build func() (val any, cost int64, err error)) (any, 
 	var evicted []*entry
 	if err == nil {
 		evicted = st.insert(k, v, cost)
+		st.syncGauges()
 	}
 	st.mu.Unlock()
 	close(f.done)
@@ -638,6 +652,7 @@ func (st *Store) evictOverBudget() []*entry {
 		delete(st.entries, e.key)
 		st.bytes -= e.cost
 		st.evicted++
+		mEvicted.Inc()
 		evicted = append(evicted, e)
 	}
 	return evicted

@@ -1,0 +1,24 @@
+package cutfit
+
+import (
+	"io"
+
+	"cutfit/internal/obsv"
+)
+
+// WriteMetrics renders every live metric series of the process — the
+// store, engine and block-tier instrumentation plus anything cutfitd
+// adds — in the Prometheus text exposition format. The snapshot is
+// consistent per series and counters are monotone across calls, so the
+// output can be scraped directly; cmd/cutfitd serves exactly this under
+// GET /metrics.
+func WriteMetrics(w io.Writer) error {
+	return obsv.Default.WritePrometheus(w)
+}
+
+// MetricNames returns the names of every registered metric family,
+// sorted. The docs/OPERATIONS.md metrics catalog is tested against this
+// list, so it is also the authoritative inventory for dashboards.
+func MetricNames() []string {
+	return obsv.Default.Names()
+}
