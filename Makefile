@@ -15,7 +15,7 @@ BENCH ?= BenchmarkSelectEmpirically|BenchmarkMeasureThenRun|BenchmarkPartitionBu
 BENCH_COUNT ?= 10
 BENCH_OUT ?= bench.txt
 
-.PHONY: all build test vet lint race bench bench-smoke bench-compare bench-scale bench-scale-xl scalebench loadgen-smoke fuzz fuzz-smoke compat check
+.PHONY: all build test vet lint race bench bench-smoke bench-compare bench-scale bench-scale-xl scalebench loadgen-smoke dist-smoke fuzz fuzz-smoke compat check
 
 all: check
 
@@ -44,10 +44,12 @@ lint: vet
 # parallel hash assignment, the scratch-pool engine, the serving layer
 # (store single-flight, Session mixed workload, cutfitd handlers), the
 # delta-append path (root equivalence suite, graph generations, store
-# chain, topology patching) and the persistence layer (snap codecs, disk
-# tier spill/restore, warm-start handlers).
+# chain, topology patching), the persistence layer (snap codecs, disk
+# tier spill/restore, warm-start handlers) and the distributed runtime
+# (coordinator/worker exchange over loopback sockets, equivalence and
+# failure suites).
 race:
-	$(GO) test -race . ./cmd/cutfitd/... ./internal/graph/... ./internal/pregel/... ./internal/testutil/... ./internal/partition/... ./internal/store/... ./internal/snap/... ./internal/obsv/...
+	$(GO) test -race . ./cmd/cutfitd/... ./internal/graph/... ./internal/pregel/... ./internal/testutil/... ./internal/partition/... ./internal/store/... ./internal/snap/... ./internal/obsv/... ./internal/dist/...
 
 # Hot-path benchmarks: partition construction (old vs new, and across
 # dataset analogs × strategies), the sparse-frontier scan payoff,
@@ -97,6 +99,23 @@ loadgen-smoke:
 	./bin/loadgen -addr http://$(LOADGEN_ADDR) -rps $(LOADGEN_RPS) \
 		-duration $(LOADGEN_DURATION) -out $(LOADGEN_OUT) -metrics-out $(LOADGEN_METRICS); \
 	echo "loadgen-smoke: zero 5xx at $(LOADGEN_RPS) req/s for $(LOADGEN_DURATION)"
+
+# Distributed-serving smoke: boot 2 cutfit-workers + a coordinator
+# cutfitd (-workers) + a plain local daemon, run the loadgen mix at the
+# coordinator (zero 5xx), assert /v1/run bodies are byte-equal between
+# the two daemons before and after an edge append, and require every run
+# to have dispatched distributed (zero fallbacks). The coordinator's
+# final /metrics scrape lands in $(DIST_METRICS); nightly archives it.
+DIST_RPS ?= 30
+DIST_DURATION ?= 10s
+DIST_OUT ?= dist-loadgen-table.txt
+DIST_METRICS ?= dist-metrics.txt
+dist-smoke:
+	$(GO) build -o ./bin/cutfitd ./cmd/cutfitd
+	$(GO) build -o ./bin/cutfit-worker ./cmd/cutfit-worker
+	$(GO) build -o ./bin/loadgen ./cmd/loadgen
+	$(GO) run ./cmd/distsmoke -bin-dir ./bin -rps $(DIST_RPS) \
+		-duration $(DIST_DURATION) -out $(DIST_OUT) -metrics-out $(DIST_METRICS)
 
 # One-iteration pass over the concurrent-serving benchmarks: fast enough
 # for CI, still executes the pooled/fresh and hit/miss paths end to end.

@@ -53,6 +53,8 @@
 //	                  the graph/artifact counts and encoded bytes
 //	GET  /v1/stats                                          cache hit/miss/eviction counters,
 //	                  including the disk tier's diskHits/diskBytes
+//	GET  /v1/cluster                                        execution mode ("local" or
+//	                  "distributed") plus each attached worker's live health
 //	GET  /metrics                                           live metric series in the Prometheus
 //	                  text format: store/engine/block-tier counters and histograms
 //	                  plus per-endpoint request, latency and admission series
@@ -73,6 +75,15 @@
 // /healthz and /metrics are exempt so a saturated daemon stays
 // observable. cmd/loadgen drives a mixed workload against the daemon
 // and reports the resulting latency quantiles.
+//
+// # Distributed runs
+//
+// With -workers http://host:9090,http://host:9091 the daemon dispatches
+// pagerank, dynamicpr and cc supersteps across cutfit-worker processes
+// (see cmd/cutfit-worker and docs/DISTRIBUTED.md). Distributed results
+// are bit-identical to local ones; if any worker fails mid-run the
+// daemon logs an ERROR and transparently re-runs locally, so a worker
+// loss degrades throughput but never correctness or availability.
 package main
 
 import (
@@ -120,6 +131,8 @@ func main() {
 	admissionTimeout := flag.Duration("admission-timeout", 0, "how long a queued request waits for a slot before 429 (0 = default 2s)")
 	var blockGraphs stringList
 	flag.Var(&blockGraphs, "block-graph", "name=path of an on-disk block-graph file to register at boot, served straight from the file (comma-separated, repeatable)")
+	var workers stringList
+	flag.Var(&workers, "workers", "cutfit-worker base URLs (comma-separated, repeatable); non-empty enables distributed runs for pagerank, dynamicpr and cc with local fallback")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -132,6 +145,7 @@ func main() {
 		maxQueue:        *admissionQueue,
 		queueTimeout:    *admissionTimeout,
 		logger:          logger,
+		workers:         workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cutfitd:", err)

@@ -43,6 +43,12 @@ type serverOptions struct {
 
 	// logger receives one structured line per request; nil discards.
 	logger *slog.Logger
+
+	// workers lists cutfit-worker base URLs (-workers). Non-empty attaches
+	// a cutfit.WorkerPool to the Session, so /v1/run dispatches pagerank,
+	// dynamicpr and cc across the cluster — bit-identical to local runs,
+	// with automatic local fallback if any worker fails mid-run.
+	workers []string
 }
 
 // snapshotFile is the session snapshot inside -data-dir.
@@ -104,6 +110,7 @@ var apiRoutes = []apiRoute{
 	{"POST", "/v1/run", func(s *server) http.HandlerFunc { return s.handleRun }},
 	{"POST", "/v1/snapshot", func(s *server) http.HandlerFunc { return s.handleSnapshot }},
 	{"GET", "/v1/stats", func(s *server) http.HandlerFunc { return s.handleStats }},
+	{"GET", "/v1/cluster", func(s *server) http.HandlerFunc { return s.handleCluster }},
 	{"GET", "/metrics", func(s *server) http.HandlerFunc { return s.handleMetricsScrape }},
 	{"GET", "/healthz", func(s *server) http.HandlerFunc { return s.handleHealthz }},
 }
@@ -143,6 +150,9 @@ func newServer(opts serverOptions) (*server, error) {
 	}
 	if session == nil {
 		session = cutfit.NewSession(sopts)
+	}
+	if len(opts.workers) > 0 {
+		session.AttachWorkers(cutfit.NewWorkerPool(opts.workers))
 	}
 	logger := opts.logger
 	if logger == nil {
@@ -695,4 +705,27 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.session.CacheStats())
+}
+
+// clusterReply reports the daemon's execution mode and, when distributed,
+// each attached worker's live health.
+type clusterReply struct {
+	Mode    string                `json:"mode"`
+	Workers []cutfit.WorkerStatus `json:"workers,omitempty"`
+}
+
+// handleCluster reports whether runs dispatch locally or across an
+// attached worker pool: GET /v1/cluster. With workers attached it polls
+// every worker's health endpoint, so operators see a dead worker here
+// before a run pays the fallback.
+func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	pool := s.session.Workers()
+	if pool == nil {
+		writeJSON(w, http.StatusOK, clusterReply{Mode: "local"})
+		return
+	}
+	writeJSON(w, http.StatusOK, clusterReply{
+		Mode:    "distributed",
+		Workers: pool.Status(r.Context()),
+	})
 }

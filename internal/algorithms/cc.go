@@ -18,7 +18,13 @@ const ccInitSentinel = graph.VertexID(math.MaxInt64)
 // message rounds (0 = run to convergence; the paper's experiments use 10).
 // It returns the component label per dense vertex index and the run stats.
 func ConnectedComponents(ctx context.Context, pg *pregel.PartitionedGraph, maxIter int) ([]graph.VertexID, *pregel.RunStats, error) {
-	prog := pregel.Program[graph.VertexID, graph.VertexID]{
+	return pregel.Run(ctx, pg, ConnectedComponentsProgram(maxIter))
+}
+
+// ConnectedComponentsProgram is the label-propagation Pregel program,
+// exported so the distributed worker runs exactly the engine's program.
+func ConnectedComponentsProgram(maxIter int) pregel.Program[graph.VertexID, graph.VertexID] {
+	return pregel.Program[graph.VertexID, graph.VertexID]{
 		Init: func(id graph.VertexID) graph.VertexID { return id },
 		VProg: func(id graph.VertexID, val, msg graph.VertexID) graph.VertexID {
 			if msg < val {
@@ -43,7 +49,6 @@ func ConnectedComponents(ctx context.Context, pg *pregel.PartitionedGraph, maxIt
 		MaxIterations:   maxIter,
 		ActiveDirection: pregel.Either,
 	}
-	return pregel.Run(ctx, pg, prog)
 }
 
 // ConnectedComponentsSeq is the union-find oracle; it returns the minimum

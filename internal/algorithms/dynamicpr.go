@@ -8,9 +8,10 @@ import (
 	"cutfit/internal/pregel"
 )
 
-// prState is the vertex value of dynamic PageRank: the current rank and
-// the last change (delta), which gates further propagation.
-type prState struct {
+// PRState is the vertex value of dynamic PageRank: the current rank and
+// the last change (delta), which gates further propagation. Exported so
+// the distributed worker can decode the 16-byte state off the wire.
+type PRState struct {
 	Rank  float64
 	Delta float64
 }
@@ -29,19 +30,28 @@ func DynamicPageRank(ctx context.Context, pg *pregel.PartitionedGraph, tol, rese
 	if resetProb < 0 || resetProb >= 1 {
 		return nil, nil, fmt.Errorf("algorithms: DynamicPageRank resetProb %g out of [0,1)", resetProb)
 	}
-	g := pg.G
-	outDeg := g.OutDegrees()
-	degOf := func(id graph.VertexID) float64 {
-		i, _ := g.Index(id)
-		return float64(outDeg[i])
+	prog := DynamicPageRankProgram(tol, resetProb, maxIter, GraphDegreeFunc(pg.G))
+	vals, stats, err := pregel.Run(ctx, pg, prog)
+	if err != nil {
+		return nil, nil, err
 	}
-	prog := pregel.Program[prState, float64]{
-		Init: func(id graph.VertexID) prState { return prState{} },
-		VProg: func(id graph.VertexID, val prState, msg float64) prState {
+	ranks := make([]float64, len(vals))
+	for i, v := range vals {
+		ranks[i] = v.Rank
+	}
+	return ranks, stats, nil
+}
+
+// DynamicPageRankProgram is the until-convergence PageRank Pregel program,
+// exported so the distributed worker runs exactly the engine's program.
+func DynamicPageRankProgram(tol, resetProb float64, maxIter int, degOf func(graph.VertexID) float64) pregel.Program[PRState, float64] {
+	return pregel.Program[PRState, float64]{
+		Init: func(id graph.VertexID) PRState { return PRState{} },
+		VProg: func(id graph.VertexID, val PRState, msg float64) PRState {
 			newRank := val.Rank + (1-resetProb)*msg
-			return prState{Rank: newRank, Delta: newRank - val.Rank}
+			return PRState{Rank: newRank, Delta: newRank - val.Rank}
 		},
-		SendMsg: func(t *pregel.Triplet[prState], emit pregel.Emitter[float64]) {
+		SendMsg: func(t *pregel.Triplet[PRState], emit pregel.Emitter[float64]) {
 			// Only still-moving sources propagate their delta.
 			if t.SrcVal.Delta > tol {
 				d := degOf(t.SrcID)
@@ -58,15 +68,6 @@ func DynamicPageRank(ctx context.Context, pg *pregel.PartitionedGraph, tol, rese
 		MaxIterations:   maxIter,
 		ActiveDirection: pregel.Out,
 	}
-	vals, stats, err := pregel.Run(ctx, pg, prog)
-	if err != nil {
-		return nil, nil, err
-	}
-	ranks := make([]float64, len(vals))
-	for i, v := range vals {
-		ranks[i] = v.Rank
-	}
-	return ranks, stats, nil
 }
 
 // DynamicPageRankSeq is the sequential oracle: Jacobi iteration of the

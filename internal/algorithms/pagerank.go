@@ -33,14 +33,26 @@ func PageRank(ctx context.Context, pg *pregel.PartitionedGraph, numIter int, res
 	if resetProb < 0 || resetProb >= 1 {
 		return nil, nil, fmt.Errorf("algorithms: PageRank resetProb %g out of [0,1)", resetProb)
 	}
-	g := pg.G
+	return pregel.Run(ctx, pg, PageRankProgram(numIter, resetProb, GraphDegreeFunc(pg.G)))
+}
+
+// GraphDegreeFunc returns the out-degree lookup the PageRank programs use,
+// backed by the graph's dense index. The distributed worker builds the same
+// closure from its shard's shipped degree table instead — both must agree
+// for the source-side rank division to stay bit-identical.
+func GraphDegreeFunc(g *graph.Graph) func(graph.VertexID) float64 {
 	outDeg := g.OutDegrees()
-	// Degree lookup by vertex ID via the dense index.
-	degOf := func(id graph.VertexID) float64 {
+	return func(id graph.VertexID) float64 {
 		i, _ := g.Index(id)
 		return float64(outDeg[i])
 	}
-	prog := pregel.Program[float64, float64]{
+}
+
+// PageRankProgram is the static-PageRank Pregel program, exported so the
+// distributed worker can instantiate exactly the engine's program from the
+// run spec (same constants, same float operation order).
+func PageRankProgram(numIter int, resetProb float64, degOf func(graph.VertexID) float64) pregel.Program[float64, float64] {
+	return pregel.Program[float64, float64]{
 		Init: func(id graph.VertexID) float64 { return 1.0 },
 		VProg: func(id graph.VertexID, val, msg float64) float64 {
 			if msg == prInitSentinel {
@@ -59,7 +71,6 @@ func PageRank(ctx context.Context, pg *pregel.PartitionedGraph, numIter int, res
 		MaxIterations:   numIter,
 		ActiveDirection: pregel.AllEdges, // static PR scans all edges every round
 	}
-	return pregel.Run(ctx, pg, prog)
 }
 
 // PageRankSeq is the sequential oracle with identical semantics to

@@ -299,10 +299,47 @@ func scratchFor[V, M any](pg *PartitionedGraph, shards int) *engineScratch[V, M]
 	return newEngineScratch[V, M](pg, shards)
 }
 
+// Exchanger replaces the mirror half of a superstep — broadcast, the
+// per-partition compute scan and the reduce transport — with an external
+// implementation; internal/dist plugs the multi-process cluster in here.
+// Superstep 0, message application (apply) and the loop control stay in the
+// engine, shared verbatim with the local path, so an Exchanger that
+// preserves the engine's message semantics yields bit-identical results.
+//
+// Exchange contract, per superstep:
+//   - changed is the master frontier bitset (bit v ⇔ vertex v's master
+//     value changed last round) and masterVals the current master values;
+//     both are read-only.
+//   - Combined messages must be handed to deliver as (global dense vertex,
+//     message), at most once per (partition, vertex) pair, with each
+//     vertex's calls in ascending partition order — the same per-
+//     destination merge order the local reduce phase uses.
+//   - ss must be filled with the phase counters the engine cannot see:
+//     BroadcastMsgs/BroadcastBytes, EdgesScanned, ActiveEdges, MsgsEmitted
+//     and ComputePerPart. (ReduceMsgs/ReduceBytes are counted by the
+//     engine as deliver is called.)
+type Exchanger[V, M any] interface {
+	Exchange(ctx context.Context, step int, changed []uint64, masterVals []V, deliver func(gidx int32, m M), ss *SuperstepStats) error
+}
+
 // Run executes the program on the partitioned graph and returns the final
 // vertex values (indexed by the graph's dense vertex order, i.e. aligned
 // with pg.G.Vertices()) and the per-superstep statistics.
 func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]) ([]V, *RunStats, error) {
+	return runEngine[V, M](ctx, pg, prog, nil)
+}
+
+// RunExchanged executes the program with the mirror-side phases delegated
+// to ex — the distributed engine entry point. See Exchanger for the
+// contract that keeps results bit-identical to Run.
+func RunExchanged[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M], ex Exchanger[V, M]) ([]V, *RunStats, error) {
+	if ex == nil {
+		return nil, nil, errors.New("pregel: RunExchanged requires an Exchanger")
+	}
+	return runEngine(ctx, pg, prog, ex)
+}
+
+func runEngine[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M], ex Exchanger[V, M]) ([]V, *RunStats, error) {
 	if err := prog.validate(); err != nil {
 		return nil, nil, err
 	}
@@ -341,7 +378,6 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 	changedBits := sc.changedBits
 	masterMsg := sc.masterMsg
 	masterHas := sc.masterHas
-	vals := sc.vals
 	msgAcc := sc.msgAcc
 	msgHas := sc.msgHas
 	for p := 0; p < numParts; p++ {
@@ -391,287 +427,31 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 			Superstep:      step,
 			ActiveVertices: activeCount,
 		}
-
-		// Phase 1: broadcast changed master values to mirrors. Sharded over
-		// frontier words: a zero word skips 64 vertices in one compare, and
-		// each mirror slot is still written by exactly one vertex. The
-		// routing CSR walk hoists the offset pair once per vertex and ranges
-		// over one subslice, so the inner loop carries no per-ref bounds
-		// checks.
-		bMsgs := sc.bMsgs
-		bBytes := sc.bBytes
-		for sh := 0; sh < shards; sh++ {
-			bMsgs[sh], bBytes[sh] = 0, 0
-		}
-		offs := pg.routingOffsets
-		routRefs := pg.routingRefs
 		wShard := (nw + shards - 1) / shards
 		if wShard < 1 {
 			wShard = 1
 		}
-		if err := pg.forEachShard(nw, func(lo, hi int) {
-			sh := lo / wShard
-			var msgs, bytes int64
-			for wi := lo; wi < hi; wi++ {
-				w := changedBits[wi]
-				for w != 0 {
-					v := wi<<6 + bits.TrailingZeros64(w)
-					w &= w - 1
-					val := masterVals[v]
-					sz := int64(stateBytes(val))
-					for _, ref := range routRefs[offs[v]:offs[v+1]] {
-						vals[ref.part][ref.local] = val
-						msgs++
-						bytes += sz
-					}
-				}
-			}
-			bMsgs[sh] += msgs
-			bBytes[sh] += bytes
-		}); err != nil {
-			return nil, nil, fmt.Errorf("pregel: superstep %d broadcast: %w", step, err)
-		}
-		for sh := 0; sh < shards; sh++ {
-			ss.BroadcastMsgs += bMsgs[sh]
-			ss.BroadcastBytes += bBytes[sh]
-		}
 
-		// Phase 2: compute. Each partition derives its frontier bitset from
-		// the master changed bitset (its own worker writes it — broadcast
-		// never touches it, so no word is shared), then visits triplets
-		// either densely or through the frontier index. Both paths deliver
-		// messages in ascending edge order, so results are identical; only
-		// the number of edges examined differs.
-		dir := prog.ActiveDirection
-		scanned := sc.scanned
-		emitted := sc.emitted
-		visited := sc.visited
-		if err := pg.forEachPart(func(p int) {
-			part := pg.Parts[p]
-			pv := vals[p]
-			lv := part.LocalVerts
-			edges := part.edges
-			em := &sc.emitters[p].partEmitter
-			em.emitted = 0
-			var cost float64
-			var nScan, nVisited int64
-			var t Triplet[V]
-
-			if dir == AllEdges {
-				// Always-active programs (PageRank): unconditional scan, no
-				// frontier, no per-edge activity test — today's fast path.
-				for i := range edges {
-					e := edges[i]
-					nScan++
-					t.SrcID = verts[lv[e.src]]
-					t.DstID = verts[lv[e.dst]]
-					t.SrcVal = pv[e.src]
-					t.DstVal = pv[e.dst]
-					em.srcLocal = e.src
-					em.dstLocal = e.dst
-					prog.SendMsg(&t, em)
-					cost += edgeCost(&t)
-				}
-				nVisited = int64(len(edges))
-			} else {
-				fw := sc.frontier[p]
-				if fw == nil {
-					fw = make([]uint64, (len(lv)+63)/64)
-					sc.frontier[p] = fw
-				}
-				// Frontier bitset: bit l ⇔ local vertex l's master changed
-				// last round. Built branch-free, one changed-bit gather per
-				// local vertex; popcount gives the density decision.
-				act := 0
-				for wi := range fw {
-					var w uint64
-					base := wi << 6
-					end := base + 64
-					if end > len(lv) {
-						end = len(lv)
-					}
-					for l := base; l < end; l++ {
-						gi := lv[l]
-						w |= (changedBits[gi>>6] >> (uint32(gi) & 63) & 1) << uint(l-base)
-					}
-					fw[wi] = w
-					act += bits.OnesCount64(w)
-				}
-				sparse := prog.ScanPolicy == ScanSparse ||
-					(prog.ScanPolicy == ScanAuto && act*sparseDenominator < len(lv))
-				if !sparse {
-					// Dense scan: every edge, activity by two frontier bit
-					// tests.
-					for i := range edges {
-						e := edges[i]
-						srcA := fw[e.src>>6]>>(uint32(e.src)&63)&1 != 0
-						dstA := fw[e.dst>>6]>>(uint32(e.dst)&63)&1 != 0
-						var scan bool
-						switch dir {
-						case Out:
-							scan = srcA
-						case In:
-							scan = dstA
-						case Either:
-							scan = srcA || dstA
-						case Both:
-							scan = srcA && dstA
-						}
-						if !scan {
-							continue
-						}
-						nScan++
-						t.SrcID = verts[lv[e.src]]
-						t.DstID = verts[lv[e.dst]]
-						t.SrcVal = pv[e.src]
-						t.DstVal = pv[e.dst]
-						em.srcLocal = e.src
-						em.dstLocal = e.dst
-						prog.SendMsg(&t, em)
-						cost += edgeCost(&t)
-					}
-					nVisited = int64(len(edges))
+		if ex != nil {
+			// Phases 1–3, distributed: the exchanger ships the frontier,
+			// runs the compute scans remotely and streams combined messages
+			// back; the merge below is the local reduce phase's per-vertex
+			// merge verbatim, so per-destination combine order is preserved.
+			deliver := func(gidx int32, m M) {
+				if masterHas[gidx] {
+					masterMsg[gidx] = prog.MergeMsg(masterMsg[gidx], m)
 				} else {
-					// Sparse scan. Gather: walk the frontier index of each
-					// live vertex (zero frontier words skip 64 vertices at a
-					// time) and set the candidate edges' bits in the edge
-					// bitmap — Out gathers by source, In by destination,
-					// Either by both (the bitmap dedups shared candidates),
-					// Both by source with a destination re-check at visit
-					// time. Scan: consume bitmap words in ascending order,
-					// clearing as we go, so candidates are visited in exactly
-					// the dense scan's edge order — float message merges
-					// combine in the same sequence and results stay
-					// bit-identical.
-					part.ensureFrontierIndex()
-					mask := sc.edgeMask[p]
-					if mask == nil {
-						mask = make([]uint64, (len(edges)+63)/64)
-						sc.edgeMask[p] = mask
-					}
-					gather := func(off, pos []int32) {
-						for wi, w := range fw {
-							if w == 0 {
-								continue
-							}
-							base := int32(wi << 6)
-							for w != 0 {
-								l := base + int32(bits.TrailingZeros64(w))
-								w &= w - 1
-								for _, j := range pos[off[l]:off[l+1]] {
-									mask[j>>6] |= 1 << (uint32(j) & 63)
-								}
-							}
-						}
-					}
-					switch dir {
-					case Out, Both:
-						gather(part.srcOff, part.srcPos)
-					case In:
-						gather(part.dstOff, part.dstPos)
-					case Either:
-						gather(part.srcOff, part.srcPos)
-						gather(part.dstOff, part.dstPos)
-					}
-					for wi := range mask {
-						w := mask[wi]
-						if w == 0 {
-							continue
-						}
-						mask[wi] = 0
-						nVisited += int64(bits.OnesCount64(w))
-						base := wi << 6
-						for w != 0 {
-							j := base + bits.TrailingZeros64(w)
-							w &= w - 1
-							e := edges[j]
-							if dir == Both && fw[e.dst>>6]>>(uint32(e.dst)&63)&1 == 0 {
-								continue
-							}
-							nScan++
-							t.SrcID = verts[lv[e.src]]
-							t.DstID = verts[lv[e.dst]]
-							t.SrcVal = pv[e.src]
-							t.DstVal = pv[e.dst]
-							em.srcLocal = e.src
-							em.dstLocal = e.dst
-							prog.SendMsg(&t, em)
-							cost += edgeCost(&t)
-						}
-					}
+					masterMsg[gidx] = m
+					masterHas[gidx] = true
 				}
+				ss.ReduceMsgs++
+				ss.ReduceBytes += int64(msgBytes(m))
 			}
-			scanned[p] = nScan
-			emitted[p] = em.emitted
-			visited[p] = nVisited
-			sc.computePerPart[p] = cost
-		}); err != nil {
-			return nil, nil, fmt.Errorf("pregel: superstep %d compute: %w", step, err)
-		}
-		for p := 0; p < numParts; p++ {
-			ss.EdgesScanned += scanned[p]
-			ss.MsgsEmitted += emitted[p]
-			ss.ActiveEdges += visited[p]
-		}
-		ss.ComputePerPart = append([]float64(nil), sc.computePerPart...)
-
-		// Phase 3: reduce. One partial aggregate per (partition, vertex)
-		// ships to the master. Shard by global vertex ranges: LocalVerts
-		// is sorted, so each shard binary-searches its subrange in every
-		// partition; shards own disjoint ranges, so merging is race-free.
-		rMsgs := sc.rMsgs
-		rBytes := sc.rBytes
-		for sh := 0; sh < shards; sh++ {
-			rMsgs[sh], rBytes[sh] = 0, 0
-		}
-		chunk := (nv + shards - 1) / shards
-		if err := pg.forEachShard(shards, func(shLo, shHi int) {
-			for sh := shLo; sh < shHi; sh++ {
-				gLo := int32(sh * chunk)
-				gHi := int32((sh + 1) * chunk)
-				if int(gHi) > nv {
-					gHi = int32(nv)
-				}
-				var msgs, bytes int64
-				for p := 0; p < numParts; p++ {
-					lv := pg.Parts[p].LocalVerts
-					has := msgHas[p]
-					acc := msgAcc[p]
-					start := sort.Search(len(lv), func(i int) bool { return lv[i] >= gLo })
-					for l := start; l < len(lv) && lv[l] < gHi; l++ {
-						if !has[l] {
-							continue
-						}
-						gidx := lv[l]
-						m := acc[l]
-						if masterHas[gidx] {
-							masterMsg[gidx] = prog.MergeMsg(masterMsg[gidx], m)
-						} else {
-							masterMsg[gidx] = m
-							masterHas[gidx] = true
-						}
-						msgs++
-						bytes += int64(msgBytes(m))
-					}
-				}
-				rMsgs[sh] += msgs
-				rBytes[sh] += bytes
+			if err := ex.Exchange(ctx, step, changedBits, masterVals, deliver, &ss); err != nil {
+				return nil, nil, fmt.Errorf("pregel: superstep %d exchange: %w", step, err)
 			}
-		}); err != nil {
-			return nil, nil, fmt.Errorf("pregel: superstep %d reduce: %w", step, err)
-		}
-		for sh := 0; sh < shards; sh++ {
-			ss.ReduceMsgs += rMsgs[sh]
-			ss.ReduceBytes += rBytes[sh]
-		}
-
-		// Clear per-partition accumulators for the next round. (The frontier
-		// bitsets are rebuilt word-by-word each compute phase and the edge
-		// bitmaps self-clear during the scan, so neither needs a pass here.)
-		if err := pg.forEachPart(func(p int) {
-			clear(msgHas[p])
-		}); err != nil {
-			return nil, nil, fmt.Errorf("pregel: superstep %d: %w", step, err)
+		} else if err := localSuperstep(ctx, pg, &prog, sc, &ss, edgeCost, stateBytes, msgBytes, step, shards, nw, nv, wShard); err != nil {
+			return nil, nil, err
 		}
 
 		// Phase 4: apply at the master. Sharded over frontier words, so
@@ -728,6 +508,180 @@ func Run[V, M any](ctx context.Context, pg *PartitionedGraph, prog Program[V, M]
 	}
 	stats.Converged = activeCount == 0
 	return finishRun(pg, sc, masterVals), stats, nil
+}
+
+// localSuperstep runs phases 1–3 of one superstep in-process: broadcast
+// changed masters to mirrors, compute every partition, reduce the combined
+// messages back to the master arrays. Factored out of runEngine so the
+// distributed branch above replaces exactly this block and nothing else.
+func localSuperstep[V, M any](ctx context.Context, pg *PartitionedGraph, prog *Program[V, M], sc *engineScratch[V, M], ss *SuperstepStats, edgeCost func(*Triplet[V]) float64, stateBytes func(V) int, msgBytes func(M) int, step, shards, nw, nv, wShard int) error {
+	_ = ctx
+	verts := pg.G.Vertices()
+	numParts := pg.NumParts
+	masterVals := sc.masterVals
+	changedBits := sc.changedBits
+	masterMsg := sc.masterMsg
+	masterHas := sc.masterHas
+	vals := sc.vals
+	msgAcc := sc.msgAcc
+	msgHas := sc.msgHas
+
+	// Phase 1: broadcast changed master values to mirrors. Sharded over
+	// frontier words: a zero word skips 64 vertices in one compare, and
+	// each mirror slot is still written by exactly one vertex. The
+	// routing CSR walk hoists the offset pair once per vertex and ranges
+	// over one subslice, so the inner loop carries no per-ref bounds
+	// checks.
+	bMsgs := sc.bMsgs
+	bBytes := sc.bBytes
+	for sh := 0; sh < shards; sh++ {
+		bMsgs[sh], bBytes[sh] = 0, 0
+	}
+	offs := pg.routingOffsets
+	routRefs := pg.routingRefs
+	if err := pg.forEachShard(nw, func(lo, hi int) {
+		sh := lo / wShard
+		var msgs, bytes int64
+		for wi := lo; wi < hi; wi++ {
+			w := changedBits[wi]
+			for w != 0 {
+				v := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				val := masterVals[v]
+				sz := int64(stateBytes(val))
+				for _, ref := range routRefs[offs[v]:offs[v+1]] {
+					vals[ref.part][ref.local] = val
+					msgs++
+					bytes += sz
+				}
+			}
+		}
+		bMsgs[sh] += msgs
+		bBytes[sh] += bytes
+	}); err != nil {
+		return fmt.Errorf("pregel: superstep %d broadcast: %w", step, err)
+	}
+	for sh := 0; sh < shards; sh++ {
+		ss.BroadcastMsgs += bMsgs[sh]
+		ss.BroadcastBytes += bBytes[sh]
+	}
+
+	// Phase 2: compute. Each partition derives its frontier bitset from
+	// the master changed bitset (its own worker writes it — broadcast
+	// never touches it, so no word is shared), then hands the triplet scan
+	// to computePart — the same code the distributed worker runs, so both
+	// paths deliver messages in ascending edge order and results are
+	// identical; only where the scan executes differs.
+	scanned := sc.scanned
+	emitted := sc.emitted
+	visited := sc.visited
+	if err := pg.forEachPart(func(p int) {
+		part := pg.Parts[p]
+		lv := part.LocalVerts
+		em := &sc.emitters[p].partEmitter
+		em.emitted = 0
+
+		var fw []uint64
+		act := 0
+		if prog.ActiveDirection != AllEdges {
+			fw = sc.frontier[p]
+			if fw == nil {
+				fw = make([]uint64, (len(lv)+63)/64)
+				sc.frontier[p] = fw
+			}
+			// Frontier bitset: bit l ⇔ local vertex l's master changed
+			// last round. Built branch-free, one changed-bit gather per
+			// local vertex; popcount gives the density decision.
+			for wi := range fw {
+				var w uint64
+				base := wi << 6
+				end := base + 64
+				if end > len(lv) {
+					end = len(lv)
+				}
+				for l := base; l < end; l++ {
+					gi := lv[l]
+					w |= (changedBits[gi>>6] >> (uint32(gi) & 63) & 1) << uint(l-base)
+				}
+				fw[wi] = w
+				act += bits.OnesCount64(w)
+			}
+		}
+		nScan, nVisited, cost, mask := computePart(prog, edgeCost, part, verts, vals[p], fw, act, sc.edgeMask[p], em)
+		sc.edgeMask[p] = mask
+		scanned[p] = nScan
+		emitted[p] = em.emitted
+		visited[p] = nVisited
+		sc.computePerPart[p] = cost
+	}); err != nil {
+		return fmt.Errorf("pregel: superstep %d compute: %w", step, err)
+	}
+	for p := 0; p < numParts; p++ {
+		ss.EdgesScanned += scanned[p]
+		ss.MsgsEmitted += emitted[p]
+		ss.ActiveEdges += visited[p]
+	}
+	ss.ComputePerPart = append([]float64(nil), sc.computePerPart...)
+
+	// Phase 3: reduce. One partial aggregate per (partition, vertex)
+	// ships to the master. Shard by global vertex ranges: LocalVerts
+	// is sorted, so each shard binary-searches its subrange in every
+	// partition; shards own disjoint ranges, so merging is race-free.
+	rMsgs := sc.rMsgs
+	rBytes := sc.rBytes
+	for sh := 0; sh < shards; sh++ {
+		rMsgs[sh], rBytes[sh] = 0, 0
+	}
+	chunk := (nv + shards - 1) / shards
+	if err := pg.forEachShard(shards, func(shLo, shHi int) {
+		for sh := shLo; sh < shHi; sh++ {
+			gLo := int32(sh * chunk)
+			gHi := int32((sh + 1) * chunk)
+			if int(gHi) > nv {
+				gHi = int32(nv)
+			}
+			var msgs, bytes int64
+			for p := 0; p < numParts; p++ {
+				lv := pg.Parts[p].LocalVerts
+				has := msgHas[p]
+				acc := msgAcc[p]
+				start := sort.Search(len(lv), func(i int) bool { return lv[i] >= gLo })
+				for l := start; l < len(lv) && lv[l] < gHi; l++ {
+					if !has[l] {
+						continue
+					}
+					gidx := lv[l]
+					m := acc[l]
+					if masterHas[gidx] {
+						masterMsg[gidx] = prog.MergeMsg(masterMsg[gidx], m)
+					} else {
+						masterMsg[gidx] = m
+						masterHas[gidx] = true
+					}
+					msgs++
+					bytes += int64(msgBytes(m))
+				}
+			}
+			rMsgs[sh] += msgs
+			rBytes[sh] += bytes
+		}
+	}); err != nil {
+		return fmt.Errorf("pregel: superstep %d reduce: %w", step, err)
+	}
+	for sh := 0; sh < shards; sh++ {
+		ss.ReduceMsgs += rMsgs[sh]
+		ss.ReduceBytes += rBytes[sh]
+	}
+
+	// Clear per-partition accumulators for the next round. (The frontier
+	// bitsets are rebuilt word-by-word each compute phase and the edge
+	// bitmaps self-clear during the scan, so neither needs a pass here.)
+	if err := pg.forEachPart(func(p int) {
+		clear(msgHas[p])
+	}); err != nil {
+		return fmt.Errorf("pregel: superstep %d: %w", step, err)
+	}
+	return nil
 }
 
 // finishRun hands the final vertex values to the caller. With buffer reuse

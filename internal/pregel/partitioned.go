@@ -746,6 +746,16 @@ func (pg *PartitionedGraph) mirrorsOf(v int32) []mirrorRef {
 	return pg.routingRefs[pg.routingOffsets[v]:pg.routingOffsets[v+1]]
 }
 
+// ForEachMirror visits every (partition, local slot) mirror of global dense
+// vertex v, in the routing CSR's order (ascending partition, then ascending
+// local slot). The distributed broadcast path walks this to address mirror
+// updates exactly as the in-process broadcast phase does.
+func (pg *PartitionedGraph) ForEachMirror(v int32, fn func(part, local int32)) {
+	for _, ref := range pg.mirrorsOf(v) {
+		fn(ref.part, ref.local)
+	}
+}
+
 // TotalMirrors returns the total number of mirror slots across all
 // partitions (= Σ_v Mirrors(v) = metrics CommCost + NonCut).
 func (pg *PartitionedGraph) TotalMirrors() int64 {

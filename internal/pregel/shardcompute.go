@@ -1,0 +1,165 @@
+package pregel
+
+import (
+	"fmt"
+
+	"cutfit/internal/graph"
+)
+
+// NewPartition builds a standalone Partition from local-index tables — the
+// distributed worker's entry point for reconstructing its shard from a wire
+// snapshot. localVerts must be strictly ascending global dense indices and
+// every edge endpoint must index into it; the frontier index is built lazily
+// on first sparse scan, exactly as for coordinator-built partitions.
+func NewPartition(nv int, localVerts, edgeSrc, edgeDst []int32) (*Partition, error) {
+	if len(edgeSrc) != len(edgeDst) {
+		return nil, fmt.Errorf("pregel: NewPartition: %d edge sources vs %d destinations", len(edgeSrc), len(edgeDst))
+	}
+	for i, g := range localVerts {
+		if g < 0 || int(g) >= nv {
+			return nil, fmt.Errorf("pregel: NewPartition: local vertex %d maps to global %d, graph has %d", i, g, nv)
+		}
+		if i > 0 && localVerts[i-1] >= g {
+			return nil, fmt.Errorf("pregel: NewPartition: LocalVerts not strictly ascending at %d", i)
+		}
+	}
+	n := int32(len(localVerts))
+	edges := make([]localEdge, len(edgeSrc))
+	for j := range edgeSrc {
+		s, d := edgeSrc[j], edgeDst[j]
+		if s < 0 || s >= n || d < 0 || d >= n {
+			return nil, fmt.Errorf("pregel: NewPartition: edge %d endpoints (%d,%d) out of range [0,%d)", j, s, d, n)
+		}
+		edges[j] = localEdge{src: s, dst: d}
+	}
+	return &Partition{LocalVerts: localVerts, edges: edges}, nil
+}
+
+// ComputeStats is one partition's compute-phase counters, reported by
+// ShardCompute.Compute so the distributed reduce frame can carry them back
+// to the coordinator's SuperstepStats.
+type ComputeStats struct {
+	Scanned int64   // edges whose SendMsg actually ran
+	Visited int64   // edges examined (dense: all; sparse: candidate set)
+	Emitted int64   // messages emitted before local combining
+	Cost    float64 // summed EdgeCost of scanned triplets
+}
+
+// ShardCompute runs the mirror half of a superstep for one worker's owned
+// partitions: accept broadcast mirror values, execute the compute scan via
+// the engine's computePart (so edge order — and therefore float64 combine
+// order — is byte-identical to the local path), and hand back the locally
+// combined per-vertex messages for the reduce frame.
+type ShardCompute[V, M any] struct {
+	prog     Program[V, M]
+	verts    []graph.VertexID
+	edgeCost func(*Triplet[V]) float64
+	parts    map[int]*Partition
+	vals     map[int][]V
+	fw       map[int][]uint64 // mirror frontier bitsets, rebuilt per superstep
+	act      map[int]int      // frontier popcounts
+	mask     map[int][]uint64 // sparse-scan edge bitmaps, reused
+	emitters map[int]*partEmitter[M]
+	msgAcc   map[int][]M
+	msgHas   map[int][]bool
+	nv       int
+}
+
+// NewShardCompute prepares the compute state for the given owned partitions.
+// verts is the full graph's dense vertex-ID table (local and distributed
+// runs share it via the shard snapshot), prog the same program the
+// coordinator's engine runs.
+func NewShardCompute[V, M any](prog Program[V, M], verts []graph.VertexID, parts map[int]*Partition) (*ShardCompute[V, M], error) {
+	if err := prog.validate(); err != nil {
+		return nil, err
+	}
+	edgeCost := prog.EdgeCost
+	if edgeCost == nil {
+		edgeCost = func(*Triplet[V]) float64 { return 1 }
+	}
+	sc := &ShardCompute[V, M]{
+		prog:     prog,
+		verts:    verts,
+		edgeCost: edgeCost,
+		parts:    parts,
+		vals:     make(map[int][]V, len(parts)),
+		fw:       make(map[int][]uint64, len(parts)),
+		act:      make(map[int]int, len(parts)),
+		mask:     make(map[int][]uint64, len(parts)),
+		emitters: make(map[int]*partEmitter[M], len(parts)),
+		msgAcc:   make(map[int][]M, len(parts)),
+		msgHas:   make(map[int][]bool, len(parts)),
+		nv:       len(verts),
+	}
+	for p, part := range parts {
+		n := len(part.LocalVerts)
+		sc.vals[p] = make([]V, n)
+		sc.fw[p] = make([]uint64, (n+63)/64)
+		sc.msgAcc[p] = make([]M, n)
+		sc.msgHas[p] = make([]bool, n)
+		sc.emitters[p] = &partEmitter[M]{
+			merge: prog.MergeMsg,
+			acc:   sc.msgAcc[p],
+			has:   sc.msgHas[p],
+		}
+	}
+	return sc, nil
+}
+
+// BeginSuperstep resets the per-round frontier and message state. Mirror
+// values persist between rounds (only changed masters are re-broadcast),
+// matching the engine's scratch semantics.
+func (sc *ShardCompute[V, M]) BeginSuperstep() {
+	for p := range sc.parts {
+		clear(sc.fw[p])
+		sc.act[p] = 0
+		clear(sc.msgHas[p])
+		sc.emitters[p].emitted = 0
+	}
+}
+
+// SetMirror installs a broadcast master value for partition p's local slot,
+// marking it frontier-active for this round's scan.
+func (sc *ShardCompute[V, M]) SetMirror(p int, local int32, v V) error {
+	vals, ok := sc.vals[p]
+	if !ok {
+		return fmt.Errorf("pregel: shard compute: partition %d not owned here", p)
+	}
+	if local < 0 || int(local) >= len(vals) {
+		return fmt.Errorf("pregel: shard compute: partition %d local index %d out of range [0,%d)", p, local, len(vals))
+	}
+	vals[local] = v
+	w := &sc.fw[p][local>>6]
+	bit := uint64(1) << (uint32(local) & 63)
+	if *w&bit == 0 {
+		*w |= bit
+		sc.act[p]++
+	}
+	return nil
+}
+
+// Compute scans partition p with the engine's shared triplet scan and
+// combines messages into the partition-local accumulator.
+func (sc *ShardCompute[V, M]) Compute(p int) (ComputeStats, error) {
+	part, ok := sc.parts[p]
+	if !ok {
+		return ComputeStats{}, fmt.Errorf("pregel: shard compute: partition %d not owned here", p)
+	}
+	em := sc.emitters[p]
+	nScan, nVisited, cost, mask := computePart(&sc.prog, sc.edgeCost, part, sc.verts, sc.vals[p], sc.fw[p], sc.act[p], sc.mask[p], em)
+	sc.mask[p] = mask
+	return ComputeStats{Scanned: nScan, Visited: nVisited, Emitted: em.emitted, Cost: cost}, nil
+}
+
+// Messages iterates partition p's combined messages in ascending local
+// order — the order the reduce frame must preserve so the coordinator's
+// per-destination merges match the local engine's.
+func (sc *ShardCompute[V, M]) Messages(p int, fn func(local int32, m M)) {
+	has := sc.msgHas[p]
+	acc := sc.msgAcc[p]
+	for l, ok := range has {
+		if ok {
+			fn(int32(l), acc[l])
+		}
+	}
+}

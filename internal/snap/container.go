@@ -70,6 +70,10 @@ const (
 	// block payload region, served in place from the file by
 	// OpenBlockGraph without a dense round-trip.
 	KindBlockGraph Kind = 6
+	// KindShard is one worker's slice of a partitioned topology — the
+	// vertex table, out-degrees and owned partitions the distributed
+	// coordinator ships to a worker, full or as a delta on a base shard.
+	KindShard Kind = 7
 )
 
 func (k Kind) String() string {
@@ -86,6 +90,8 @@ func (k Kind) String() string {
 		return "store"
 	case KindBlockGraph:
 		return "blockgraph"
+	case KindShard:
+		return "shard"
 	}
 	return fmt.Sprintf("kind(%d)", uint32(k))
 }

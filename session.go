@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 
 	"cutfit/internal/algorithms"
 	"cutfit/internal/core"
+	"cutfit/internal/dist"
 	"cutfit/internal/metrics"
 	"cutfit/internal/partition"
 	"cutfit/internal/pregel"
@@ -67,7 +69,28 @@ type CacheStats = store.Stats
 type Session struct {
 	st      *store.Store
 	cluster *ClusterConfig
+	pool    *dist.Pool
 }
+
+// WorkerPool is a fixed set of distributed worker processes a Session can
+// dispatch runs to; see internal/dist and docs/DISTRIBUTED.md.
+type WorkerPool = dist.Pool
+
+// NewWorkerPool builds a worker pool over the given base URLs (e.g.
+// "http://127.0.0.1:9090").
+func NewWorkerPool(urls []string) *WorkerPool { return dist.NewPool(urls) }
+
+// WorkerStatus is one worker's health snapshot (see WorkerPool.Status).
+type WorkerStatus = dist.WorkerStatus
+
+// AttachWorkers attaches a distributed worker pool: subsequent Run calls
+// for pagerank, dynamicpr and cc dispatch supersteps across the pool's
+// workers, falling back to an in-process run (with identical results) if
+// any worker fails mid-run. Attach before serving; a nil pool detaches.
+func (se *Session) AttachWorkers(p *WorkerPool) { se.pool = p }
+
+// Workers returns the attached worker pool, or nil when runs are local.
+func (se *Session) Workers() *WorkerPool { return se.pool }
 
 // NewSession returns a Session with a caching artifact store. Topologies
 // it builds run with buffer reuse on, so repeated and concurrent runs over
@@ -359,21 +382,21 @@ func (se *Session) Run(ctx context.Context, g *Graph, s Strategy, numParts int, 
 	var stats *RunStats
 	switch alg {
 	case "pagerank":
-		ranks, st, err := algorithms.PageRank(ctx, pg, iters, algorithms.DefaultResetProb)
+		ranks, st, err := se.runPageRank(ctx, pg, iters)
 		if err != nil {
 			return nil, err
 		}
 		stats = st
 		rep.TopRanks = topRanks(g, ranks, topRankCount)
 	case "dynamicpr":
-		ranks, st, err := algorithms.DynamicPageRank(ctx, pg, dynamicPRTol, algorithms.DefaultResetProb, iters)
+		ranks, st, err := se.runDynamicPR(ctx, pg, iters)
 		if err != nil {
 			return nil, err
 		}
 		stats = st
 		rep.TopRanks = topRanks(g, ranks, topRankCount)
 	case "cc":
-		labels, st, err := algorithms.ConnectedComponents(ctx, pg, iters)
+		labels, st, err := se.runCC(ctx, pg, iters)
 		if err != nil {
 			return nil, err
 		}
@@ -435,6 +458,58 @@ func (se *Session) Run(ctx context.Context, g *Graph, s Strategy, numParts int, 
 	}
 	rep.SimSecs = b.TotalSecs()
 	return rep, nil
+}
+
+// distFallback decides whether a failed distributed run should fall back
+// to local execution (yes, unless the caller's context is the reason it
+// failed) and logs the degradation. A fallback is safe by construction:
+// the local engine produces bit-identical results on the same topology.
+func distFallback(ctx context.Context, alg string, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	dist.NoteFallback()
+	slog.Error("cutfit: distributed "+alg+" failed; falling back to local run", "err", err)
+	return true
+}
+
+func (se *Session) runPageRank(ctx context.Context, pg *pregel.PartitionedGraph, iters int) ([]float64, *RunStats, error) {
+	if se.pool != nil {
+		ranks, st, err := dist.PageRank(ctx, se.pool, pg, iters, algorithms.DefaultResetProb)
+		if err == nil {
+			return ranks, st, nil
+		}
+		if !distFallback(ctx, "pagerank", err) {
+			return nil, nil, err
+		}
+	}
+	return algorithms.PageRank(ctx, pg, iters, algorithms.DefaultResetProb)
+}
+
+func (se *Session) runDynamicPR(ctx context.Context, pg *pregel.PartitionedGraph, iters int) ([]float64, *RunStats, error) {
+	if se.pool != nil {
+		ranks, st, err := dist.DynamicPageRank(ctx, se.pool, pg, dynamicPRTol, algorithms.DefaultResetProb, iters)
+		if err == nil {
+			return ranks, st, nil
+		}
+		if !distFallback(ctx, "dynamicpr", err) {
+			return nil, nil, err
+		}
+	}
+	return algorithms.DynamicPageRank(ctx, pg, dynamicPRTol, algorithms.DefaultResetProb, iters)
+}
+
+func (se *Session) runCC(ctx context.Context, pg *pregel.PartitionedGraph, iters int) ([]VertexID, *RunStats, error) {
+	if se.pool != nil {
+		labels, st, err := dist.ConnectedComponents(ctx, se.pool, pg, iters)
+		if err == nil {
+			return labels, st, nil
+		}
+		if !distFallback(ctx, "cc", err) {
+			return nil, nil, err
+		}
+	}
+	return algorithms.ConnectedComponents(ctx, pg, iters)
 }
 
 // topRanks extracts the k highest-ranked vertices, ties broken by vertex
